@@ -1,0 +1,171 @@
+package distknn
+
+import (
+	"fmt"
+
+	"distknn/internal/core"
+	"distknn/internal/dsel"
+	"distknn/internal/election"
+	"distknn/internal/keys"
+	"distknn/internal/kmachine"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+// BatchResult is the outcome of one query inside a KNNBatch call.
+type BatchResult struct {
+	// Neighbors are the exact ℓ nearest neighbors in ascending order.
+	Neighbors []Item
+	// Boundary is the ℓ-th neighbor's key.
+	Boundary Key
+}
+
+// KNNBatch answers many queries in a single cluster run: the leader is
+// elected once and every query then costs only the O(log ℓ) query protocol,
+// amortizing the election and the per-run setup. This is the paper's
+// concluding suggestion — using the algorithm as a subroutine — applied to
+// the query stream itself.
+//
+// The per-query results are exact and identical to individual KNN calls.
+// The returned QueryStats aggregates the whole batch.
+func (c *Cluster[P]) KNNBatch(queries []P, l int) ([]BatchResult, *QueryStats, error) {
+	if l < 1 || l > c.n {
+		return nil, nil, fmt.Errorf("distknn: l=%d out of range [1, %d]", l, c.n)
+	}
+	if len(queries) == 0 {
+		return nil, &QueryStats{}, nil
+	}
+	c.queries++
+	seed := xrand.DeriveSeed(c.opts.Seed, c.queries)
+	algoFn := c.algoFn()
+	baseCfg := core.Config{
+		L:            l,
+		SampleFactor: c.opts.SampleFactor,
+		CutFactor:    c.opts.CutFactor,
+	}
+	if c.opts.MonteCarlo {
+		baseCfg.Mode = core.ModeMonteCarlo
+	}
+
+	k := len(c.parts)
+	winnersPerQuery := make([][][]Item, len(queries)) // [query][machine][]Item
+	for qi := range winnersPerQuery {
+		winnersPerQuery[qi] = make([][]Item, k)
+	}
+	boundaries := make([]Key, len(queries))
+
+	prog := func(m kmachine.Env) error {
+		leader, err := c.elect(m)
+		if err != nil {
+			return err
+		}
+		cfg := baseCfg
+		cfg.Leader = leader
+		for qi, q := range queries {
+			local := c.localTopL(m.ID(), q, l)
+			res, err := algoFn(m, cfg, local)
+			if err != nil {
+				return fmt.Errorf("query %d: %w", qi, err)
+			}
+			winnersPerQuery[qi][m.ID()] = res.Winners
+			if m.ID() == leader {
+				boundaries[qi] = res.Boundary
+			}
+		}
+		return nil
+	}
+	met, err := kmachine.Run(kmachine.Config{
+		K:              k,
+		Seed:           seed,
+		BandwidthBytes: c.opts.BandwidthBytes,
+	}, prog)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := make([]BatchResult, len(queries))
+	for qi := range queries {
+		var merged []Item
+		for _, w := range winnersPerQuery[qi] {
+			merged = append(merged, w...)
+		}
+		points.SortItems(merged)
+		out[qi] = BatchResult{Neighbors: merged, Boundary: boundaries[qi]}
+	}
+	stats := &QueryStats{
+		Rounds:   met.Rounds,
+		Messages: met.Messages,
+		Bytes:    met.Bytes,
+	}
+	return out, stats, nil
+}
+
+// elect runs the configured leader election on machine m.
+func (c *Cluster[P]) elect(m kmachine.Env) (int, error) {
+	if c.opts.SublinearElection {
+		return election.Sublinear(m, election.SublinearOptions{
+			BandwidthBytes: c.opts.BandwidthBytes,
+		})
+	}
+	return election.MinGUID(m)
+}
+
+// SelectRank finds the value of global rank `rank` (1-based) among all
+// scalar points in the cluster using the paper's Algorithm 1 directly —
+// selection without a query point, e.g. an exact distributed median
+// (rank = n/2) or any percentile. O(log n) rounds, O(k·log n) messages
+// w.h.p. The stats' Boundary carries the selected (value, ID) key.
+func SelectRank(c *Cluster[Scalar], rank int) (uint64, *QueryStats, error) {
+	if rank < 1 || rank > c.n {
+		return 0, nil, fmt.Errorf("distknn: rank %d out of range [1, %d]", rank, c.n)
+	}
+	c.queries++
+	seed := xrand.DeriveSeed(c.opts.Seed, c.queries)
+	k := len(c.parts)
+	locals := make([][]keys.Key, k)
+	for i, part := range c.parts {
+		ks := make([]keys.Key, part.Len())
+		for j := range ks {
+			ks[j] = keys.Key{Dist: uint64(part.Pts[j]), ID: part.IDs[j]}
+		}
+		locals[i] = ks
+	}
+	stats := &QueryStats{}
+	prog := func(m kmachine.Env) error {
+		leader, err := c.elect(m)
+		if err != nil {
+			return err
+		}
+		res, err := dsel.FindLSmallest(m, leader, locals[m.ID()], rank, dsel.Options{})
+		if err != nil {
+			return err
+		}
+		if m.ID() == leader {
+			stats.Leader = leader
+			stats.Boundary = res.Boundary
+			stats.Iterations = res.Iterations
+		}
+		return nil
+	}
+	met, err := kmachine.Run(kmachine.Config{
+		K:              k,
+		Seed:           seed,
+		BandwidthBytes: c.opts.BandwidthBytes,
+	}, prog)
+	if err != nil {
+		return 0, nil, err
+	}
+	stats.Rounds = met.Rounds
+	stats.Messages = met.Messages
+	stats.Bytes = met.Bytes
+	return stats.Boundary.Dist, stats, nil
+}
+
+// Median returns the exact median value of a scalar cluster (lower median
+// for even n).
+func Median(c *Cluster[Scalar]) (uint64, *QueryStats, error) {
+	if c.n == 0 {
+		return 0, nil, fmt.Errorf("distknn: median of empty cluster")
+	}
+	return SelectRank(c, (c.n+1)/2)
+}

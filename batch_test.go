@@ -1,0 +1,152 @@
+package distknn
+
+import (
+	"sort"
+	"testing"
+
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+func TestKNNBatchMatchesIndividualQueries(t *testing.T) {
+	c, values, labels := scalarFixture(t, 400, Options{Machines: 6, Seed: 31})
+	queries := []Scalar{5, 1 << 20, 1 << 31, points.PaperDomain - 1}
+	results, stats, err := c.KNNBatch(queries, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	if stats.Rounds == 0 || stats.Messages == 0 {
+		t.Errorf("batch stats empty: %+v", stats)
+	}
+	for qi, q := range queries {
+		want := bruteScalar(values, labels, uint64(q), 12)
+		got := results[qi].Neighbors
+		if len(got) != 12 {
+			t.Fatalf("query %d: %d neighbors", qi, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d rank %d: got %+v, want %+v", qi, i, got[i], want[i])
+			}
+		}
+		if results[qi].Boundary != want[11].Key {
+			t.Errorf("query %d boundary mismatch", qi)
+		}
+	}
+}
+
+func TestKNNBatchAmortizesRounds(t *testing.T) {
+	// The election and setup are paid once; per-query rounds in a batch
+	// must be no more than a single-query run's rounds.
+	c, _, _ := scalarFixture(t, 1000, Options{Machines: 8, Seed: 33})
+	_, single, err := c.KNN(Scalar(1), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]Scalar, 10)
+	for i := range queries {
+		queries[i] = Scalar(i * 1000003)
+	}
+	_, batch, err := c.KNNBatch(queries, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round counts vary query to query (random pivots), so allow slack;
+	// the point is that a batch costs Θ(queries · log l) rounds, not
+	// Θ(queries) extra elections or worse.
+	perQuery := batch.Rounds / len(queries)
+	if perQuery > 2*single.Rounds+10 {
+		t.Errorf("batch per-query rounds %d far exceed single-query rounds %d", perQuery, single.Rounds)
+	}
+}
+
+func TestKNNBatchEdgeCases(t *testing.T) {
+	c, _, _ := scalarFixture(t, 50, Options{Machines: 3, Seed: 35})
+	if _, _, err := c.KNNBatch([]Scalar{1}, 0); err == nil {
+		t.Errorf("l=0 must fail")
+	}
+	if _, _, err := c.KNNBatch([]Scalar{1}, 51); err == nil {
+		t.Errorf("l>n must fail")
+	}
+	res, stats, err := c.KNNBatch(nil, 5)
+	if err != nil || len(res) != 0 || stats == nil {
+		t.Errorf("empty batch: %v %v %v", res, stats, err)
+	}
+}
+
+func TestSelectRankAndMedian(t *testing.T) {
+	rng := xrand.New(77)
+	values := make([]uint64, 501)
+	for i := range values {
+		values[i] = rng.Uint64N(points.PaperDomain)
+	}
+	c, err := NewScalarCluster(values, nil, Options{Machines: 7, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]uint64(nil), values...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+
+	for _, rank := range []int{1, 100, 251, 501} {
+		got, stats, err := SelectRank(c, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != sorted[rank-1] {
+			t.Errorf("rank %d: got %d, want %d", rank, got, sorted[rank-1])
+		}
+		if stats.Rounds == 0 {
+			t.Errorf("rank %d: no communication recorded", rank)
+		}
+	}
+
+	med, _, err := Median(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != sorted[250] {
+		t.Errorf("median %d, want %d", med, sorted[250])
+	}
+}
+
+func TestSelectRankValidation(t *testing.T) {
+	c, err := NewScalarCluster([]uint64{3, 1, 2}, nil, Options{Machines: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SelectRank(c, 0); err == nil {
+		t.Errorf("rank 0 must fail")
+	}
+	if _, _, err := SelectRank(c, 4); err == nil {
+		t.Errorf("rank > n must fail")
+	}
+	empty, err := NewScalarCluster(nil, nil, Options{Machines: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Median(empty); err == nil {
+		t.Errorf("median of empty cluster must fail")
+	}
+}
+
+func TestSelectRankWithDuplicateValues(t *testing.T) {
+	values := make([]uint64, 100)
+	for i := range values {
+		values[i] = uint64(i % 5)
+	}
+	c, err := NewScalarCluster(values, nil, Options{Machines: 4, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := SelectRank(c, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted values: 20 copies each of 0..4; rank 50 lands in value 2.
+	if got != 2 {
+		t.Errorf("rank 50 of duplicated values = %d, want 2", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Command knnbench regenerates the paper's evaluation: every experiment in
+// DESIGN.md's per-experiment index (E1–E9), including Figure 2, printed as
+// aligned tables or CSV.
+//
+// Examples:
+//
+//	knnbench -list
+//	knnbench -experiment figure2
+//	knnbench -experiment figure2 -ks 2,8,32,128 -ls 8,128,2048 -reps 30
+//	knnbench -experiment all -quick
+//	knnbench -experiment sampling -csv > sampling.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"distknn/internal/bench"
+	"distknn/internal/kmachine"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		reps       = flag.Int("reps", 0, "repetitions per configuration (0 = default)")
+		perMachine = flag.Int("points", 0, "points per machine (0 = default 2^14; paper used 2^22)")
+		bandwidth  = flag.Int("bandwidth", 0, "link bandwidth in bytes/round (0 = 64, <0 = unlimited)")
+		ks         = flag.String("ks", "", "comma-separated machine counts to sweep")
+		ls         = flag.String("ls", "", "comma-separated l values to sweep")
+		latency    = flag.Duration("latency", 50*time.Microsecond, "modeled per-round link latency")
+		quick      = flag.Bool("quick", false, "tiny sweep sizes (smoke test)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-10s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	params := bench.Params{
+		Seed:       *seed,
+		Reps:       *reps,
+		PerMachine: *perMachine,
+		Bandwidth:  *bandwidth,
+		Model:      kmachine.CostModel{RoundLatency: *latency},
+		Quick:      *quick,
+	}
+	var err error
+	if params.Ks, err = parseInts(*ks); err != nil {
+		fatalf("bad -ks: %v", err)
+	}
+	if params.Ls, err = parseInts(*ls); err != nil {
+		fatalf("bad -ls: %v", err)
+	}
+
+	var todo []bench.Experiment
+	if *experiment == "all" {
+		todo = bench.Experiments
+	} else {
+		e, ok := bench.ByID(*experiment)
+		if !ok {
+			fatalf("unknown experiment %q (use -list)", *experiment)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tables, err := e.Run(params)
+		if err != nil {
+			fatalf("%s: %v", e.ID, err)
+		}
+		for _, t := range tables {
+			if *csv {
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					fatalf("csv: %v", err)
+				}
+			} else {
+				t.Render(os.Stdout)
+			}
+		}
+		if !*csv {
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d must be >= 1", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "knnbench: "+format+"\n", args...)
+	os.Exit(1)
+}

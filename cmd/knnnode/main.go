@@ -1,0 +1,129 @@
+// Command knnnode runs the distributed ℓ-NN pipeline over real TCP sockets:
+// a coordinator process performs rendezvous, and k node processes (one per
+// machine) mesh up, elect a leader, and answer a query with Algorithm 2.
+// Every node generates its own shard of the paper's synthetic workload from
+// the shared seed, so no data files need distributing.
+//
+// Single-machine demo (three terminals):
+//
+//	knnnode -coordinator -addr 127.0.0.1:7100 -k 2 -seed 1
+//	knnnode -join 127.0.0.1:7100 -points 100000 -l 10 -query 12345
+//	knnnode -join 127.0.0.1:7100 -points 100000 -l 10 -query 12345
+//
+// Or everything in one process:
+//
+//	knnnode -local -k 8 -points 100000 -l 10 -query 12345
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distknn/internal/core"
+	"distknn/internal/election"
+	"distknn/internal/kmachine"
+	"distknn/internal/points"
+	"distknn/internal/transport/tcp"
+	"distknn/internal/xrand"
+)
+
+func main() {
+	var (
+		coordinator = flag.Bool("coordinator", false, "run the rendezvous coordinator")
+		addr        = flag.String("addr", "127.0.0.1:7100", "coordinator listen address")
+		join        = flag.String("join", "", "coordinator address to join as a node")
+		local       = flag.Bool("local", false, "run coordinator and all k nodes in this process")
+		k           = flag.Int("k", 4, "cluster size (coordinator/local mode)")
+		seed        = flag.Uint64("seed", 1, "shared cluster seed")
+		perNode     = flag.Int("points", 1<<16, "points generated per node")
+		l           = flag.Int("l", 10, "number of nearest neighbors")
+		query       = flag.Uint64("query", 0, "query point (0 = derived from seed)")
+		meshAddr    = flag.String("mesh", "127.0.0.1:0", "node mesh listen address")
+	)
+	flag.Parse()
+
+	q := *query
+	if q == 0 {
+		q = xrand.NewStream(*seed, 1<<40).Uint64N(points.PaperDomain)
+	}
+
+	switch {
+	case *coordinator:
+		c, err := tcp.NewCoordinator(*addr, *k, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer c.Close()
+		fmt.Printf("coordinator on %s waiting for %d nodes (seed=%d)\n", c.Addr(), *k, *seed)
+		if err := c.Wait(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println("all nodes configured; coordinator done")
+	case *join != "":
+		met, err := tcp.RunNode(*join, *meshAddr, nodeProgram(*seed, *perNode, *l, q, true))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("node done: rounds=%d messages=%d bytes=%d\n", met.Rounds, met.Messages, met.Bytes)
+	case *local:
+		fmt.Printf("local cluster: k=%d, %d points/node, l=%d, query=%d\n", *k, *perNode, *l, q)
+		metrics, errs, err := tcp.RunLocal(*k, *seed, nodeProgram(*seed, *perNode, *l, q, false))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for i, e := range errs {
+			if e != nil {
+				fatalf("node %d: %v", i, e)
+			}
+		}
+		var msgs, bytes int64
+		rounds := 0
+		for _, m := range metrics {
+			msgs += m.Messages
+			bytes += m.Bytes
+			if m.Rounds > rounds {
+				rounds = m.Rounds
+			}
+		}
+		fmt.Printf("cluster totals: rounds=%d messages=%d traffic=%dB\n", rounds, msgs, bytes)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// nodeProgram builds the per-node behaviour: generate the local shard from
+// the shared seed, elect a leader, run Algorithm 2, classify, and (on the
+// leader) print the answer.
+func nodeProgram(seed uint64, perNode, l int, q uint64, verbose bool) kmachine.Program {
+	return func(m kmachine.Env) error {
+		rng := xrand.NewStream(seed, uint64(m.ID()))
+		set := points.GenUniformScalars(rng, perNode, points.PaperDomain)
+		for j := range set.IDs {
+			set.IDs[j] = uint64(m.ID())*uint64(perNode) + uint64(j) + 1
+		}
+		leader, err := election.MinGUID(m)
+		if err != nil {
+			return err
+		}
+		res, err := core.KNN(m, core.Config{Leader: leader, L: l}, set.TopLItems(points.Scalar(q), l))
+		if err != nil {
+			return err
+		}
+		label, err := core.Classify(m, leader, res.Winners)
+		if err != nil {
+			return err
+		}
+		if verbose || m.ID() == leader {
+			fmt.Printf("machine %d: leader=%d boundary-dist=%d local-winners=%d label=%g\n",
+				m.ID(), leader, res.Boundary.Dist, len(res.Winners), label)
+		}
+		return nil
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "knnnode: "+format+"\n", args...)
+	os.Exit(1)
+}

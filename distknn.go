@@ -1,0 +1,368 @@
+// Package distknn is a Go implementation of "Efficient Distributed
+// Algorithms for the K-Nearest Neighbors Problem" (Fathi, Molla,
+// Pandurangan; SPAA 2020): exact ℓ-nearest-neighbor queries over data
+// distributed across k machines, in O(log ℓ) communication rounds and
+// O(k·log ℓ) messages regardless of the number of machines or points.
+//
+// The package is a facade: it partitions a labeled dataset across a
+// simulated k-machine cluster (goroutine-per-machine, synchronous rounds,
+// bandwidth-limited links — see internal/kmachine) and answers queries with
+// the paper's Algorithm 2 or any of the baseline algorithms. Results are
+// exact: the default Las Vegas mode verifies the algorithm's random pruning
+// step and falls back to un-pruned selection in the ≤ 2/ℓ² of runs where it
+// over-prunes.
+//
+// Quickstart:
+//
+//	cluster, err := distknn.NewScalarCluster(values, labels, distknn.Options{Machines: 8})
+//	neighbors, stats, err := cluster.KNN(query, 10)
+//	label, _, err := cluster.Classify(query, 10)
+//
+// For the experiment harness reproducing the paper's evaluation, see
+// cmd/knnbench; for running over real TCP sockets, see cmd/knnnode and
+// internal/transport/tcp.
+package distknn
+
+import (
+	"fmt"
+
+	"distknn/internal/core"
+	"distknn/internal/kdtree"
+	"distknn/internal/keys"
+	"distknn/internal/kmachine"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+// Re-exported data types. Item carries a point's distance key and label;
+// Key is the (encoded distance, point ID) pair all algorithms order by.
+type (
+	// Item is one point's view in a query result.
+	Item = points.Item
+	// Key is the total-order key (distance, ID).
+	Key = keys.Key
+	// Scalar is a one-dimensional integer point (the paper's workload).
+	Scalar = points.Scalar
+	// Vector is a d-dimensional float64 point.
+	Vector = points.Vector
+	// Metric computes order-encoded distances for point type P.
+	Metric[P any] = points.Metric[P]
+)
+
+// Algorithm selects the distributed query strategy.
+type Algorithm int
+
+const (
+	// Alg2 is the paper's Algorithm 2: O(log ℓ) rounds w.h.p. Default.
+	Alg2 Algorithm = iota
+	// Direct runs Algorithm 1 on all ≤ kℓ candidates: O(log ℓ + log k)
+	// rounds.
+	Direct
+	// Simple is the gather-everything baseline: Θ(ℓ) rounds.
+	Simple
+	// SaukasSong is the deterministic weighted-median baseline.
+	SaukasSong
+	// BinSearch bisects the key domain: Θ(domain bits) rounds.
+	BinSearch
+)
+
+// String names the algorithm for logs and tables.
+func (a Algorithm) String() string {
+	switch a {
+	case Alg2:
+		return "alg2"
+	case Direct:
+		return "direct"
+	case Simple:
+		return "simple"
+	case SaukasSong:
+		return "saukas-song"
+	case BinSearch:
+		return "binsearch"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a Cluster.
+type Options struct {
+	// Machines is k, the number of simulated machines (default 4).
+	Machines int
+	// BandwidthBytes is the per-link capacity per round; 0 selects the
+	// model default (64 B), negative means unlimited.
+	BandwidthBytes int
+	// Seed makes the cluster (partitioning, algorithm randomness)
+	// deterministic; two clusters built with equal inputs replay
+	// identically.
+	Seed uint64
+	// Algorithm selects the query strategy (default Alg2).
+	Algorithm Algorithm
+	// SublinearElection uses the randomized O(√k·log^{3/2} k)-message
+	// leader election instead of the min-GUID broadcast.
+	SublinearElection bool
+	// SampleFactor and CutFactor override Algorithm 2's Lemma 2.3
+	// constants (defaults 12 and 21).
+	SampleFactor, CutFactor int
+	// MonteCarlo disables the Las Vegas verification; queries then fail
+	// with core.ErrMonteCarloFailure with probability ≤ 2/ℓ².
+	MonteCarlo bool
+	// RandomIDs assigns points random IDs in [1, n³] (the paper's scheme,
+	// unique w.h.p. and verified at construction) instead of sequential
+	// unique IDs.
+	RandomIDs bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machines == 0 {
+		o.Machines = 4
+	}
+	return o
+}
+
+// QueryStats reports the distributed cost of one query.
+type QueryStats struct {
+	// Rounds, Messages and Bytes are the k-machine model costs.
+	Rounds   int
+	Messages int64
+	Bytes    int64
+	// Leader is the elected leader machine.
+	Leader int
+	// Boundary is the ℓ-th neighbor's key.
+	Boundary Key
+	// Survivors counts candidates after Algorithm 2's prune (0 for other
+	// algorithms); FellBack reports a Las Vegas re-run.
+	Survivors int64
+	FellBack  bool
+	// Iterations counts selection pivot steps.
+	Iterations int
+}
+
+// Cluster is an in-process k-machine deployment of a labeled dataset.
+// Create one with NewCluster (or the typed helpers), then query it. A
+// Cluster is not safe for concurrent queries.
+type Cluster[P any] struct {
+	opts    Options
+	parts   []*points.Set[P]
+	n       int
+	queries uint64
+	// localTopL computes machine i's ℓ nearest local points. The default
+	// is a streaming scan; NewVectorCluster installs a k-d-tree-backed
+	// version. Accelerating this step changes local computation only —
+	// never the round/message complexity — exactly the role the paper's
+	// related-work section assigns to k-d trees (Section 1.4).
+	localTopL func(i int, q P, l int) []Item
+}
+
+// NewCluster partitions pts (with optional labels, may be nil) across the
+// configured number of simulated machines using a balanced random
+// partition, the benign case of the model's adversarial placement.
+func NewCluster[P any](pts []P, labels []float64, metric Metric[P], opts Options) (*Cluster[P], error) {
+	opts = opts.withDefaults()
+	set, err := points.NewSet(pts, labels, metric, 1)
+	if err != nil {
+		return nil, fmt.Errorf("distknn: %w", err)
+	}
+	rng := xrand.NewStream(opts.Seed, 0xC1)
+	if opts.RandomIDs {
+		set.AssignRandomIDs(rng, uint64(set.Len()))
+		if points.CollidingIDs(set) {
+			// Astronomically unlikely (probability ~1/n); redraw once.
+			set.AssignRandomIDs(rng, uint64(set.Len()))
+			if points.CollidingIDs(set) {
+				return nil, fmt.Errorf("distknn: random point IDs collided twice")
+			}
+		}
+	}
+	parts, err := points.Partition(set, opts.Machines, points.PartitionRandom, rng)
+	if err != nil {
+		return nil, fmt.Errorf("distknn: %w", err)
+	}
+	c := &Cluster[P]{opts: opts, parts: parts, n: set.Len()}
+	c.localTopL = func(i int, q P, l int) []Item { return c.parts[i].TopLItems(q, l) }
+	return c, nil
+}
+
+// NewScalarCluster builds a cluster of integer points under |a−b| distance.
+func NewScalarCluster(values []uint64, labels []float64, opts Options) (*Cluster[Scalar], error) {
+	pts := make([]Scalar, len(values))
+	for i, v := range values {
+		pts[i] = Scalar(v)
+	}
+	return NewCluster(pts, labels, points.ScalarMetric, opts)
+}
+
+// NewVectorCluster builds a cluster of d-dimensional points under Euclidean
+// distance. Each machine indexes its shard with a k-d tree, so the local
+// top-ℓ step costs O(ℓ·log(n/k)) expected instead of a linear scan; the
+// tree produces bit-identical keys to the scan, so results are unchanged.
+func NewVectorCluster(vecs []Vector, labels []float64, opts Options) (*Cluster[Vector], error) {
+	c, err := NewCluster(vecs, labels, points.L2, opts)
+	if err != nil {
+		return nil, err
+	}
+	trees := make([]*kdtree.Tree, len(c.parts))
+	for i, part := range c.parts {
+		trees[i], err = kdtree.Build(part)
+		if err != nil {
+			return nil, fmt.Errorf("distknn: indexing machine %d: %w", i, err)
+		}
+	}
+	c.localTopL = func(i int, q Vector, l int) []Item { return trees[i].KNN(q, l) }
+	return c, nil
+}
+
+// Len returns the total number of points in the cluster.
+func (c *Cluster[P]) Len() int { return c.n }
+
+// Machines returns k.
+func (c *Cluster[P]) Machines() int { return len(c.parts) }
+
+// KNN returns the exact ℓ nearest neighbors of q in ascending distance
+// order, together with the query's distributed cost.
+func (c *Cluster[P]) KNN(q P, l int) ([]Item, *QueryStats, error) {
+	if l < 1 || l > c.n {
+		return nil, nil, fmt.Errorf("distknn: l=%d out of range [1, %d]", l, c.n)
+	}
+	winners, stats, _, err := c.run(q, l, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	points.SortItems(winners)
+	return winners, stats, nil
+}
+
+// Classify returns the majority label among the ℓ nearest neighbors of q
+// (ties broken toward the smallest label).
+func (c *Cluster[P]) Classify(q P, l int) (float64, *QueryStats, error) {
+	if l < 1 || l > c.n {
+		return 0, nil, fmt.Errorf("distknn: l=%d out of range [1, %d]", l, c.n)
+	}
+	_, stats, label, err := c.run(q, l, true)
+	if err != nil {
+		return 0, nil, err
+	}
+	return label, stats, nil
+}
+
+// Regress returns the mean label of the ℓ nearest neighbors of q.
+func (c *Cluster[P]) Regress(q P, l int) (float64, *QueryStats, error) {
+	if l < 1 || l > c.n {
+		return 0, nil, fmt.Errorf("distknn: l=%d out of range [1, %d]", l, c.n)
+	}
+	stats := &QueryStats{}
+	var mean float64
+	err := c.execute(q, l, stats, func(m kmachine.Env, leader int, res core.Result) error {
+		v, err := core.Regress(m, leader, res.Winners)
+		if err != nil {
+			return err
+		}
+		if m.ID() == leader {
+			mean = v
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return mean, stats, nil
+}
+
+// run executes a query, optionally following it with a classification.
+func (c *Cluster[P]) run(q P, l int, classify bool) ([]Item, *QueryStats, float64, error) {
+	stats := &QueryStats{}
+	var label float64
+	winners := make([][]Item, len(c.parts))
+	post := func(m kmachine.Env, leader int, res core.Result) error {
+		if classify {
+			v, err := core.Classify(m, leader, res.Winners)
+			if err != nil {
+				return err
+			}
+			if m.ID() == leader {
+				label = v
+			}
+		}
+		return nil
+	}
+	err := c.execute(q, l, stats, post, winners)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var merged []Item
+	for _, w := range winners {
+		merged = append(merged, w...)
+	}
+	return merged, stats, label, nil
+}
+
+// execute runs the configured algorithm across the simulated machines.
+// post, if non-nil, runs after the query with the winners; collect, if
+// non-nil, receives each machine's local winners.
+func (c *Cluster[P]) execute(q P, l int, stats *QueryStats,
+	post func(m kmachine.Env, leader int, res core.Result) error, collect [][]Item) error {
+	c.queries++
+	seed := xrand.DeriveSeed(c.opts.Seed, c.queries)
+	algoFn := c.algoFn()
+	cfg := core.Config{
+		L:            l,
+		SampleFactor: c.opts.SampleFactor,
+		CutFactor:    c.opts.CutFactor,
+	}
+	if c.opts.MonteCarlo {
+		cfg.Mode = core.ModeMonteCarlo
+	}
+	prog := func(m kmachine.Env) error {
+		leader, err := c.elect(m)
+		if err != nil {
+			return err
+		}
+		local := c.localTopL(m.ID(), q, l)
+		cfg := cfg
+		cfg.Leader = leader
+		res, err := algoFn(m, cfg, local)
+		if err != nil {
+			return err
+		}
+		if collect != nil {
+			collect[m.ID()] = res.Winners
+		}
+		if m.ID() == leader {
+			stats.Leader = leader
+			stats.Boundary = res.Boundary
+			stats.Survivors = res.Survivors
+			stats.FellBack = res.FellBack
+			stats.Iterations = res.Iterations
+		}
+		if post != nil {
+			return post(m, leader, res)
+		}
+		return nil
+	}
+	met, err := kmachine.Run(kmachine.Config{
+		K:              len(c.parts),
+		Seed:           seed,
+		BandwidthBytes: c.opts.BandwidthBytes,
+	}, prog)
+	if err != nil {
+		return err
+	}
+	stats.Rounds = met.Rounds
+	stats.Messages = met.Messages
+	stats.Bytes = met.Bytes
+	return nil
+}
+
+func (c *Cluster[P]) algoFn() func(kmachine.Env, core.Config, []Item) (core.Result, error) {
+	switch c.opts.Algorithm {
+	case Direct:
+		return core.DirectKNN
+	case Simple:
+		return core.SimpleKNN
+	case SaukasSong:
+		return core.SaukasSongKNN
+	case BinSearch:
+		return core.BinarySearchKNN
+	default:
+		return core.KNN
+	}
+}

@@ -1,0 +1,67 @@
+package distknn_test
+
+import (
+	"fmt"
+
+	"distknn"
+)
+
+// The ten-point toy dataset makes the distributed machinery fully
+// deterministic and the outputs human-checkable.
+
+func ExampleCluster_KNN() {
+	values := []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cluster, err := distknn.NewScalarCluster(values, nil, distknn.Options{Machines: 3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	neighbors, _, err := cluster.KNN(distknn.Scalar(27), 3)
+	if err != nil {
+		panic(err)
+	}
+	for _, nb := range neighbors {
+		fmt.Println("distance", nb.Key.Dist)
+	}
+	// Output:
+	// distance 3
+	// distance 7
+	// distance 13
+}
+
+func ExampleCluster_Classify() {
+	// Values below 50 carry label 1, the rest label 2.
+	values := []uint64{10, 20, 30, 40, 60, 70, 80, 90}
+	labels := []float64{1, 1, 1, 1, 2, 2, 2, 2}
+	cluster, err := distknn.NewScalarCluster(values, labels, distknn.Options{Machines: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	label, _, err := cluster.Classify(distknn.Scalar(25), 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("label", label)
+	// Output:
+	// label 1
+}
+
+func ExampleSelectRank() {
+	values := []uint64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	cluster, err := distknn.NewScalarCluster(values, nil, distknn.Options{Machines: 3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	median, _, err := distknn.Median(cluster)
+	if err != nil {
+		panic(err)
+	}
+	third, _, err := distknn.SelectRank(cluster, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("median", median)
+	fmt.Println("3rd smallest", third)
+	// Output:
+	// median 5
+	// 3rd smallest 3
+}

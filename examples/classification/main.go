@@ -1,0 +1,62 @@
+// Classification: the machine-learning workload from the paper's
+// introduction. Points are drawn from labeled Gaussian clusters; a query is
+// classified by the majority label of its ℓ nearest neighbors, computed
+// distributedly in O(log ℓ) rounds. The example measures accuracy against
+// the generating clusters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distknn"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+func main() {
+	const (
+		nPoints  = 60_000
+		nQueries = 200
+		clusters = 5
+		dim      = 3
+		sigma    = 0.04
+		machines = 12
+		l        = 25
+	)
+	rng := xrand.New(7)
+	train, centers := points.GenGaussianClusters(rng, nPoints, dim, clusters, sigma)
+
+	cluster, err := distknn.NewVectorCluster(train.Pts, train.Labels, distknn.Options{
+		Machines: machines,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	correct := 0
+	var rounds, msgs int64
+	for i := 0; i < nQueries; i++ {
+		// Draw a test point from a known cluster.
+		ci := rng.IntN(clusters)
+		q := make(distknn.Vector, dim)
+		for j := range q {
+			q[j] = centers[ci][j] + rng.NormFloat64()*sigma
+		}
+		label, stats, err := cluster.Classify(q, l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if int(label) == ci {
+			correct++
+		}
+		rounds += int64(stats.Rounds)
+		msgs += stats.Messages
+	}
+
+	fmt.Printf("%d-NN classification of %d queries over %d machines:\n", l, nQueries, machines)
+	fmt.Printf("  accuracy: %.1f%% (%d/%d)\n", 100*float64(correct)/nQueries, correct, nQueries)
+	fmt.Printf("  avg cost: %.1f rounds, %.1f messages per query\n",
+		float64(rounds)/nQueries, float64(msgs)/nQueries)
+}

@@ -1,0 +1,55 @@
+// Quickstart: distribute a dataset over simulated machines and ask for the
+// ten nearest neighbors of a query point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"distknn"
+)
+
+func main() {
+	// One million integer points with a toy label (their magnitude bucket).
+	rng := rand.New(rand.NewPCG(1, 2))
+	values := make([]uint64, 1_000_000)
+	labels := make([]float64, len(values))
+	for i := range values {
+		values[i] = rng.Uint64N(1 << 32)
+		labels[i] = float64(values[i] >> 30) // 0..3
+	}
+
+	// Distribute over 16 simulated machines.
+	cluster, err := distknn.NewScalarCluster(values, labels, distknn.Options{
+		Machines: 16,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := distknn.Scalar(1 << 31)
+	neighbors, stats, err := cluster.KNN(query, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("10 nearest neighbors of %d (found in %d rounds, %d messages, %d bytes):\n",
+		uint64(query), stats.Rounds, stats.Messages, stats.Bytes)
+	for i, nb := range neighbors {
+		fmt.Printf("  #%-2d distance=%-8d id=%-8d label=%g\n", i+1, nb.Key.Dist, nb.Key.ID, nb.Label)
+	}
+
+	// The same neighbors drive classification (majority label) and
+	// regression (mean label) without re-running the search pipeline.
+	label, _, err := cluster.Classify(query, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, _, err := cluster.Regress(query, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("majority label: %g   mean label: %.2f\n", label, mean)
+}

@@ -1,0 +1,59 @@
+// Regression: ℓ-NN regression over distributed data. The training set is
+// y = sin(2πx/D) + noise over scalar x; the distributed ℓ-NN pipeline
+// estimates the function as the mean label of the ℓ nearest neighbors, and
+// the example reports RMSE against the clean signal.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"distknn"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+func main() {
+	const (
+		nPoints  = 200_000
+		nQueries = 100
+		noise    = 0.05
+		machines = 8
+		l        = 50
+	)
+	rng := xrand.New(11)
+	train := points.GenRegression1D(rng, nPoints, points.PaperDomain, noise)
+
+	values := make([]uint64, train.Len())
+	for i, p := range train.Pts {
+		values[i] = uint64(p)
+	}
+	cluster, err := distknn.NewScalarCluster(values, train.Labels, distknn.Options{
+		Machines: machines,
+		Seed:     11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var se float64
+	for i := 0; i < nQueries; i++ {
+		x := rng.Uint64N(points.PaperDomain)
+		truth := math.Sin(2 * math.Pi * float64(x) / float64(points.PaperDomain))
+		estimate, _, err := cluster.Regress(distknn.Scalar(x), l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		se += (estimate - truth) * (estimate - truth)
+		if i < 5 {
+			fmt.Printf("  x=%-12d sin=%+.4f  knn=%+.4f\n", x, truth, estimate)
+		}
+	}
+	rmse := math.Sqrt(se / nQueries)
+	fmt.Printf("%d-NN regression on %d queries: RMSE %.4f (noise level %.2f)\n",
+		l, nQueries, rmse, noise)
+	if rmse > 3*noise {
+		log.Fatalf("regression quality unexpectedly poor")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"distknn/internal/kmachine"
+	"distknn/internal/points"
+	"distknn/internal/wire"
+)
+
+// Classify turns distributed ℓ-NN winners into a classification: the label
+// held by the majority of the winning points (ties broken toward the
+// smallest label). Every machine passes its local winners from a Result;
+// every machine returns the same label. Costs 2 rounds and O(k) messages:
+// each machine sends its local label histogram, the leader merges and
+// broadcasts the verdict.
+func Classify(m kmachine.Env, leader int, winners []points.Item) (float64, error) {
+	hist := make(map[float64]int64, 4)
+	for _, it := range winners {
+		hist[it.Label]++
+	}
+	if m.ID() != leader {
+		m.Send(leader, encodeVotes(hist))
+		m.EndRound()
+		msg := m.Gather(1)[0]
+		r := wire.NewReader(msg.Payload)
+		if kind := r.U8(); kind != kindVerdict {
+			return 0, fmt.Errorf("core: expected verdict, got kind %d", kind)
+		}
+		label := r.F64()
+		if err := r.Err(); err != nil {
+			return 0, fmt.Errorf("core: bad verdict: %w", err)
+		}
+		return label, nil
+	}
+	if m.K() > 1 {
+		m.EndRound()
+		for _, msg := range m.Gather(m.K() - 1) {
+			r := wire.NewReader(msg.Payload)
+			if kind := r.U8(); kind != kindVotes {
+				return 0, fmt.Errorf("core: expected votes from %d, got kind %d", msg.From, kind)
+			}
+			n := int(r.Varint())
+			for i := 0; i < n; i++ {
+				label := r.F64()
+				hist[label] += int64(r.Varint())
+			}
+			if err := r.Err(); err != nil {
+				return 0, fmt.Errorf("core: bad votes from %d: %w", msg.From, err)
+			}
+		}
+	}
+	if len(hist) == 0 {
+		return 0, fmt.Errorf("core: classify with no winners")
+	}
+	var best float64
+	var bestCount int64 = -1
+	labels := make([]float64, 0, len(hist))
+	for label := range hist {
+		labels = append(labels, label)
+	}
+	sort.Float64s(labels)
+	for _, label := range labels {
+		if hist[label] > bestCount {
+			best, bestCount = label, hist[label]
+		}
+	}
+	var w wire.Writer
+	w.U8(kindVerdict)
+	w.F64(best)
+	m.Broadcast(w.Bytes())
+	return best, nil
+}
+
+// Regress turns distributed ℓ-NN winners into a regression estimate: the
+// mean label of the winning points. Every machine returns the same value.
+// 2 rounds, O(k) messages.
+func Regress(m kmachine.Env, leader int, winners []points.Item) (float64, error) {
+	var sum float64
+	var count int64
+	for _, it := range winners {
+		sum += it.Label
+		count++
+	}
+	if m.ID() != leader {
+		var w wire.Writer
+		w.U8(kindSums)
+		w.F64(sum)
+		w.Varint(uint64(count))
+		m.Send(leader, w.Bytes())
+		m.EndRound()
+		msg := m.Gather(1)[0]
+		r := wire.NewReader(msg.Payload)
+		if kind := r.U8(); kind != kindVerdict {
+			return 0, fmt.Errorf("core: expected verdict, got kind %d", kind)
+		}
+		mean := r.F64()
+		if err := r.Err(); err != nil {
+			return 0, fmt.Errorf("core: bad verdict: %w", err)
+		}
+		return mean, nil
+	}
+	if m.K() > 1 {
+		m.EndRound()
+		for _, msg := range m.Gather(m.K() - 1) {
+			r := wire.NewReader(msg.Payload)
+			if kind := r.U8(); kind != kindSums {
+				return 0, fmt.Errorf("core: expected sums from %d, got kind %d", msg.From, kind)
+			}
+			sum += r.F64()
+			count += int64(r.Varint())
+			if err := r.Err(); err != nil {
+				return 0, fmt.Errorf("core: bad sums from %d: %w", msg.From, err)
+			}
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("core: regress with no winners")
+	}
+	mean := sum / float64(count)
+	var w wire.Writer
+	w.U8(kindVerdict)
+	w.F64(mean)
+	m.Broadcast(w.Bytes())
+	return mean, nil
+}
+
+// encodeVotes serializes a label histogram with labels in ascending order
+// for deterministic byte output.
+func encodeVotes(hist map[float64]int64) []byte {
+	labels := make([]float64, 0, len(hist))
+	for label := range hist {
+		labels = append(labels, label)
+	}
+	sort.Float64s(labels)
+	var w wire.Writer
+	w.U8(kindVotes)
+	w.Varint(uint64(len(labels)))
+	for _, label := range labels {
+		w.F64(label)
+		w.Varint(uint64(hist[label]))
+	}
+	return w.Bytes()
+}

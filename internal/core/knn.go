@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"distknn/internal/dsel"
+	"distknn/internal/keys"
+	"distknn/internal/kmachine"
+	"distknn/internal/points"
+	"distknn/internal/wire"
+	"distknn/internal/xrand"
+)
+
+// KNN runs the paper's Algorithm 2 on one machine. Every machine must call
+// it with the items of its local points (distance keys to the shared query)
+// and an identical Config. O(log ℓ) rounds and O(k·log ℓ) messages w.h.p.
+func KNN(m kmachine.Env, cfg Config, local []points.Item) (Result, error) {
+	if err := validateConfig(m, cfg); err != nil {
+		return Result{}, err
+	}
+	// Step 2: keep only the ℓ closest local points.
+	s := topL(local, cfg.L)
+
+	// Step 3–4: sample 12·log ℓ of them to the leader, tagged with the
+	// full local count so the leader can verify ℓ ≤ Σ|S_i| up front.
+	nSamples := sampleSize(cfg.L, cfg.sampleFactor())
+	sample := make([]keys.Key, 0, nSamples)
+	for _, idx := range xrand.SampleWithoutReplacement(m.Rand(), len(s), nSamples) {
+		sample = append(sample, s[idx].Key)
+	}
+
+	if m.ID() != cfg.Leader {
+		var w wire.Writer
+		w.U8(kindSamples)
+		w.Varint(uint64(len(s)))
+		w.Keys(sample)
+		m.Send(cfg.Leader, w.Bytes())
+		m.EndRound()
+		return knnWorker(m, cfg, s)
+	}
+	return knnLeader(m, cfg, s, sample)
+}
+
+// knnLeader drives steps 4–9 on the leader.
+func knnLeader(m kmachine.Env, cfg Config, s []points.Item, ownSample []keys.Key) (Result, error) {
+	k := m.K()
+	allSamples := ownSample
+	total := int64(len(s))
+	if k > 1 {
+		m.EndRound()
+		for _, msg := range m.Gather(k - 1) {
+			r := wire.NewReader(msg.Payload)
+			if kind := r.U8(); kind != kindSamples {
+				return Result{}, fmt.Errorf("core: expected samples from %d, got kind %d", msg.From, kind)
+			}
+			total += int64(r.Varint())
+			allSamples = append(allSamples, r.Keys()...)
+			if err := r.Err(); err != nil {
+				return Result{}, fmt.Errorf("core: bad samples from %d: %w", msg.From, err)
+			}
+		}
+	}
+	if int64(cfg.L) > total {
+		return Result{}, fmt.Errorf("core: l=%d exceeds the %d available points", cfg.L, total)
+	}
+
+	// Step 5: r is the sample of global rank 21·log ℓ.
+	sort.Slice(allSamples, func(a, b int) bool { return allSamples[a].Less(allSamples[b]) })
+	cut := sampleSize(cfg.L, cfg.cutFactor())
+	if cut > len(allSamples) {
+		cut = len(allSamples)
+	}
+	threshold := allSamples[cut-1]
+
+	// Step 6–7: broadcast r, gather surviving-candidate counts.
+	var w wire.Writer
+	w.U8(kindPrune)
+	w.Key(threshold)
+	m.Broadcast(w.Bytes())
+	pruned := filterItems(s, threshold)
+	survivors := int64(len(pruned))
+	if k > 1 {
+		m.EndRound()
+		for _, msg := range m.Gather(k - 1) {
+			r := wire.NewReader(msg.Payload)
+			if kind := r.U8(); kind != kindCount {
+				return Result{}, fmt.Errorf("core: expected prune count from %d, got kind %d", msg.From, kind)
+			}
+			survivors += int64(r.Varint())
+			if err := r.Err(); err != nil {
+				return Result{}, fmt.Errorf("core: bad prune count from %d: %w", msg.From, err)
+			}
+		}
+	}
+	if cfg.OnPrune != nil {
+		cfg.OnPrune(threshold, survivors)
+	}
+
+	// Verification: survivors ≥ ℓ guarantees the true answer survived the
+	// prune. Otherwise fall back (Las Vegas) or abort (Monte Carlo).
+	usePruned := survivors >= int64(cfg.L)
+	if !usePruned && cfg.Mode == ModeMonteCarlo {
+		var w wire.Writer
+		w.U8(kindAbort)
+		m.Broadcast(w.Bytes())
+		return Result{}, fmt.Errorf("%w (survivors %d < l %d)", ErrMonteCarloFailure, survivors, cfg.L)
+	}
+	var pw wire.Writer
+	pw.U8(kindProceed)
+	if usePruned {
+		pw.U8(1)
+	} else {
+		pw.U8(0)
+	}
+	pw.Varint(uint64(survivors))
+	m.Broadcast(pw.Bytes())
+
+	// Step 9: Algorithm 1 over the surviving candidates.
+	cand := pruned
+	if !usePruned {
+		cand = s
+	}
+	sel, err := dsel.FindLSmallest(m, cfg.Leader, itemKeys(cand), cfg.L, dsel.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Winners:    sortedWinners(s, sel.Boundary),
+		Boundary:   sel.Boundary,
+		Iterations: sel.Iterations,
+		Survivors:  survivors,
+		FellBack:   !usePruned,
+	}, nil
+}
+
+// knnWorker answers the leader's prune phase, then hands over to the
+// selection worker loop.
+func knnWorker(m kmachine.Env, cfg Config, s []points.Item) (Result, error) {
+	// Await the prune threshold.
+	msg := m.Gather(1)[0]
+	r := wire.NewReader(msg.Payload)
+	if kind := r.U8(); kind != kindPrune {
+		return Result{}, fmt.Errorf("core: worker %d expected prune, got kind %d", m.ID(), kind)
+	}
+	threshold := r.Key()
+	if err := r.Err(); err != nil {
+		return Result{}, fmt.Errorf("core: bad prune message: %w", err)
+	}
+	pruned := filterItems(s, threshold)
+	var w wire.Writer
+	w.U8(kindCount)
+	w.Varint(uint64(len(pruned)))
+	m.Send(cfg.Leader, w.Bytes())
+	m.EndRound()
+
+	// Await the proceed/abort decision.
+	msg = m.Gather(1)[0]
+	r = wire.NewReader(msg.Payload)
+	switch kind := r.U8(); kind {
+	case kindAbort:
+		return Result{}, ErrMonteCarloFailure
+	case kindProceed:
+	default:
+		return Result{}, fmt.Errorf("core: worker %d expected proceed, got kind %d", m.ID(), kind)
+	}
+	usePruned := r.U8() == 1
+	survivors := int64(r.Varint())
+	if err := r.Err(); err != nil {
+		return Result{}, fmt.Errorf("core: bad proceed message: %w", err)
+	}
+
+	cand := pruned
+	if !usePruned {
+		cand = s
+	}
+	sel, err := dsel.FindLSmallest(m, cfg.Leader, itemKeys(cand), cfg.L, dsel.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Winners:    sortedWinners(s, sel.Boundary),
+		Boundary:   sel.Boundary,
+		Iterations: sel.Iterations,
+		Survivors:  survivors,
+		FellBack:   !usePruned,
+	}, nil
+}
+
+// sortedWinners projects the local top-ℓ onto the final boundary in
+// ascending key order.
+func sortedWinners(s []points.Item, boundary keys.Key) []points.Item {
+	out := filterItems(s, boundary)
+	points.SortItems(out)
+	return out
+}

@@ -1,0 +1,491 @@
+// Package dsel implements distributed selection in the k-machine model:
+// given n keys scattered across k machines and a rank ℓ, find the ℓ-th
+// smallest key (the "boundary") so that every machine can output its local
+// keys at or below it.
+//
+// Three protocols share one worker loop and differ only in leader strategy:
+//
+//   - FindLSmallest — the paper's Algorithm 1: the leader repeatedly draws a
+//     pivot uniformly at random from the keys still in range (by first
+//     picking a machine with probability proportional to its in-range count,
+//     then letting that machine pick uniformly — Lemma 2.1), counts the keys
+//     at or below the pivot, and halves the search. O(log n) rounds and
+//     O(k log n) messages w.h.p. (Theorem 2.2).
+//
+//   - SaukasSong — the deterministic baseline from Saukas & Song (SC '98),
+//     the closest prior work cited by the paper: each round the leader takes
+//     the weighted median of the machines' local medians, which discards at
+//     least a quarter of the remaining keys per iteration. O(log n)
+//     deterministic iterations.
+//
+//   - BinarySearch — the folklore baseline ([3, 18] in the paper): bisect
+//     the 128-bit key domain itself. Round count Θ(domain bits), independent
+//     of n — cheap for small domains, embarrassing for large ones.
+//
+// All protocols treat the active range as half-open (lo, hi]: a pivot that
+// moves the lower boundary is itself excluded from the next iteration, which
+// avoids the double-count that a closed-interval reading of the paper's
+// pseudocode would allow (see DESIGN.md).
+package dsel
+
+import (
+	"fmt"
+	"sort"
+
+	"distknn/internal/keys"
+	"distknn/internal/kmachine"
+	"distknn/internal/seqselect"
+	"distknn/internal/wire"
+	"distknn/internal/xrand"
+)
+
+// Message kinds. Workers answer any query kind, so every leader strategy can
+// drive the same worker loop.
+const (
+	msgStats       = iota + 1 // worker → leader: count [+ min + max]
+	msgPickPivot              // leader → one worker: lo, hi
+	msgPivotReply             // worker → leader: pivot
+	msgCount                  // leader → all: lo, p — count keys in (lo, p]
+	msgCountReply             // worker → leader: count
+	msgMedianQuery            // leader → all: lo, hi — median of keys in (lo, hi]
+	msgMedianReply            // worker → leader: count [+ median]
+	msgFinished               // leader → all: boundary, iterations
+)
+
+// Result is what every machine learns when a selection protocol finishes.
+type Result struct {
+	// Boundary is the globally ℓ-th smallest key; the union over machines
+	// of keys ≤ Boundary is exactly the ℓ smallest keys.
+	Boundary keys.Key
+	// Winners are this machine's local keys ≤ Boundary, in input order.
+	Winners []keys.Key
+	// Iterations is the number of pivot (or median, or bisection) steps
+	// the leader used; identical on every machine.
+	Iterations int
+}
+
+// Options tunes a selection run.
+type Options struct {
+	// OnPivot, if non-nil, is invoked on the leader at every pivot
+	// decision with the chosen pivot, the active range and the number of
+	// in-range keys. Used by the Lemma 2.1 uniformity experiment.
+	OnPivot func(pivot, lo, hi keys.Key, total int64)
+}
+
+// FindLSmallest runs the paper's Algorithm 1. Every machine calls it with
+// its local keys; the elected leader index must be agreed beforehand. The
+// rank l is global (1 ≤ l ≤ total number of keys).
+func FindLSmallest(m kmachine.Env, leader int, local []keys.Key, l int, opts Options) (Result, error) {
+	if err := validateLocal(local); err != nil {
+		return Result{}, err
+	}
+	if m.ID() != leader {
+		return runWorker(m, leader, local)
+	}
+	return leadAlg1(m, local, l, opts)
+}
+
+// SaukasSong runs the deterministic weighted-median selection baseline.
+func SaukasSong(m kmachine.Env, leader int, local []keys.Key, l int) (Result, error) {
+	if err := validateLocal(local); err != nil {
+		return Result{}, err
+	}
+	if m.ID() != leader {
+		return runWorker(m, leader, local)
+	}
+	return leadSaukasSong(m, local, l)
+}
+
+// BinarySearch runs the domain-bisection selection baseline.
+func BinarySearch(m kmachine.Env, leader int, local []keys.Key, l int) (Result, error) {
+	if err := validateLocal(local); err != nil {
+		return Result{}, err
+	}
+	if m.ID() != leader {
+		return runWorker(m, leader, local)
+	}
+	return leadBinarySearch(m, local, l)
+}
+
+// validateLocal rejects keys that collide with the MinKey sentinel, which
+// the half-open range logic reserves as "below everything".
+func validateLocal(local []keys.Key) error {
+	for _, k := range local {
+		if k == keys.MinKey {
+			return fmt.Errorf("dsel: local key equals the MinKey sentinel (use IDs >= 1)")
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Worker side (shared by all protocols)
+// ---------------------------------------------------------------------------
+
+// runWorker announces local statistics, then answers leader queries until a
+// finished message arrives.
+func runWorker(m kmachine.Env, leader int, local []keys.Key) (Result, error) {
+	m.Send(leader, encodeStats(local))
+	m.EndRound()
+	for {
+		for _, msg := range m.Gather(1) {
+			if msg.From != leader {
+				return Result{}, fmt.Errorf("dsel: worker %d got message from non-leader %d", m.ID(), msg.From)
+			}
+			r := wire.NewReader(msg.Payload)
+			kind := r.U8()
+			switch kind {
+			case msgPickPivot:
+				lo, hi := r.Key(), r.Key()
+				if err := r.Err(); err != nil {
+					return Result{}, fmt.Errorf("dsel: bad pivot query: %w", err)
+				}
+				pivot, ok := pickUniform(m, local, lo, hi)
+				if !ok {
+					return Result{}, fmt.Errorf("dsel: machine %d asked for a pivot but has no key in range", m.ID())
+				}
+				var w wire.Writer
+				w.U8(msgPivotReply)
+				w.Key(pivot)
+				m.Send(leader, w.Bytes())
+			case msgCount:
+				lo, p := r.Key(), r.Key()
+				if err := r.Err(); err != nil {
+					return Result{}, fmt.Errorf("dsel: bad count query: %w", err)
+				}
+				var w wire.Writer
+				w.U8(msgCountReply)
+				w.Varint(uint64(seqselect.CountInRange(local, lo, p)))
+				m.Send(leader, w.Bytes())
+			case msgMedianQuery:
+				lo, hi := r.Key(), r.Key()
+				if err := r.Err(); err != nil {
+					return Result{}, fmt.Errorf("dsel: bad median query: %w", err)
+				}
+				m.Send(leader, encodeMedianReply(local, lo, hi))
+			case msgFinished:
+				boundary := r.Key()
+				iters := int(r.Varint())
+				if err := r.Err(); err != nil {
+					return Result{}, fmt.Errorf("dsel: bad finished message: %w", err)
+				}
+				return Result{
+					Boundary:   boundary,
+					Winners:    seqselect.FilterLessEq(local, boundary),
+					Iterations: iters,
+				}, nil
+			default:
+				return Result{}, fmt.Errorf("dsel: worker %d got unknown message kind %d", m.ID(), kind)
+			}
+			m.EndRound()
+		}
+	}
+}
+
+// pickUniform draws a uniformly random local key inside (lo, hi].
+func pickUniform(m kmachine.Env, local []keys.Key, lo, hi keys.Key) (keys.Key, bool) {
+	var inRange []keys.Key
+	for _, k := range local {
+		if lo.Less(k) && k.LessEq(hi) {
+			inRange = append(inRange, k)
+		}
+	}
+	if len(inRange) == 0 {
+		return keys.Key{}, false
+	}
+	return inRange[m.Rand().IntN(len(inRange))], true
+}
+
+// ---------------------------------------------------------------------------
+// Leader bookkeeping shared by the strategies
+// ---------------------------------------------------------------------------
+
+// leaderState tracks the leader's view: the active half-open range (lo, hi],
+// the remaining rank within it, and per-machine in-range counts.
+type leaderState struct {
+	m      kmachine.Env
+	local  []keys.Key
+	lo, hi keys.Key
+	l      int64   // rank still sought inside (lo, hi]
+	counts []int64 // in-range keys per machine
+	total  int64
+	iters  int
+}
+
+// initLeader gathers the opening statistics from all workers (they send
+// proactively in round 0) and initializes the range to cover every key.
+func initLeader(m kmachine.Env, local []keys.Key, l int) (*leaderState, error) {
+	k := m.K()
+	st := &leaderState{
+		m:      m,
+		local:  local,
+		lo:     keys.MinKey,
+		counts: make([]int64, k),
+		l:      int64(l),
+	}
+	st.counts[m.ID()] = int64(len(local))
+	globalMin, globalMax := keys.MaxKey, keys.MinKey
+	for _, key := range local {
+		if key.Less(globalMin) {
+			globalMin = key
+		}
+		if globalMax.Less(key) {
+			globalMax = key
+		}
+	}
+	if k > 1 {
+		m.EndRound()
+		for _, msg := range m.Gather(k - 1) {
+			r := wire.NewReader(msg.Payload)
+			if kind := r.U8(); kind != msgStats {
+				return nil, fmt.Errorf("dsel: expected stats from %d, got kind %d", msg.From, kind)
+			}
+			cnt := int64(r.Varint())
+			if cnt > 0 {
+				mn, mx := r.Key(), r.Key()
+				if mn.Less(globalMin) {
+					globalMin = mn
+				}
+				if globalMax.Less(mx) {
+					globalMax = mx
+				}
+			}
+			if err := r.Err(); err != nil {
+				return nil, fmt.Errorf("dsel: bad stats from %d: %w", msg.From, err)
+			}
+			st.counts[msg.From] = cnt
+		}
+	}
+	for _, c := range st.counts {
+		st.total += c
+	}
+	if int64(l) < 1 || int64(l) > st.total {
+		return nil, fmt.Errorf("dsel: rank %d out of range [1, %d]", l, st.total)
+	}
+	st.hi = globalMax
+	return st, nil
+}
+
+// countBelow broadcasts a count query for (st.lo, p] and returns the
+// per-machine counts plus their sum. Two rounds, 2(k−1) messages.
+func (st *leaderState) countBelow(p keys.Key) ([]int64, int64) {
+	k := st.m.K()
+	perMachine := make([]int64, k)
+	perMachine[st.m.ID()] = int64(seqselect.CountInRange(st.local, st.lo, p))
+	if k > 1 {
+		var w wire.Writer
+		w.U8(msgCount)
+		w.Key(st.lo)
+		w.Key(p)
+		st.m.Broadcast(w.Bytes())
+		st.m.EndRound()
+		for _, msg := range st.m.Gather(k - 1) {
+			r := wire.NewReader(msg.Payload)
+			if kind := r.U8(); kind != msgCountReply {
+				panic(fmt.Sprintf("dsel: expected count reply from %d, got kind %d", msg.From, kind))
+			}
+			perMachine[msg.From] = int64(r.Varint())
+		}
+	}
+	var s int64
+	for _, c := range perMachine {
+		s += c
+	}
+	return perMachine, s
+}
+
+// apply folds a pivot's count outcome into the state following the
+// randomized-selection recurrence. It returns the final boundary and true
+// when the search is complete.
+func (st *leaderState) apply(pivot keys.Key, perMachine []int64, s int64) (keys.Key, bool) {
+	st.iters++
+	switch {
+	case s == st.l:
+		return pivot, true
+	case s < st.l:
+		// Everything in (lo, pivot] is a winner; continue above it.
+		st.l -= s
+		st.lo = pivot
+		for i := range st.counts {
+			st.counts[i] -= perMachine[i]
+		}
+		st.total -= s
+	default:
+		// The boundary lies in (lo, pivot]; discard everything above.
+		st.hi = pivot
+		copy(st.counts, perMachine)
+		st.total = s
+	}
+	if st.total == st.l {
+		// All remaining in-range keys are winners.
+		return st.hi, true
+	}
+	return keys.Key{}, false
+}
+
+// finish broadcasts the boundary and assembles the leader's own result.
+func (st *leaderState) finish(boundary keys.Key) Result {
+	var w wire.Writer
+	w.U8(msgFinished)
+	w.Key(boundary)
+	w.Varint(uint64(st.iters))
+	st.m.Broadcast(w.Bytes())
+	return Result{
+		Boundary:   boundary,
+		Winners:    seqselect.FilterLessEq(st.local, boundary),
+		Iterations: st.iters,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 leader
+// ---------------------------------------------------------------------------
+
+func leadAlg1(m kmachine.Env, local []keys.Key, l int, opts Options) (Result, error) {
+	st, err := initLeader(m, local, l)
+	if err != nil {
+		return Result{}, err
+	}
+	if st.total == st.l {
+		return st.finish(st.hi), nil
+	}
+	for {
+		// Pick the pivot machine with probability n_i / total, then a
+		// uniform key within it — uniform overall by Lemma 2.1.
+		i := xrand.WeightedChoice(m.Rand(), st.counts)
+		var pivot keys.Key
+		if i == m.ID() {
+			p, ok := pickUniform(m, local, st.lo, st.hi)
+			if !ok {
+				return Result{}, fmt.Errorf("dsel: leader count bookkeeping corrupt")
+			}
+			pivot = p
+		} else {
+			var w wire.Writer
+			w.U8(msgPickPivot)
+			w.Key(st.lo)
+			w.Key(st.hi)
+			m.Send(i, w.Bytes())
+			m.EndRound()
+			reply := m.Gather(1)[0]
+			r := wire.NewReader(reply.Payload)
+			if kind := r.U8(); kind != msgPivotReply {
+				return Result{}, fmt.Errorf("dsel: expected pivot reply, got kind %d", kind)
+			}
+			pivot = r.Key()
+			if err := r.Err(); err != nil {
+				return Result{}, fmt.Errorf("dsel: bad pivot reply: %w", err)
+			}
+		}
+		if opts.OnPivot != nil {
+			opts.OnPivot(pivot, st.lo, st.hi, st.total)
+		}
+		perMachine, s := st.countBelow(pivot)
+		if boundary, done := st.apply(pivot, perMachine, s); done {
+			return st.finish(boundary), nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Saukas–Song leader
+// ---------------------------------------------------------------------------
+
+func leadSaukasSong(m kmachine.Env, local []keys.Key, l int) (Result, error) {
+	st, err := initLeader(m, local, l)
+	if err != nil {
+		return Result{}, err
+	}
+	k := m.K()
+	for st.total > st.l {
+		// Collect each machine's median of its in-range keys.
+		type wm struct {
+			median keys.Key
+			weight int64
+		}
+		var medians []wm
+		if own, cnt := localMedian(local, st.lo, st.hi); cnt > 0 {
+			medians = append(medians, wm{own, cnt})
+		}
+		if k > 1 {
+			var w wire.Writer
+			w.U8(msgMedianQuery)
+			w.Key(st.lo)
+			w.Key(st.hi)
+			m.Broadcast(w.Bytes())
+			m.EndRound()
+			for _, msg := range m.Gather(k - 1) {
+				r := wire.NewReader(msg.Payload)
+				if kind := r.U8(); kind != msgMedianReply {
+					return Result{}, fmt.Errorf("dsel: expected median reply from %d, got kind %d", msg.From, kind)
+				}
+				cnt := int64(r.Varint())
+				if cnt > 0 {
+					medians = append(medians, wm{r.Key(), cnt})
+				}
+				if err := r.Err(); err != nil {
+					return Result{}, fmt.Errorf("dsel: bad median reply: %w", err)
+				}
+			}
+		}
+		// Weighted median of medians: the smallest median such that the
+		// machines at or below it hold at least half the in-range keys.
+		sort.Slice(medians, func(a, b int) bool { return medians[a].median.Less(medians[b].median) })
+		var cum int64
+		pivot := medians[len(medians)-1].median
+		for _, wmed := range medians {
+			cum += wmed.weight
+			if 2*cum >= st.total {
+				pivot = wmed.median
+				break
+			}
+		}
+		perMachine, s := st.countBelow(pivot)
+		if boundary, done := st.apply(pivot, perMachine, s); done {
+			return st.finish(boundary), nil
+		}
+	}
+	return st.finish(st.hi), nil
+}
+
+// localMedian returns the lower median of the keys in (lo, hi] and how many
+// keys are in range.
+func localMedian(local []keys.Key, lo, hi keys.Key) (keys.Key, int64) {
+	var inRange []keys.Key
+	for _, k := range local {
+		if lo.Less(k) && k.LessEq(hi) {
+			inRange = append(inRange, k)
+		}
+	}
+	if len(inRange) == 0 {
+		return keys.Key{}, 0
+	}
+	med := seqselect.MedianOfMedians(inRange, (len(inRange)+1)/2)
+	return med, int64(len(inRange))
+}
+
+// ---------------------------------------------------------------------------
+// Binary-search leader
+// ---------------------------------------------------------------------------
+
+func leadBinarySearch(m kmachine.Env, local []keys.Key, l int) (Result, error) {
+	st, err := initLeader(m, local, l)
+	if err != nil {
+		return Result{}, err
+	}
+	// Invariant: the answer (the smallest key K* with count(≤K*) ≥ l) lies
+	// in [lo128, hi128]. Counts use the fixed range (MinKey, ·], so the
+	// leaderState range fields stay pinned at their initial values.
+	lo128, hi128 := keys.MinKey, st.hi
+	for lo128.Less(hi128) {
+		mid := keys.Midpoint(lo128, hi128)
+		_, s := st.countBelow(mid)
+		st.iters++
+		if s >= st.l {
+			hi128 = mid
+		} else {
+			lo128 = keys.Inc(mid)
+		}
+	}
+	return st.finish(lo128), nil
+}

@@ -1,0 +1,374 @@
+package dsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"distknn/internal/keys"
+	"distknn/internal/kmachine"
+	"distknn/internal/xrand"
+)
+
+// protoFunc is the common shape of the three selection protocols.
+type protoFunc func(m kmachine.Env, leader int, local []keys.Key, l int) (Result, error)
+
+var protocols = map[string]protoFunc{
+	"alg1": func(m kmachine.Env, leader int, local []keys.Key, l int) (Result, error) {
+		return FindLSmallest(m, leader, local, l, Options{})
+	},
+	"saukas-song":   SaukasSong,
+	"binary-search": BinarySearch,
+}
+
+// scatter deals n random distinct-ish keys across k machines; style 0 =
+// round-robin random, 1 = sorted contiguous (adversarial), 2 = all on one
+// machine, 3 = some machines empty.
+func scatter(seed uint64, n, k, style int) [][]keys.Key {
+	rng := xrand.New(seed)
+	all := make([]keys.Key, n)
+	for i := range all {
+		all[i] = keys.Key{Dist: rng.Uint64N(1 << 40), ID: uint64(i) + 1}
+	}
+	locals := make([][]keys.Key, k)
+	switch style {
+	case 1:
+		sort.Slice(all, func(a, b int) bool { return all[a].Less(all[b]) })
+		per := (n + k - 1) / k
+		for i, key := range all {
+			locals[i/per] = append(locals[i/per], key)
+		}
+	case 2:
+		locals[k-1] = all
+	case 3:
+		for i, key := range all {
+			locals[i%((k+1)/2)] = append(locals[i%((k+1)/2)], key)
+		}
+	default:
+		// Round-robin after a shuffle: the benign balanced layout.
+		rng.Shuffle(n, func(i, j int) { all[i], all[j] = all[j], all[i] })
+		for i, key := range all {
+			locals[i%k] = append(locals[i%k], key)
+		}
+	}
+	return locals
+}
+
+// runSelection executes proto on k machines and returns the agreed result,
+// the union of winners, and the metrics.
+func runSelection(t *testing.T, seed uint64, bandwidth int, locals [][]keys.Key, l int,
+	proto protoFunc) (Result, []keys.Key, *kmachine.Metrics) {
+	t.Helper()
+	k := len(locals)
+	var mu sync.Mutex
+	results := make([]Result, k)
+	progs := make([]kmachine.Program, k)
+	for i := 0; i < k; i++ {
+		i := i
+		progs[i] = func(m kmachine.Env) error {
+			res, err := proto(m, 0, locals[i], l)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results[i] = res
+			mu.Unlock()
+			return nil
+		}
+	}
+	met, err := kmachine.RunPrograms(kmachine.Config{K: k, Seed: seed, BandwidthBytes: bandwidth}, progs)
+	if err != nil {
+		t.Fatalf("selection run failed: %v", err)
+	}
+	var union []keys.Key
+	for i := 0; i < k; i++ {
+		if results[i].Boundary != results[0].Boundary {
+			t.Fatalf("machine %d boundary %v != machine 0 boundary %v",
+				i, results[i].Boundary, results[0].Boundary)
+		}
+		if results[i].Iterations != results[0].Iterations {
+			t.Fatalf("iteration counts disagree: %d vs %d", results[i].Iterations, results[0].Iterations)
+		}
+		union = append(union, results[i].Winners...)
+	}
+	if met.Dangling != 0 {
+		t.Fatalf("%d dangling messages", met.Dangling)
+	}
+	return results[0], union, met
+}
+
+// oracle returns the expected boundary and winner set.
+func oracle(locals [][]keys.Key, l int) (keys.Key, map[keys.Key]bool) {
+	var all []keys.Key
+	for _, lk := range locals {
+		all = append(all, lk...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Less(all[b]) })
+	want := make(map[keys.Key]bool, l)
+	for _, k := range all[:l] {
+		want[k] = true
+	}
+	return all[l-1], want
+}
+
+func checkExact(t *testing.T, name string, res Result, union []keys.Key, locals [][]keys.Key, l int) {
+	t.Helper()
+	wantBoundary, wantSet := oracle(locals, l)
+	if res.Boundary != wantBoundary {
+		t.Fatalf("%s: boundary %v, want %v", name, res.Boundary, wantBoundary)
+	}
+	if len(union) != l {
+		t.Fatalf("%s: %d winners, want %d", name, len(union), l)
+	}
+	for _, k := range union {
+		if !wantSet[k] {
+			t.Fatalf("%s: winner %v is not among the %d smallest", name, k, l)
+		}
+	}
+}
+
+func TestAllProtocolsMatchOracle(t *testing.T) {
+	for name, proto := range protocols {
+		t.Run(name, func(t *testing.T) {
+			cfgs := []struct {
+				n, k, style, l int
+			}{
+				{100, 4, 0, 10},
+				{100, 4, 1, 10},   // adversarial sorted
+				{100, 4, 2, 10},   // all on one machine
+				{100, 7, 3, 33},   // some machines empty
+				{1, 3, 0, 1},      // single point
+				{64, 8, 0, 64},    // l = n
+				{64, 8, 1, 1},     // l = 1 adversarial
+				{500, 16, 0, 250}, // median
+				{50, 2, 0, 25},    // minimum k
+			}
+			for ci, cfg := range cfgs {
+				locals := scatter(uint64(ci), cfg.n, cfg.k, cfg.style)
+				res, union, _ := runSelection(t, uint64(ci)+1000, 0, locals, cfg.l, proto)
+				checkExact(t, fmt.Sprintf("%s cfg %d", name, ci), res, union, locals, cfg.l)
+			}
+		})
+	}
+}
+
+func TestSelectionSingleMachine(t *testing.T) {
+	for name, proto := range protocols {
+		locals := scatter(42, 50, 1, 0)
+		res, union, met := runSelection(t, 7, 0, locals, 20, proto)
+		checkExact(t, name, res, union, locals, 20)
+		if met.Messages != 0 {
+			t.Errorf("%s: single machine sent %d messages", name, met.Messages)
+		}
+	}
+}
+
+func TestSelectionDuplicateDistances(t *testing.T) {
+	// All keys share one distance: selection must resolve purely by ID.
+	k, n, l := 4, 100, 37
+	locals := make([][]keys.Key, k)
+	for i := 0; i < n; i++ {
+		locals[i%k] = append(locals[i%k], keys.Key{Dist: 99, ID: uint64(i) + 1})
+	}
+	for name, proto := range protocols {
+		res, union, _ := runSelection(t, 3, 0, locals, l, proto)
+		checkExact(t, name, res, union, locals, l)
+		if res.Boundary.ID != uint64(l) {
+			t.Errorf("%s: boundary ID %d, want %d", name, res.Boundary.ID, l)
+		}
+	}
+}
+
+func TestRankOutOfRangeFails(t *testing.T) {
+	locals := scatter(1, 10, 2, 0)
+	progs := []kmachine.Program{
+		func(m kmachine.Env) error {
+			_, err := FindLSmallest(m, 0, locals[0], 11, Options{})
+			return err
+		},
+		func(m kmachine.Env) error {
+			_, err := FindLSmallest(m, 0, locals[1], 11, Options{})
+			return err
+		},
+	}
+	if _, err := kmachine.RunPrograms(kmachine.Config{K: 2, Seed: 1}, progs); err == nil {
+		t.Errorf("rank beyond n must fail")
+	}
+}
+
+func TestMinKeySentinelRejected(t *testing.T) {
+	_, err := kmachine.Run(kmachine.Config{K: 1, Seed: 1}, func(m kmachine.Env) error {
+		_, err := FindLSmallest(m, 0, []keys.Key{keys.MinKey}, 1, Options{})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "sentinel") {
+		t.Errorf("MinKey-valued input must be rejected, got %v", err)
+	}
+}
+
+func TestAlg1RoundsLogarithmic(t *testing.T) {
+	// Theorem 2.2: O(log n) rounds w.h.p. Each iteration costs ≤ 4 rounds;
+	// expected iterations ≈ 3·log_{3/2} n ≈ 5.1·ln n. We assert a
+	// generous deterministic-per-seed envelope of 40·log2(n)+40 rounds.
+	for _, n := range []int{100, 1000, 10000} {
+		locals := scatter(uint64(n), n, 8, 0)
+		_, _, met := runSelection(t, uint64(n), 0, locals, n/2, protocols["alg1"])
+		bound := int(40*math.Log2(float64(n))) + 40
+		if met.Rounds > bound {
+			t.Errorf("n=%d: %d rounds exceeds O(log n) envelope %d", n, met.Rounds, bound)
+		}
+	}
+}
+
+func TestAlg1RoundsIndependentOfK(t *testing.T) {
+	// The same instance spread over more machines must not need more
+	// rounds (up to random variation): compare k=2 vs k=32 medians over
+	// several seeds.
+	medianRounds := func(k int) int {
+		var rounds []int
+		for seed := uint64(0); seed < 7; seed++ {
+			locals := scatter(seed+77, 2048, k, 0)
+			_, _, met := runSelection(t, seed, 0, locals, 512, protocols["alg1"])
+			rounds = append(rounds, met.Rounds)
+		}
+		sort.Ints(rounds)
+		return rounds[len(rounds)/2]
+	}
+	r2, r32 := medianRounds(2), medianRounds(32)
+	if float64(r32) > 2.5*float64(r2)+20 {
+		t.Errorf("rounds grew with k: k=2 median %d, k=32 median %d", r2, r32)
+	}
+}
+
+func TestAlg1MessagesScaleWithK(t *testing.T) {
+	// Theorem 2.2: O(k log n) messages. Doubling k should roughly double
+	// messages, not square them.
+	msgs := func(k int) int64 {
+		var total int64
+		for seed := uint64(0); seed < 5; seed++ {
+			locals := scatter(seed+99, 4096, k, 0)
+			_, _, met := runSelection(t, seed, 0, locals, 1024, protocols["alg1"])
+			total += met.Messages
+		}
+		return total
+	}
+	m8, m32 := msgs(8), msgs(32)
+	ratio := float64(m32) / float64(m8)
+	if ratio > 8 { // perfect linearity gives 4; allow slack for variance
+		t.Errorf("messages superlinear in k: m8=%d m32=%d ratio=%.1f", m8, m32, ratio)
+	}
+}
+
+func TestSaukasSongIterationBound(t *testing.T) {
+	// Weighted-median discards ≥ 1/4 per iteration: iterations ≤
+	// log_{4/3}(n) + 2, deterministically.
+	for _, n := range []int{100, 1000, 5000} {
+		locals := scatter(uint64(n)+5, n, 8, 0)
+		res, _, _ := runSelection(t, uint64(n), 0, locals, n/3, protocols["saukas-song"])
+		bound := int(math.Log(float64(n))/math.Log(4.0/3.0)) + 2
+		if res.Iterations > bound {
+			t.Errorf("n=%d: %d iterations exceeds deterministic bound %d", n, res.Iterations, bound)
+		}
+	}
+}
+
+func TestBinarySearchIterationBound(t *testing.T) {
+	locals := scatter(6, 1000, 8, 0)
+	res, _, _ := runSelection(t, 6, 0, locals, 500, protocols["binary-search"])
+	if res.Iterations > 128 {
+		t.Errorf("binary search used %d iterations, domain is 128 bits", res.Iterations)
+	}
+	if res.Iterations < 10 {
+		t.Errorf("suspiciously few iterations (%d) for a 2^40 distance domain", res.Iterations)
+	}
+}
+
+func TestPivotUniformity(t *testing.T) {
+	// Lemma 2.1: the first pivot is uniform over all n keys. Run many
+	// single-iteration observations and bucket the pivot's global rank.
+	const n, k, buckets, trials = 64, 4, 8, 800
+	counts := make([]int, buckets)
+	for trial := 0; trial < trials; trial++ {
+		locals := scatter(123, n, k, 0) // same instance every trial
+		var all []keys.Key
+		for _, lk := range locals {
+			all = append(all, lk...)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].Less(all[b]) })
+		rank := make(map[keys.Key]int, n)
+		for i, key := range all {
+			rank[key] = i
+		}
+		var firstPivot *keys.Key
+		progs := make([]kmachine.Program, k)
+		for i := 0; i < k; i++ {
+			i := i
+			progs[i] = func(m kmachine.Env) error {
+				opts := Options{}
+				if m.ID() == 0 {
+					opts.OnPivot = func(pivot, lo, hi keys.Key, total int64) {
+						if firstPivot == nil {
+							p := pivot
+							firstPivot = &p
+						}
+					}
+				}
+				_, err := FindLSmallest(m, 0, locals[i], n/2, opts)
+				return err
+			}
+		}
+		if _, err := kmachine.RunPrograms(kmachine.Config{K: k, Seed: uint64(trial), BandwidthBytes: 0}, progs); err != nil {
+			t.Fatal(err)
+		}
+		if firstPivot == nil {
+			t.Fatal("no pivot observed")
+		}
+		counts[rank[*firstPivot]*buckets/n]++
+	}
+	// Chi-square against uniform with 7 dof; 26.0 ≈ p=0.0005.
+	expected := float64(trials) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 26.0 {
+		t.Errorf("pivot ranks not uniform: chi2=%.1f buckets=%v", chi2, counts)
+	}
+}
+
+func TestSelectionUnderTightBandwidth(t *testing.T) {
+	// B = 50 bytes: every protocol message still fits, stats replies may
+	// stagger; correctness must be unaffected.
+	locals := scatter(8, 200, 6, 0)
+	for name, proto := range protocols {
+		res, union, _ := runSelection(t, 8, 50, locals, 77, proto)
+		checkExact(t, name, res, union, locals, 77)
+	}
+}
+
+// Property test: random instances, all protocols, exact agreement with the
+// oracle.
+func TestSelectionProperty(t *testing.T) {
+	prop := func(seed uint64, rawN, rawK, rawL uint16) bool {
+		n := int(rawN)%200 + 1
+		k := int(rawK)%8 + 1
+		l := int(rawL)%n + 1
+		locals := scatter(seed, n, k, int(seed%4))
+		wantBoundary, _ := oracle(locals, l)
+		for _, proto := range protocols {
+			res, union, _ := runSelection(t, seed, 0, locals, l, proto)
+			if res.Boundary != wantBoundary || len(union) != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Errorf("selection property failed: %v", err)
+	}
+}

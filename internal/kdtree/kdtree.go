@@ -1,0 +1,201 @@
+// Package kdtree implements a k-d tree over d-dimensional points.
+//
+// The paper's related-work discussion (Section 1.4) contrasts its
+// round-optimal approach with k-d-tree-based systems (Bentley [2], Friedman
+// et al. [6], PANDA [14]): a k-d tree accelerates *local* computation but
+// does not change round complexity, since each machine can simply index its
+// own points. This package provides exactly that role — machines may use it
+// to compute their local top-ℓ in O(ℓ log(n/k)) expected time instead of a
+// linear scan — and doubles as the sequential single-machine baseline.
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distknn/internal/keys"
+	"distknn/internal/points"
+	"distknn/internal/pq"
+)
+
+// Tree is an immutable k-d tree over a vector set. Build once, query many.
+type Tree struct {
+	dim    int
+	pts    []points.Vector
+	ids    []uint64
+	labels []float64
+	// nodes is laid out as a binary tree over index permutation perm:
+	// node i covers perm[start..end); axis cycles with depth.
+	perm []int
+	root *node
+}
+
+type node struct {
+	idx         int // index into pts of the splitting point
+	axis        int
+	left, right *node
+}
+
+// Build constructs a k-d tree from the set. The set must contain vectors of
+// equal dimension; an empty set yields a tree whose queries return nothing.
+func Build(s *points.Set[points.Vector]) (*Tree, error) {
+	n := s.Len()
+	t := &Tree{pts: s.Pts, ids: s.IDs, labels: s.Labels}
+	if n == 0 {
+		return t, nil
+	}
+	t.dim = len(s.Pts[0])
+	if t.dim == 0 {
+		return nil, fmt.Errorf("kdtree: zero-dimensional points")
+	}
+	for i, p := range s.Pts {
+		if len(p) != t.dim {
+			return nil, fmt.Errorf("kdtree: point %d has dim %d, want %d", i, len(p), t.dim)
+		}
+	}
+	t.perm = make([]int, n)
+	for i := range t.perm {
+		t.perm[i] = i
+	}
+	t.root = t.build(0, n, 0)
+	return t, nil
+}
+
+// build recursively splits perm[lo:hi) at the median along axis.
+func (t *Tree) build(lo, hi, axis int) *node {
+	if lo >= hi {
+		return nil
+	}
+	mid := (lo + hi) / 2
+	t.nthByAxis(lo, hi, mid, axis)
+	nd := &node{idx: t.perm[mid], axis: axis}
+	next := (axis + 1) % t.dim
+	nd.left = t.build(lo, mid, next)
+	nd.right = t.build(mid+1, hi, next)
+	return nd
+}
+
+// nthByAxis partially sorts perm[lo:hi) so that perm[nth] holds the element
+// whose axis coordinate is the nth smallest (ties broken by ID for
+// determinism).
+func (t *Tree) nthByAxis(lo, hi, nth, axis int) {
+	sub := t.perm[lo:hi]
+	sort.Slice(sub, func(a, b int) bool {
+		va, vb := t.pts[sub[a]][axis], t.pts[sub[b]][axis]
+		if va != vb {
+			return va < vb
+		}
+		return t.ids[sub[a]] < t.ids[sub[b]]
+	})
+	_ = nth // full sort keeps build simple; O(n log² n) total, done once
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// KNN returns the l points nearest to q under squared Euclidean distance, as
+// Items in ascending key order — bit-identical keys to points.L2, so results
+// can be cross-checked against brute force exactly.
+func (t *Tree) KNN(q points.Vector, l int) []points.Item {
+	if l < 1 || t.root == nil {
+		return nil
+	}
+	type cand struct {
+		d2  float64
+		idx int
+	}
+	best := pq.New(l, func(a, b cand) bool {
+		if a.d2 != b.d2 {
+			return a.d2 < b.d2
+		}
+		return t.ids[a.idx] < t.ids[b.idx]
+	})
+	var visit func(nd *node)
+	visit = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		p := t.pts[nd.idx]
+		best.Push(cand{d2: sq2(p, q), idx: nd.idx})
+		diff := q[nd.axis] - p[nd.axis]
+		near, far := nd.left, nd.right
+		if diff > 0 {
+			near, far = nd.right, nd.left
+		}
+		visit(near)
+		// Only cross the splitting plane if the slab could contain a
+		// closer point than the current cutoff.
+		if !best.Full() || diff*diff <= best.Max().d2 {
+			visit(far)
+		}
+	}
+	visit(t.root)
+	cands := best.Sorted()
+	out := make([]points.Item, len(cands))
+	for i, c := range cands {
+		out[i] = points.Item{
+			Key:   keys.Key{Dist: keys.MustEncodeFloat(c.d2), ID: t.ids[c.idx]},
+			Label: t.labels[c.idx],
+		}
+	}
+	return out
+}
+
+// CountWithin returns the number of points at squared Euclidean distance
+// ≤ r2 from q.
+func (t *Tree) CountWithin(q points.Vector, r2 float64) int {
+	count := 0
+	var visit func(nd *node)
+	visit = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		p := t.pts[nd.idx]
+		if sq2(p, q) <= r2 {
+			count++
+		}
+		diff := q[nd.axis] - p[nd.axis]
+		near, far := nd.left, nd.right
+		if diff > 0 {
+			near, far = nd.right, nd.left
+		}
+		visit(near)
+		if diff*diff <= r2 {
+			visit(far)
+		}
+	}
+	visit(t.root)
+	return count
+}
+
+// Height returns the tree height (0 for empty) — exposed for balance tests.
+func (t *Tree) Height() int {
+	var h func(nd *node) int
+	h = func(nd *node) int {
+		if nd == nil {
+			return 0
+		}
+		l, r := h(nd.left), h(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.root)
+}
+
+func sq2(a, b points.Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// MaxHeightFor returns the height bound a median-split tree must satisfy for
+// n points: ceil(log2(n+1)).
+func MaxHeightFor(n int) int {
+	return int(math.Ceil(math.Log2(float64(n + 1))))
+}

@@ -1,0 +1,180 @@
+package kdtree
+
+import (
+	"testing"
+
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+func buildRandom(t testing.TB, seed uint64, n, dim int) (*Tree, *points.Set[points.Vector]) {
+	t.Helper()
+	rng := xrand.New(seed)
+	s := points.GenUniformVectors(rng, n, dim)
+	tree, err := Build(s)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tree, s
+}
+
+func TestBuildEmpty(t *testing.T) {
+	s, _ := points.NewSet([]points.Vector{}, nil, points.L2, 1)
+	tree, err := Build(s)
+	if err != nil {
+		t.Fatalf("Build empty: %v", err)
+	}
+	if got := tree.KNN(points.Vector{0.5}, 3); got != nil {
+		t.Errorf("empty tree KNN = %v, want nil", got)
+	}
+	if tree.Height() != 0 || tree.Len() != 0 {
+		t.Errorf("empty tree shape wrong")
+	}
+}
+
+func TestBuildRejectsMixedDims(t *testing.T) {
+	s, _ := points.NewSet([]points.Vector{{1, 2}, {1}}, nil, points.L2, 1)
+	if _, err := Build(s); err == nil {
+		t.Errorf("mixed dimensions must be rejected")
+	}
+	s2, _ := points.NewSet([]points.Vector{{}}, nil, points.L2, 1)
+	if _, err := Build(s2); err == nil {
+		t.Errorf("zero-dimensional points must be rejected")
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 8} {
+		tree, s := buildRandom(t, uint64(dim), 300, dim)
+		rng := xrand.New(100 + uint64(dim))
+		for trial := 0; trial < 20; trial++ {
+			q := make(points.Vector, dim)
+			for j := range q {
+				q[j] = rng.Float64()
+			}
+			l := 1 + rng.IntN(20)
+			got := tree.KNN(q, l)
+			want := s.BruteKNN(q, l)
+			if len(got) != len(want) {
+				t.Fatalf("dim=%d l=%d: got %d items, want %d", dim, l, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Key != want[i].Key {
+					t.Fatalf("dim=%d l=%d rank %d: got %v, want %v",
+						dim, l, i, got[i].Key, want[i].Key)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNWithLLargerThanN(t *testing.T) {
+	tree, s := buildRandom(t, 7, 10, 2)
+	got := tree.KNN(points.Vector{0.5, 0.5}, 50)
+	if len(got) != 10 {
+		t.Fatalf("l>n must return all %d points, got %d", s.Len(), len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Key.Less(got[i-1].Key) {
+			t.Fatalf("results not sorted at %d", i)
+		}
+	}
+}
+
+func TestKNNInvalidL(t *testing.T) {
+	tree, _ := buildRandom(t, 8, 10, 2)
+	if got := tree.KNN(points.Vector{0.5, 0.5}, 0); got != nil {
+		t.Errorf("l=0 must return nil")
+	}
+}
+
+func TestKNNDuplicatePoints(t *testing.T) {
+	pts := []points.Vector{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	s, _ := points.NewSet(pts, []float64{1, 2, 3, 4}, points.L2, 1)
+	tree, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tree.KNN(points.Vector{1, 1}, 3)
+	if len(got) != 3 {
+		t.Fatalf("got %d items", len(got))
+	}
+	// All three duplicates at distance 0, ordered by ID.
+	for i, item := range got {
+		if item.Key.Dist != 0 || item.Key.ID != uint64(i+1) {
+			t.Errorf("rank %d: %v", i, item.Key)
+		}
+	}
+}
+
+func TestCountWithinMatchesBrute(t *testing.T) {
+	tree, s := buildRandom(t, 9, 500, 3)
+	rng := xrand.New(200)
+	for trial := 0; trial < 20; trial++ {
+		q := points.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+		r2 := rng.Float64() * 0.5
+		want := 0
+		for _, p := range s.Pts {
+			var d2 float64
+			for j := range p {
+				d := p[j] - q[j]
+				d2 += d * d
+			}
+			if d2 <= r2 {
+				want++
+			}
+		}
+		if got := tree.CountWithin(q, r2); got != want {
+			t.Fatalf("CountWithin(r2=%g) = %d, want %d", r2, got, want)
+		}
+	}
+}
+
+func TestTreeBalanced(t *testing.T) {
+	tree, _ := buildRandom(t, 10, 1023, 2)
+	if h := tree.Height(); h > MaxHeightFor(1023) {
+		t.Errorf("height %d exceeds balanced bound %d", h, MaxHeightFor(1023))
+	}
+}
+
+func TestKNNKeysMatchL2Encoding(t *testing.T) {
+	// The tree's keys must be bit-identical to points.L2 keys so distributed
+	// protocols can mix tree-computed and scan-computed items.
+	tree, s := buildRandom(t, 11, 100, 2)
+	q := points.Vector{0.3, 0.7}
+	got := tree.KNN(q, 5)
+	for _, item := range got {
+		// find the point by ID
+		for i, id := range s.IDs {
+			if id == item.Key.ID {
+				if want := points.L2(s.Pts[i], q); want != item.Key.Dist {
+					t.Fatalf("key dist %d != L2 encoding %d", item.Key.Dist, want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkKDTreeKNN(b *testing.B) {
+	rng := xrand.New(1)
+	s := points.GenUniformVectors(rng, 1<<16, 3)
+	tree, err := Build(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := points.Vector{0.5, 0.5, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.KNN(q, 64)
+	}
+}
+
+func BenchmarkBruteKNNBaseline(b *testing.B) {
+	rng := xrand.New(1)
+	s := points.GenUniformVectors(rng, 1<<16, 3)
+	q := points.Vector{0.5, 0.5, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BruteKNN(q, 64)
+	}
+}

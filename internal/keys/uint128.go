@@ -1,0 +1,36 @@
+package keys
+
+import "math/bits"
+
+// A Key is also a 128-bit unsigned integer (Dist in the high word, ID in the
+// low word); the lexicographic order on keys is exactly the integer order.
+// The helpers below give the binary-search selection baseline the arithmetic
+// it needs to bisect the key space.
+
+// Midpoint returns lo + (hi−lo)/2 in 128-bit arithmetic. It requires
+// lo ≤ hi; the result m satisfies lo ≤ m < hi whenever lo < hi.
+func Midpoint(lo, hi Key) Key {
+	if hi.Less(lo) {
+		panic("keys: Midpoint with hi < lo")
+	}
+	// diff = hi − lo
+	dLo, borrow := bits.Sub64(hi.ID, lo.ID, 0)
+	dHi, _ := bits.Sub64(hi.Dist, lo.Dist, borrow)
+	// half = diff >> 1
+	hLo := dLo>>1 | dHi<<63
+	hHi := dHi >> 1
+	// m = lo + half
+	mLo, carry := bits.Add64(lo.ID, hLo, 0)
+	mHi, _ := bits.Add64(lo.Dist, hHi, carry)
+	return Key{Dist: mHi, ID: mLo}
+}
+
+// Inc returns k + 1 in 128-bit arithmetic, saturating at MaxKey.
+func Inc(k Key) Key {
+	if k == MaxKey {
+		return MaxKey
+	}
+	lo, carry := bits.Add64(k.ID, 1, 0)
+	hi, _ := bits.Add64(k.Dist, 0, carry)
+	return Key{Dist: hi, ID: lo}
+}

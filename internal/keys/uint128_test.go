@@ -1,0 +1,85 @@
+package keys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMidpointBasic(t *testing.T) {
+	cases := []struct {
+		lo, hi, want Key
+	}{
+		{Key{0, 0}, Key{0, 10}, Key{0, 5}},
+		{Key{0, 0}, Key{0, 1}, Key{0, 0}},
+		{Key{5, 5}, Key{5, 5}, Key{5, 5}},
+		// Crossing the 64-bit boundary: (0, 2^64−1) .. (1, 1): diff = 2,
+		// half = 1, mid = (1, 0).
+		{Key{0, math.MaxUint64}, Key{1, 1}, Key{1, 0}},
+		{MinKey, MaxKey, Key{math.MaxUint64 >> 1, math.MaxUint64}},
+	}
+	for _, c := range cases {
+		if got := Midpoint(c.lo, c.hi); got != c.want {
+			t.Errorf("Midpoint(%v,%v) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestMidpointPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Midpoint(hi<lo) must panic")
+		}
+	}()
+	Midpoint(Key{1, 0}, Key{0, 0})
+}
+
+// Property: lo ≤ mid < hi for lo < hi, which is what binary search needs to
+// make progress.
+func TestMidpointBounds(t *testing.T) {
+	prop := func(a, b Key) bool {
+		lo, hi := a, b
+		if hi.Less(lo) {
+			lo, hi = hi, lo
+		}
+		if lo == hi {
+			return Midpoint(lo, hi) == lo
+		}
+		m := Midpoint(lo, hi)
+		return lo.LessEq(m) && m.Less(hi)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("midpoint bounds violated: %v", err)
+	}
+}
+
+func TestInc(t *testing.T) {
+	if got := Inc(Key{0, 5}); got != (Key{0, 6}) {
+		t.Errorf("Inc = %v", got)
+	}
+	if got := Inc(Key{0, math.MaxUint64}); got != (Key{1, 0}) {
+		t.Errorf("Inc carry = %v", got)
+	}
+	if got := Inc(MaxKey); got != MaxKey {
+		t.Errorf("Inc must saturate at MaxKey, got %v", got)
+	}
+}
+
+// Property: Inc produces the immediate successor (nothing sits strictly
+// between k and Inc(k)).
+func TestIncSuccessor(t *testing.T) {
+	prop := func(k, x Key) bool {
+		n := Inc(k)
+		if k == MaxKey {
+			return n == MaxKey
+		}
+		if !k.Less(n) {
+			return false
+		}
+		// No x with k < x < n.
+		return !(k.Less(x) && x.Less(n))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("Inc successor property violated: %v", err)
+	}
+}

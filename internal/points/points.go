@@ -1,0 +1,211 @@
+// Package points holds the data-plane of the reproduction: typed point sets,
+// distance metrics, workload generators and partitioners.
+//
+// The distributed algorithms never move points across machines — they move
+// (distance, ID) keys (see Section 2 of the paper: "one need not actually
+// transfer points, but only distances"). This package is therefore the only
+// place that knows what a point is. Given a query, a Set lowers its typed
+// points into Items (key + label), and everything above this layer is
+// comparison-based and point-type agnostic.
+package points
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+
+	"distknn/internal/keys"
+	"distknn/internal/pq"
+)
+
+// Item is the per-point value the distributed layer operates on: the total
+// order key (encoded distance + unique point ID) and the point's label, which
+// is needed once winners are aggregated into a classification or regression
+// answer. An Item is what a machine conceptually "holds" about one of its
+// points during a query.
+type Item struct {
+	Key   keys.Key
+	Label float64
+}
+
+// Metric computes the encoded distance between two points of type P. The
+// returned uint64 must order identically to the true distance (use
+// keys.EncodeFloat / keys.EncodeUint).
+type Metric[P any] func(a, b P) uint64
+
+// Set is one machine's (or the whole instance's) collection of labeled
+// points together with the metric that compares them.
+type Set[P any] struct {
+	Pts    []P
+	IDs    []uint64
+	Labels []float64
+	Metric Metric[P]
+}
+
+// NewSet builds a Set with sequential unique IDs starting at firstID.
+// Labels may be nil, in which case all labels are zero.
+func NewSet[P any](pts []P, labels []float64, metric Metric[P], firstID uint64) (*Set[P], error) {
+	if metric == nil {
+		return nil, fmt.Errorf("points: nil metric")
+	}
+	if labels != nil && len(labels) != len(pts) {
+		return nil, fmt.Errorf("points: %d labels for %d points", len(labels), len(pts))
+	}
+	ids := make([]uint64, len(pts))
+	for i := range ids {
+		ids[i] = firstID + uint64(i)
+	}
+	if labels == nil {
+		labels = make([]float64, len(pts))
+	}
+	return &Set[P]{Pts: pts, IDs: ids, Labels: labels, Metric: metric}, nil
+}
+
+// Len returns the number of points in the set.
+func (s *Set[P]) Len() int { return len(s.Pts) }
+
+// Item lowers point i into its Item for query q.
+func (s *Set[P]) Item(i int, q P) Item {
+	return Item{
+		Key:   keys.Key{Dist: s.Metric(s.Pts[i], q), ID: s.IDs[i]},
+		Label: s.Labels[i],
+	}
+}
+
+// Items lowers the whole set for query q. The result is not sorted.
+func (s *Set[P]) Items(q P) []Item {
+	out := make([]Item, s.Len())
+	for i := range out {
+		out[i] = s.Item(i, q)
+	}
+	return out
+}
+
+// AssignRandomIDs replaces the set's IDs with random values in [1, n³] where
+// n is the given global point count, reproducing the paper's ID scheme. IDs
+// are unique with high probability; the caller may check CollidingIDs if it
+// needs certainty. Deterministic given rng.
+func (s *Set[P]) AssignRandomIDs(rng *rand.Rand, globalN uint64) {
+	hi := globalN * globalN * globalN
+	if hi < 1 || globalN > 1<<21 { // n³ overflows beyond 2^21.3; saturate.
+		hi = math.MaxUint64
+	}
+	for i := range s.IDs {
+		s.IDs[i] = 1 + rng.Uint64N(hi)
+	}
+}
+
+// CollidingIDs reports whether any two points across the given sets share an
+// ID. It is the verification counterpart of AssignRandomIDs.
+func CollidingIDs[P any](sets ...*Set[P]) bool {
+	seen := make(map[uint64]bool)
+	for _, s := range sets {
+		for _, id := range s.IDs {
+			if seen[id] {
+				return true
+			}
+			seen[id] = true
+		}
+	}
+	return false
+}
+
+// BruteKNN returns the l items nearest to q in ascending key order by fully
+// sorting — the O(n log n) oracle used to validate every other algorithm.
+func (s *Set[P]) BruteKNN(q P, l int) []Item {
+	items := s.Items(q)
+	sort.Slice(items, func(i, j int) bool { return items[i].Key.Less(items[j].Key) })
+	if l > len(items) {
+		l = len(items)
+	}
+	return items[:l]
+}
+
+// SortItems sorts items ascending by key, in place. Shared helper for
+// leaders and tests.
+func SortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].Key.Less(items[j].Key) })
+}
+
+// ---------------------------------------------------------------------------
+// Concrete point types and metrics
+// ---------------------------------------------------------------------------
+
+// Scalar is the paper's experimental point type: an integer in [0, 2³²−1]
+// compared by absolute difference. We use the full uint64 range; the
+// generators below restrict to the paper's domain.
+type Scalar uint64
+
+// ScalarMetric is |a − b|, exact in uint64.
+func ScalarMetric(a, b Scalar) uint64 {
+	if a > b {
+		return uint64(a - b)
+	}
+	return uint64(b - a)
+}
+
+// Vector is a d-dimensional point.
+type Vector []float64
+
+// L2 returns the squared Euclidean distance, float64-encoded. Squaring is
+// order-preserving, so keys built from L2 rank identically to true Euclidean
+// distance while avoiding the sqrt.
+func L2(a, b Vector) uint64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return keys.MustEncodeFloat(sum)
+}
+
+// L1 returns the Manhattan distance, float64-encoded.
+func L1(a, b Vector) uint64 {
+	var sum float64
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return keys.MustEncodeFloat(sum)
+}
+
+// LInf returns the Chebyshev distance, float64-encoded.
+func LInf(a, b Vector) uint64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return keys.MustEncodeFloat(m)
+}
+
+// BitVector is a bit-packed point for Hamming distance (e.g. binary feature
+// sketches), 64 features per word.
+type BitVector []uint64
+
+// Hamming counts differing bits.
+func Hamming(a, b BitVector) uint64 {
+	var n uint64
+	for i := range a {
+		n += uint64(bits.OnesCount64(a[i] ^ b[i]))
+	}
+	return n
+}
+
+// TopLItems returns the l items nearest to q in ascending key order without
+// materializing all n items: a streaming bounded heap, O(l) memory and
+// O(n log l) time. This is the local preprocessing step every distributed
+// ℓ-NN algorithm starts from ("if a machine has more than ℓ points it keeps
+// the ℓ closest", Section 2.2).
+func (s *Set[P]) TopLItems(q P, l int) []Item {
+	if l < 1 {
+		return nil
+	}
+	acc := pq.New(l, func(a, b Item) bool { return a.Key.Less(b.Key) })
+	for i := range s.Pts {
+		acc.Push(s.Item(i, q))
+	}
+	return acc.Sorted()
+}

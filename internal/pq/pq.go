@@ -1,0 +1,114 @@
+// Package pq implements a bounded top-ℓ accumulator: a fixed-capacity binary
+// max-heap that retains the ℓ smallest elements it has seen.
+//
+// Every machine in the simple method — and every machine's preprocessing step
+// in Algorithm 2 ("if a machine has more than ℓ points it keeps the ℓ whose
+// distance from q is minimum") — needs exactly this structure: stream n/k
+// items through, keep the best ℓ, O(n/k · log ℓ) time, O(ℓ) space.
+package pq
+
+// TopL keeps the l smallest elements of a stream under the provided strict
+// ordering. The zero value is not usable; call New.
+type TopL[T any] struct {
+	less  func(a, b T) bool
+	limit int
+	heap  []T // max-heap on less: root is the largest retained element
+}
+
+// New returns an accumulator for the l smallest elements. l must be >= 1 and
+// less must be a strict weak ordering.
+func New[T any](l int, less func(a, b T) bool) *TopL[T] {
+	if l < 1 {
+		panic("pq: capacity must be >= 1")
+	}
+	if less == nil {
+		panic("pq: nil ordering")
+	}
+	return &TopL[T]{less: less, limit: l, heap: make([]T, 0, l)}
+}
+
+// Len returns the number of retained elements (≤ the capacity).
+func (t *TopL[T]) Len() int { return len(t.heap) }
+
+// Cap returns the configured ℓ.
+func (t *TopL[T]) Cap() int { return t.limit }
+
+// Push offers x to the accumulator. It reports whether x was retained
+// (possibly evicting the current maximum).
+func (t *TopL[T]) Push(x T) bool {
+	if len(t.heap) < t.limit {
+		t.heap = append(t.heap, x)
+		t.up(len(t.heap) - 1)
+		return true
+	}
+	// Full: x replaces the root only if it is strictly smaller.
+	if !t.less(x, t.heap[0]) {
+		return false
+	}
+	t.heap[0] = x
+	t.down(0)
+	return true
+}
+
+// Max returns the largest retained element (the current cutoff). It panics
+// on an empty accumulator.
+func (t *TopL[T]) Max() T {
+	if len(t.heap) == 0 {
+		panic("pq: Max of empty TopL")
+	}
+	return t.heap[0]
+}
+
+// Full reports whether the accumulator holds ℓ elements, i.e. whether Max is
+// a meaningful pruning threshold.
+func (t *TopL[T]) Full() bool { return len(t.heap) == t.limit }
+
+// Items returns the retained elements in unspecified order. The returned
+// slice aliases the accumulator; callers that keep it must not Push again.
+func (t *TopL[T]) Items() []T { return t.heap }
+
+// Sorted extracts the retained elements in ascending order, emptying the
+// accumulator. O(ℓ log ℓ).
+func (t *TopL[T]) Sorted() []T {
+	out := make([]T, len(t.heap))
+	for i := len(t.heap) - 1; i >= 0; i-- {
+		out[i] = t.heap[0]
+		last := len(t.heap) - 1
+		t.heap[0] = t.heap[last]
+		t.heap = t.heap[:last]
+		if last > 0 {
+			t.down(0)
+		}
+	}
+	return out
+}
+
+func (t *TopL[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.less(t.heap[parent], t.heap[i]) {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopL[T]) down(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.less(t.heap[largest], t.heap[l]) {
+			largest = l
+		}
+		if r < n && t.less(t.heap[largest], t.heap[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}

@@ -1,0 +1,164 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"distknn/internal/xrand"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestTopLKeepsSmallest(t *testing.T) {
+	acc := New(3, intLess)
+	for _, v := range []int{9, 1, 8, 2, 7, 3} {
+		acc.Push(v)
+	}
+	got := acc.Sorted()
+	want := []int{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("Sorted len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopLUnderfilled(t *testing.T) {
+	acc := New(10, intLess)
+	acc.Push(5)
+	acc.Push(1)
+	if acc.Full() {
+		t.Errorf("2 of 10 elements must not be Full")
+	}
+	if acc.Len() != 2 || acc.Cap() != 10 {
+		t.Errorf("Len/Cap wrong: %d/%d", acc.Len(), acc.Cap())
+	}
+	if acc.Max() != 5 {
+		t.Errorf("Max = %d, want 5", acc.Max())
+	}
+	got := acc.Sorted()
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("Sorted = %v", got)
+	}
+}
+
+func TestTopLPushReturnValue(t *testing.T) {
+	acc := New(2, intLess)
+	if !acc.Push(5) || !acc.Push(3) {
+		t.Fatalf("pushes into non-full accumulator must be retained")
+	}
+	if acc.Push(7) {
+		t.Errorf("7 must be rejected when {3,5} retained")
+	}
+	if acc.Push(5) {
+		t.Errorf("equal-to-max must be rejected (strict ordering)")
+	}
+	if !acc.Push(1) {
+		t.Errorf("1 must evict 5")
+	}
+	got := acc.Sorted()
+	if got[0] != 1 || got[1] != 3 {
+		t.Errorf("final contents %v, want [1 3]", got)
+	}
+}
+
+func TestTopLMaxPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Max on empty must panic")
+		}
+	}()
+	New(1, intLess).Max()
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New[int](0, intLess) },
+		func() { New[int](3, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for random streams, TopL agrees exactly with sort-and-truncate.
+func TestTopLAgainstSortOracle(t *testing.T) {
+	prop := func(vals []int, rawL uint8) bool {
+		l := int(rawL%32) + 1
+		acc := New(l, intLess)
+		for _, v := range vals {
+			acc.Push(v)
+		}
+		got := acc.Sorted()
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		if l > len(want) {
+			l = len(want)
+		}
+		want = want[:l]
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("TopL disagrees with sort oracle: %v", err)
+	}
+}
+
+func TestTopLLargeRandom(t *testing.T) {
+	rng := xrand.New(42)
+	acc := New(100, intLess)
+	all := make([]int, 10000)
+	for i := range all {
+		all[i] = rng.IntN(1 << 30)
+		acc.Push(all[i])
+	}
+	sort.Ints(all)
+	got := acc.Sorted()
+	for i := 0; i < 100; i++ {
+		if got[i] != all[i] {
+			t.Fatalf("rank %d: got %d, want %d", i, got[i], all[i])
+		}
+	}
+}
+
+func TestTopLItemsAliases(t *testing.T) {
+	acc := New(3, intLess)
+	acc.Push(2)
+	acc.Push(1)
+	items := acc.Items()
+	if len(items) != 2 {
+		t.Fatalf("Items len %d", len(items))
+	}
+}
+
+func BenchmarkTopLPush(b *testing.B) {
+	rng := xrand.New(1)
+	vals := make([]int, 1<<16)
+	for i := range vals {
+		vals[i] = rng.IntN(1 << 30)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := New(256, intLess)
+		for _, v := range vals {
+			acc.Push(v)
+		}
+	}
+}

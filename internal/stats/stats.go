@@ -1,0 +1,138 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness reports with: summary statistics over repeated measurements,
+// normal-approximation confidence intervals, and a chi-square uniformity
+// statistic for the Lemma 2.1 pivot experiment.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 measurements.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	P95              float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = quantileSorted(sorted, 0.5)
+	s.P95 = quantileSorted(sorted, 0.95)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3g ± %.2g", s.Mean, s.CI95())
+}
+
+// quantileSorted interpolates quantile q in a sorted sample.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ChiSquareUniform returns the chi-square statistic of observed counts
+// against the uniform distribution over len(counts) buckets, plus the
+// degrees of freedom. Large values reject uniformity; for reference, the
+// 0.999 quantile is roughly dof + 3.1·sqrt(2·dof) for moderate dof.
+func ChiSquareUniform(counts []int) (chi2 float64, dof int) {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if len(counts) < 2 || total == 0 {
+		return 0, 0
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2, len(counts) - 1
+}
+
+// ChiSquareCritical999 approximates the 99.9% critical value for the given
+// degrees of freedom (Wilson–Hilferty). Observations above it are flagged as
+// non-uniform by the harness.
+func ChiSquareCritical999(dof int) float64 {
+	if dof < 1 {
+		return 0
+	}
+	d := float64(dof)
+	z := 3.09 // 99.9% standard normal quantile
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// Ratio returns a/b, guarding against division by zero (returns +Inf for
+// positive a, 0 otherwise).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return a / b
+}
+
+// GeoMean returns the geometric mean of positive samples; zero or negative
+// entries are skipped.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"distknn/internal/xrand"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %g", s.Std)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.Std != 0 || s.CI95() != 0 {
+		t.Errorf("singleton summary: %+v", s)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := xrand.New(1)
+	small := make([]float64, 10)
+	big := make([]float64, 1000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range big {
+		big[i] = rng.NormFloat64()
+	}
+	if Summarize(big).CI95() >= Summarize(small).CI95() {
+		t.Errorf("CI must shrink with sample size")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.Median != 50 {
+		t.Errorf("median = %g", s.Median)
+	}
+	if s.P95 != 95 {
+		t.Errorf("p95 = %g", s.P95)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	uniform := []int{100, 100, 100, 100}
+	chi2, dof := ChiSquareUniform(uniform)
+	if chi2 != 0 || dof != 3 {
+		t.Errorf("uniform counts: chi2=%g dof=%d", chi2, dof)
+	}
+	skewed := []int{400, 0, 0, 0}
+	chi2, _ = ChiSquareUniform(skewed)
+	if chi2 <= ChiSquareCritical999(3) {
+		t.Errorf("fully skewed counts must exceed the critical value: %g", chi2)
+	}
+	if c, d := ChiSquareUniform(nil); c != 0 || d != 0 {
+		t.Errorf("nil counts: %g %d", c, d)
+	}
+}
+
+func TestChiSquareDetectsRealUniform(t *testing.T) {
+	rng := xrand.New(3)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[rng.IntN(10)]++
+	}
+	chi2, dof := ChiSquareUniform(counts)
+	if chi2 > ChiSquareCritical999(dof) {
+		t.Errorf("true uniform sample flagged: chi2=%g > crit=%g", chi2, ChiSquareCritical999(dof))
+	}
+}
+
+func TestChiSquareCriticalMonotone(t *testing.T) {
+	prev := 0.0
+	for dof := 1; dof < 50; dof++ {
+		c := ChiSquareCritical999(dof)
+		if c <= prev {
+			t.Fatalf("critical value not increasing at dof=%d", dof)
+		}
+		prev = c
+	}
+	// Sanity anchor: chi2(0.999, 10) ≈ 29.6.
+	if c := ChiSquareCritical999(10); math.Abs(c-29.6) > 1.5 {
+		t.Errorf("critical(10) = %g, want ≈ 29.6", c)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Errorf("Ratio(6,3)")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Errorf("Ratio(1,0) must be +Inf")
+	}
+	if Ratio(0, 0) != 0 {
+		t.Errorf("Ratio(0,0) must be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Errorf("GeoMean = %g, want 10", g)
+	}
+	if g := GeoMean([]float64{2, 0, -5, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("GeoMean skipping nonpositive = %g, want 4", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Errorf("empty GeoMean must be 0")
+	}
+}

@@ -1,0 +1,173 @@
+// Package trace records a machine's protocol activity round by round. A
+// Log-wrapping Env is transparent to the protocol running over it, so any
+// algorithm in this repository can be traced on either runtime without
+// modification — useful when debugging a new protocol against the paper's
+// round accounting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+
+	"distknn/internal/kmachine"
+)
+
+// Kind labels one traced event.
+type Kind int
+
+const (
+	// EventSend records an outgoing message.
+	EventSend Kind = iota
+	// EventRecv records a delivered message.
+	EventRecv
+	// EventRound records a round boundary.
+	EventRound
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case EventSend:
+		return "send"
+	case EventRecv:
+		return "recv"
+	case EventRound:
+		return "round"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one protocol action.
+type Event struct {
+	Round int
+	Kind  Kind
+	Peer  int // counterpart machine for send/recv; -1 for round events
+	Bytes int // payload size for send/recv
+}
+
+// Log accumulates events; safe for concurrent appends so one Log can serve
+// a whole simulated cluster.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Events returns a snapshot of the recorded events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+func (l *Log) add(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Render writes a compact textual timeline of the log.
+func (l *Log) Render(w io.Writer) {
+	for _, e := range l.Events() {
+		switch e.Kind {
+		case EventRound:
+			fmt.Fprintf(w, "-- round %d --\n", e.Round)
+		case EventSend:
+			fmt.Fprintf(w, "r%-4d send -> %d (%dB)\n", e.Round, e.Peer, e.Bytes)
+		case EventRecv:
+			fmt.Fprintf(w, "r%-4d recv <- %d (%dB)\n", e.Round, e.Peer, e.Bytes)
+		}
+	}
+}
+
+// Counts summarizes the log: sends, receives, bytes out, final round.
+func (l *Log) Counts() (sends, recvs, bytesOut, lastRound int) {
+	for _, e := range l.Events() {
+		switch e.Kind {
+		case EventSend:
+			sends++
+			bytesOut += e.Bytes
+		case EventRecv:
+			recvs++
+		}
+		if e.Round > lastRound {
+			lastRound = e.Round
+		}
+	}
+	return
+}
+
+// Env wraps an inner environment and records its traffic.
+type Env struct {
+	inner kmachine.Env
+	log   *Log
+}
+
+var _ kmachine.Env = (*Env)(nil)
+
+// Wrap returns an Env recording into log. Pass the result to any protocol
+// in place of the raw machine.
+func Wrap(inner kmachine.Env, log *Log) *Env {
+	return &Env{inner: inner, log: log}
+}
+
+// ID returns the wrapped machine's index.
+func (e *Env) ID() int { return e.inner.ID() }
+
+// K returns the cluster size.
+func (e *Env) K() int { return e.inner.K() }
+
+// GUID returns the wrapped machine's GUID.
+func (e *Env) GUID() uint64 { return e.inner.GUID() }
+
+// Rand returns the wrapped machine's random stream.
+func (e *Env) Rand() *rand.Rand { return e.inner.Rand() }
+
+// Round returns the current round.
+func (e *Env) Round() int { return e.inner.Round() }
+
+// Send records and forwards an outgoing message.
+func (e *Env) Send(to int, payload []byte) {
+	e.log.add(Event{Round: e.inner.Round(), Kind: EventSend, Peer: to, Bytes: len(payload)})
+	e.inner.Send(to, payload)
+}
+
+// Broadcast records and forwards a broadcast (one send event per peer).
+func (e *Env) Broadcast(payload []byte) {
+	for to := 0; to < e.K(); to++ {
+		if to != e.ID() {
+			e.Send(to, payload)
+		}
+	}
+}
+
+// Recv records and returns this round's deliveries.
+func (e *Env) Recv() []kmachine.Message {
+	msgs := e.inner.Recv()
+	for _, m := range msgs {
+		e.log.add(Event{Round: e.inner.Round(), Kind: EventRecv, Peer: m.From, Bytes: len(m.Payload)})
+	}
+	return msgs
+}
+
+// EndRound records the round boundary and advances.
+func (e *Env) EndRound() {
+	e.inner.EndRound()
+	e.log.add(Event{Round: e.inner.Round(), Kind: EventRound, Peer: -1})
+}
+
+// Gather mirrors kmachine's helper through the tracing wrapper so receives
+// are recorded.
+func (e *Env) Gather(n int) []kmachine.Message {
+	got := e.Recv()
+	for len(got) < n {
+		e.EndRound()
+		got = append(got, e.Recv()...)
+	}
+	return got
+}
+
+// WaitAny advances rounds until a message arrives.
+func (e *Env) WaitAny() []kmachine.Message { return e.Gather(1) }

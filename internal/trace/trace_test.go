@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"distknn/internal/dsel"
+	"distknn/internal/keys"
+	"distknn/internal/kmachine"
+)
+
+func TestWrapRecordsPingPong(t *testing.T) {
+	logs := make([]*Log, 2)
+	for i := range logs {
+		logs[i] = &Log{}
+	}
+	prog := func(raw kmachine.Env) error {
+		m := Wrap(raw, logs[raw.ID()])
+		if m.ID() == 0 {
+			m.Send(1, []byte("ping"))
+			m.EndRound()
+			m.WaitAny()
+			return nil
+		}
+		m.WaitAny()
+		m.Send(0, []byte("pong"))
+		return nil
+	}
+	if _, err := kmachine.Run(kmachine.Config{K: 2, Seed: 1}, prog); err != nil {
+		t.Fatal(err)
+	}
+	sends0, recvs0, bytes0, _ := logs[0].Counts()
+	if sends0 != 1 || recvs0 != 1 || bytes0 != 4 {
+		t.Errorf("machine 0 counts: sends=%d recvs=%d bytes=%d", sends0, recvs0, bytes0)
+	}
+	sends1, recvs1, _, _ := logs[1].Counts()
+	if sends1 != 1 || recvs1 != 1 {
+		t.Errorf("machine 1 counts: sends=%d recvs=%d", sends1, recvs1)
+	}
+}
+
+func TestTraceMatchesEngineMetrics(t *testing.T) {
+	// Wrap a full selection protocol: the union of per-machine send events
+	// must equal the engine's message count.
+	k := 4
+	locals := make([][]keys.Key, k)
+	for i := 0; i < 100; i++ {
+		locals[i%k] = append(locals[i%k], keys.Key{Dist: uint64(i * 37 % 101), ID: uint64(i) + 1})
+	}
+	logs := make([]*Log, k)
+	for i := range logs {
+		logs[i] = &Log{}
+	}
+	var mu sync.Mutex
+	var boundary keys.Key
+	prog := func(raw kmachine.Env) error {
+		m := Wrap(raw, logs[raw.ID()])
+		res, err := dsel.FindLSmallest(m, 0, locals[raw.ID()], 50, dsel.Options{})
+		if err != nil {
+			return err
+		}
+		if raw.ID() == 0 {
+			mu.Lock()
+			boundary = res.Boundary
+			mu.Unlock()
+		}
+		return nil
+	}
+	met, err := kmachine.Run(kmachine.Config{K: k, Seed: 9}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sends int
+	for _, l := range logs {
+		s, _, _, _ := l.Counts()
+		sends += s
+	}
+	if int64(sends) != met.Messages {
+		t.Errorf("traced sends %d != engine messages %d", sends, met.Messages)
+	}
+	if boundary == (keys.Key{}) {
+		t.Errorf("protocol did not complete under tracing")
+	}
+}
+
+func TestRender(t *testing.T) {
+	log := &Log{}
+	log.add(Event{Round: 0, Kind: EventSend, Peer: 2, Bytes: 10})
+	log.add(Event{Round: 1, Kind: EventRound, Peer: -1})
+	log.add(Event{Round: 1, Kind: EventRecv, Peer: 2, Bytes: 3})
+	var buf bytes.Buffer
+	log.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"send -> 2 (10B)", "-- round 1 --", "recv <- 2 (3B)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if EventSend.String() != "send" || EventRecv.String() != "recv" || EventRound.String() != "round" {
+		t.Errorf("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Errorf("unknown kind must render")
+	}
+}

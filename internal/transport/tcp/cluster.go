@@ -1,0 +1,252 @@
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"distknn/internal/kmachine"
+	"distknn/internal/wire"
+)
+
+// Rendezvous message kinds.
+const (
+	ctlRegister = iota + 1 // node → coordinator: my mesh listen address
+	ctlAssign              // coordinator → node: id, k, seed, address book
+)
+
+// Coordinator performs rendezvous for a k-node cluster: nodes register their
+// mesh listen addresses, the coordinator assigns machine indices in
+// registration order and sends every node the full address book. It carries
+// no protocol traffic.
+type Coordinator struct {
+	ln   net.Listener
+	k    int
+	seed uint64
+}
+
+// NewCoordinator starts the rendezvous listener on addr (e.g.
+// "127.0.0.1:0").
+func NewCoordinator(addr string, k int, seed uint64) (*Coordinator, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("tcp: coordinator needs k >= 1, got %d", k)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: coordinator listen: %w", err)
+	}
+	return &Coordinator{ln: ln, k: k, seed: seed}, nil
+}
+
+// Addr returns the coordinator's dialable address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close releases the listener (safe after Wait).
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+// Wait accepts the k registrations and distributes assignments; it returns
+// when every node has been configured.
+func (c *Coordinator) Wait() error {
+	conns := make([]net.Conn, 0, c.k)
+	addrs := make([]string, 0, c.k)
+	defer func() {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}()
+	for len(conns) < c.k {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("tcp: coordinator accept: %w", err)
+		}
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("tcp: coordinator read register: %w", err)
+		}
+		r := wire.NewReader(payload)
+		if kind := r.U8(); kind != ctlRegister {
+			conn.Close()
+			return fmt.Errorf("tcp: expected register, got kind %d", kind)
+		}
+		addr := r.String()
+		if err := r.Err(); err != nil {
+			conn.Close()
+			return fmt.Errorf("tcp: bad register: %w", err)
+		}
+		conns = append(conns, conn)
+		addrs = append(addrs, addr)
+	}
+	for id, conn := range conns {
+		var w wire.Writer
+		w.U8(ctlAssign)
+		w.Varint(uint64(id))
+		w.Varint(uint64(c.k))
+		w.U64(c.seed)
+		for _, a := range addrs {
+			w.String(a)
+		}
+		if err := wire.WriteFrame(conn, w.Bytes()); err != nil {
+			return fmt.Errorf("tcp: coordinator assign to %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// RunNode joins the cluster at the coordinator's address and executes prog
+// as one machine. It returns the node's local metrics when the program
+// completes. meshAddr is the address to listen on for peer connections
+// ("127.0.0.1:0" picks a free port).
+func RunNode(coordAddr, meshAddr string, prog kmachine.Program) (Metrics, error) {
+	ln, err := net.Listen("tcp", meshAddr)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("tcp: node mesh listen: %w", err)
+	}
+	defer ln.Close()
+
+	coord, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("tcp: dial coordinator: %w", err)
+	}
+	defer coord.Close()
+	var reg wire.Writer
+	reg.U8(ctlRegister)
+	reg.String(ln.Addr().String())
+	if err := wire.WriteFrame(coord, reg.Bytes()); err != nil {
+		return Metrics{}, fmt.Errorf("tcp: register: %w", err)
+	}
+	payload, err := wire.ReadFrame(coord)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("tcp: read assignment: %w", err)
+	}
+	r := wire.NewReader(payload)
+	if kind := r.U8(); kind != ctlAssign {
+		return Metrics{}, fmt.Errorf("tcp: expected assignment, got kind %d", kind)
+	}
+	id := int(r.Varint())
+	k := int(r.Varint())
+	seed := r.U64()
+	addrs := make([]string, k)
+	for i := range addrs {
+		addrs[i] = r.String()
+	}
+	if err := r.Err(); err != nil {
+		return Metrics{}, fmt.Errorf("tcp: bad assignment: %w", err)
+	}
+
+	conns, err := buildMesh(ln, id, k, addrs)
+	if err != nil {
+		return Metrics{}, err
+	}
+	node := newNode(id, k, seed, conns)
+	return node.runProgram(prog)
+}
+
+// buildMesh establishes the k−1 peer connections: this node dials every
+// lower id (announcing its own id) and accepts one connection from every
+// higher id.
+func buildMesh(ln net.Listener, id, k int, addrs []string) ([]net.Conn, error) {
+	conns := make([]net.Conn, k)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, k)
+
+	for j := 0; j < id; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addrs[j])
+			if err != nil {
+				errs <- fmt.Errorf("tcp: node %d dial peer %d: %w", id, j, err)
+				return
+			}
+			var w wire.Writer
+			w.Varint(uint64(id))
+			if err := wire.WriteFrame(conn, w.Bytes()); err != nil {
+				conn.Close()
+				errs <- fmt.Errorf("tcp: node %d hello to %d: %w", id, j, err)
+				return
+			}
+			mu.Lock()
+			conns[j] = conn
+			mu.Unlock()
+		}(j)
+	}
+	for have := 0; have < k-1-id; have++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("tcp: node %d accept: %w", id, err)
+		}
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("tcp: node %d read hello: %w", id, err)
+		}
+		r := wire.NewReader(payload)
+		peerID := int(r.Varint())
+		if r.Err() != nil || peerID <= id || peerID >= k {
+			conn.Close()
+			return nil, fmt.Errorf("tcp: node %d got invalid hello id %d", id, peerID)
+		}
+		mu.Lock()
+		dup := conns[peerID] != nil
+		if !dup {
+			conns[peerID] = conn
+		}
+		mu.Unlock()
+		if dup {
+			conn.Close()
+			return nil, fmt.Errorf("tcp: duplicate hello from %d", peerID)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	return conns, nil
+}
+
+// RunLocal runs a whole cluster in-process over loopback TCP — one goroutine
+// per node plus the coordinator — and returns each node's metrics and error.
+// It is the single-binary way to exercise the real-socket path (tests,
+// examples, cmd/knnnode -local).
+//
+// Machine indices are assigned by the coordinator in registration order, so
+// the same program runs on every node and must select its behaviour and data
+// through m.ID() — exactly like a real deployment, where each process
+// discovers its identity at join time. The returned slices are indexed by
+// machine id.
+func RunLocal(k int, seed uint64, prog kmachine.Program) ([]Metrics, []error, error) {
+	coord, err := NewCoordinator("127.0.0.1:0", k, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer coord.Close()
+	coordErr := make(chan error, 1)
+	go func() { coordErr <- coord.Wait() }()
+
+	metrics := make([]Metrics, k)
+	errs := make([]error, k)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var id int
+			met, err := RunNode(coord.Addr(), "127.0.0.1:0", func(m kmachine.Env) error {
+				id = m.ID()
+				return prog(m)
+			})
+			mu.Lock()
+			metrics[id], errs[id] = met, err
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if err := <-coordErr; err != nil {
+		return metrics, errs, err
+	}
+	return metrics, errs, nil
+}

@@ -1,0 +1,320 @@
+// Package tcp runs k-machine programs over real TCP sockets: one process (or
+// goroutine) per machine, a full connection mesh between them, and a
+// coordinator that only performs rendezvous (ID assignment and address
+// exchange) — data never flows through it.
+//
+// The synchronous-round semantics match the in-process simulator exactly:
+// messages sent in round r are delivered at the start of round r+1. Rounds
+// are implemented BSP-style — at the end of each round every node sends
+// exactly one frame (possibly empty) to every live peer and waits for one
+// frame from each, so no global barrier service is needed. Bandwidth is that
+// of the real network (the simulator's B-bits-per-round accounting has no
+// TCP analogue), so round counts match a simulator run with unlimited
+// bandwidth, and with the same seed the two runtimes execute bit-identical
+// protocol decisions.
+//
+// A node that finishes marks its final frame with a halt flag; peers stop
+// expecting frames from it. A node that fails broadcasts an error flag,
+// which aborts every peer's run.
+package tcp
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sort"
+	"sync"
+
+	"distknn/internal/kmachine"
+	"distknn/internal/wire"
+	"distknn/internal/xrand"
+)
+
+// Frame flags.
+const (
+	flagData = iota
+	flagHalt
+	flagErr
+)
+
+// Metrics counts a node's local view of the run.
+type Metrics struct {
+	Rounds   int
+	Messages int64 // protocol messages sent (not frames)
+	Bytes    int64 // payload bytes sent
+}
+
+var errRemote = fmt.Errorf("tcp: aborted by remote failure")
+
+// frame is one per-round unit from one peer.
+type frame struct {
+	flag  byte
+	round uint64
+	msgs  [][]byte
+	err   error // reader-side injection for broken connections
+}
+
+// peer is one mesh connection plus its reader goroutine's output.
+type peer struct {
+	conn   net.Conn
+	frames chan frame
+	halted bool
+}
+
+// Node implements kmachine.Env over the mesh.
+type Node struct {
+	id, k int
+	guid  uint64
+	rng   *rand.Rand
+	seed  uint64
+
+	round   int
+	inbox   []kmachine.Message
+	outbox  [][][]byte // per-peer payloads queued this round
+	peers   []*peer    // indexed by machine id; self entry nil
+	metrics Metrics
+}
+
+var _ kmachine.Env = (*Node)(nil)
+
+// ID returns the node's machine index.
+func (n *Node) ID() int { return n.id }
+
+// K returns the cluster size.
+func (n *Node) K() int { return n.k }
+
+// GUID returns the node's unique identifier, derived from the cluster seed
+// exactly as the simulator derives it.
+func (n *Node) GUID() uint64 { return n.guid }
+
+// Rand returns the node's private random stream (simulator-identical).
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Round returns the current round.
+func (n *Node) Round() int { return n.round }
+
+// Send queues payload for machine `to` next round.
+func (n *Node) Send(to int, payload []byte) {
+	if to < 0 || to >= n.k {
+		panic(fmt.Sprintf("tcp: node %d sending to out-of-range %d", n.id, to))
+	}
+	if to == n.id {
+		panic(fmt.Sprintf("tcp: node %d sending to itself", n.id))
+	}
+	n.outbox[to] = append(n.outbox[to], payload)
+	n.metrics.Messages++
+	n.metrics.Bytes += int64(len(payload) + kmachine.MessageOverheadBytes)
+}
+
+// Broadcast sends payload to every other machine.
+func (n *Node) Broadcast(payload []byte) {
+	for to := 0; to < n.k; to++ {
+		if to != n.id {
+			n.Send(to, payload)
+		}
+	}
+}
+
+// Recv takes this round's inbox.
+func (n *Node) Recv() []kmachine.Message {
+	in := n.inbox
+	n.inbox = nil
+	return in
+}
+
+// Gather advances rounds until n messages have been received.
+func (n *Node) Gather(want int) []kmachine.Message {
+	got := n.Recv()
+	for len(got) < want {
+		n.EndRound()
+		got = append(got, n.Recv()...)
+	}
+	return got
+}
+
+// WaitAny advances rounds until at least one message arrives.
+func (n *Node) WaitAny() []kmachine.Message { return n.Gather(1) }
+
+// EndRound exchanges one frame with every live peer and advances the round.
+func (n *Node) EndRound() {
+	n.exchange(flagData)
+	n.round++
+	n.metrics.Rounds = n.round
+}
+
+// exchange writes this round's frames (with the given flag) to all live
+// peers concurrently, then reads one frame from each live peer, building the
+// next round's inbox.
+func (n *Node) exchange(flag byte) {
+	var wg sync.WaitGroup
+	writeErrs := make([]error, n.k)
+	for j := 0; j < n.k; j++ {
+		if j == n.id || n.peers[j] == nil || n.peers[j].halted {
+			continue
+		}
+		out := n.outbox[j]
+		n.outbox[j] = nil
+		wg.Add(1)
+		go func(j int, out [][]byte) {
+			defer wg.Done()
+			writeErrs[j] = writeFrame(n.peers[j].conn, flag, uint64(n.round), out)
+		}(j, out)
+	}
+	// Read while writes drain to avoid mutual kernel-buffer deadlock.
+	var next []kmachine.Message
+	var remoteErr error
+	for j := 0; j < n.k; j++ {
+		if j == n.id || n.peers[j] == nil || n.peers[j].halted {
+			continue
+		}
+		f := <-n.peers[j].frames
+		if f.err != nil {
+			remoteErr = fmt.Errorf("tcp: node %d lost peer %d: %w", n.id, j, f.err)
+			continue
+		}
+		if f.round != uint64(n.round) {
+			remoteErr = fmt.Errorf("tcp: node %d got round %d frame from %d during round %d",
+				n.id, f.round, j, n.round)
+			continue
+		}
+		switch f.flag {
+		case flagErr:
+			remoteErr = fmt.Errorf("tcp: node %d aborted by peer %d", n.id, j)
+			continue
+		case flagHalt:
+			n.peers[j].halted = true
+		}
+		for _, payload := range f.msgs {
+			next = append(next, kmachine.Message{From: j, To: n.id, Payload: payload})
+		}
+	}
+	wg.Wait()
+	if remoteErr != nil {
+		panic(remoteErr) // recovered by runProgram
+	}
+	for j, err := range writeErrs {
+		// A write race against a peer that halted this very round (it
+		// closed its sockets after its halt frame) is benign; any other
+		// write failure is a real transport error.
+		if err != nil && !(n.peers[j] != nil && n.peers[j].halted) {
+			panic(fmt.Errorf("tcp: node %d write to %d: %w", n.id, j, err))
+		}
+	}
+	sort.SliceStable(next, func(a, b int) bool { return next[a].From < next[b].From })
+	n.inbox = next
+}
+
+// writeFrame serializes one round frame.
+func writeFrame(conn net.Conn, flag byte, round uint64, msgs [][]byte) error {
+	var w wire.Writer
+	w.U8(flag)
+	w.Varint(round)
+	w.Varint(uint64(len(msgs)))
+	for _, m := range msgs {
+		w.Varint(uint64(len(m)))
+		w.Raw(m)
+	}
+	return wire.WriteFrame(conn, w.Bytes())
+}
+
+// readFrames pumps frames from conn into out until EOF or error; errors are
+// delivered in-band so a blocked EndRound wakes up.
+func readFrames(conn net.Conn, out chan<- frame) {
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			out <- frame{err: err}
+			return
+		}
+		r := wire.NewReader(payload)
+		f := frame{flag: r.U8(), round: r.Varint()}
+		count := r.Varint()
+		for i := uint64(0); i < count; i++ {
+			size := r.Varint()
+			if r.Err() != nil || size > uint64(r.Remaining()) {
+				out <- frame{err: fmt.Errorf("tcp: corrupt frame")}
+				return
+			}
+			f.msgs = append(f.msgs, append([]byte(nil), r.Raw(int(size))...))
+		}
+		if r.Err() != nil {
+			out <- frame{err: r.Err()}
+			return
+		}
+		out <- f
+	}
+}
+
+// runProgram executes prog on a fully meshed node, translating the final
+// state into halt/error frames for the peers.
+func (n *Node) runProgram(prog kmachine.Program) (m Metrics, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("tcp: node %d panicked: %v", n.id, rec)
+			}
+			// Best effort: tell the peers we are gone.
+			for j := 0; j < n.k; j++ {
+				if j != n.id && n.peers[j] != nil && !n.peers[j].halted {
+					_ = writeFrame(n.peers[j].conn, flagErr, uint64(n.round), nil)
+				}
+			}
+		}
+		for j := 0; j < n.k; j++ {
+			if j != n.id && n.peers[j] != nil {
+				n.peers[j].conn.Close()
+			}
+		}
+		m = n.metrics
+	}()
+	if perr := prog(n); perr != nil {
+		panic(perr)
+	}
+	// Clean halt: flush pending sends with the halt flag.
+	n.exchangeHalt()
+	return n.metrics, nil
+}
+
+// exchangeHalt writes halt frames (write-only: a halted node never reads
+// again, matching the simulator's semantics).
+func (n *Node) exchangeHalt() {
+	var wg sync.WaitGroup
+	for j := 0; j < n.k; j++ {
+		if j == n.id || n.peers[j] == nil || n.peers[j].halted {
+			continue
+		}
+		out := n.outbox[j]
+		n.outbox[j] = nil
+		wg.Add(1)
+		go func(j int, out [][]byte) {
+			defer wg.Done()
+			// Ignore errors: the peer may have halted concurrently.
+			_ = writeFrame(n.peers[j].conn, flagHalt, uint64(n.round), out)
+		}(j, out)
+	}
+	wg.Wait()
+}
+
+// newNode builds the Env around an established mesh.
+func newNode(id, k int, seed uint64, conns []net.Conn) *Node {
+	n := &Node{
+		id:     id,
+		k:      k,
+		guid:   xrand.DeriveSeed(seed, uint64(id)+(1<<32)),
+		rng:    xrand.NewStream(seed, uint64(id)),
+		seed:   seed,
+		outbox: make([][][]byte, k),
+		peers:  make([]*peer, k),
+	}
+	for j, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		p := &peer{conn: conn, frames: make(chan frame, 4)}
+		go readFrames(conn, p.frames)
+		n.peers[j] = p
+	}
+	return n
+}

@@ -1,0 +1,303 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"distknn/internal/core"
+	"distknn/internal/election"
+	"distknn/internal/keys"
+	"distknn/internal/kmachine"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+// instanceFor generates machine i's dataset deterministically from (seed, i)
+// — the same scheme a multi-process deployment would use.
+func instanceFor(seed uint64, id, n int) *points.Set[points.Scalar] {
+	rng := xrand.NewStream(seed, uint64(id))
+	s := points.GenUniformScalars(rng, n, points.PaperDomain)
+	for j := range s.IDs {
+		s.IDs[j] = uint64(id)*uint64(n) + uint64(j) + 1
+	}
+	return s
+}
+
+func TestPingPongOverTCP(t *testing.T) {
+	prog := func(m kmachine.Env) error {
+		if m.ID() == 0 {
+			m.Send(1, []byte("ping"))
+			m.EndRound()
+			msgs := m.WaitAny()
+			if string(msgs[0].Payload) != "pong" {
+				return fmt.Errorf("got %q", msgs[0].Payload)
+			}
+			return nil
+		}
+		msgs := m.WaitAny()
+		if string(msgs[0].Payload) != "ping" {
+			return fmt.Errorf("got %q", msgs[0].Payload)
+		}
+		m.Send(0, []byte("pong"))
+		return nil
+	}
+	metrics, errs, err := RunLocal(2, 1, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("node %d: %v", i, e)
+		}
+	}
+	if metrics[0].Messages != 1 || metrics[1].Messages != 1 {
+		t.Errorf("metrics: %+v", metrics)
+	}
+}
+
+func TestBroadcastGatherOverTCP(t *testing.T) {
+	k := 5
+	prog := func(m kmachine.Env) error {
+		m.Broadcast([]byte{byte(m.ID())})
+		m.EndRound()
+		msgs := m.Gather(k - 1)
+		seen := make(map[int]bool)
+		for _, msg := range msgs {
+			if int(msg.Payload[0]) != msg.From {
+				return fmt.Errorf("corrupt payload from %d", msg.From)
+			}
+			seen[msg.From] = true
+		}
+		if len(seen) != k-1 {
+			return fmt.Errorf("saw %d peers", len(seen))
+		}
+		return nil
+	}
+	_, errs, err := RunLocal(k, 2, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("node %d: %v", i, e)
+		}
+	}
+}
+
+func TestStaggeredHalts(t *testing.T) {
+	// Machines halt at different rounds; later rounds must keep working
+	// between the survivors.
+	k := 4
+	prog := func(m kmachine.Env) error {
+		// Machine i spins i*3 rounds, then (if not machine 0) halts;
+		// machine 0 keeps talking to machine 3 the whole time.
+		switch m.ID() {
+		case 0:
+			for r := 0; r < 9; r++ {
+				m.Send(3, []byte{byte(r)})
+				m.EndRound()
+			}
+			return nil
+		case 3:
+			got := 0
+			for got < 9 {
+				got += len(m.WaitAny())
+			}
+			return nil
+		default:
+			for r := 0; r < m.ID()*3; r++ {
+				m.EndRound()
+			}
+			return nil
+		}
+	}
+	_, errs, err := RunLocal(k, 3, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("node %d: %v", i, e)
+		}
+	}
+}
+
+func TestErrorPropagatesAcrossCluster(t *testing.T) {
+	boom := errors.New("boom")
+	prog := func(m kmachine.Env) error {
+		if m.ID() == 1 {
+			m.EndRound()
+			return boom
+		}
+		for {
+			m.EndRound() // spins until aborted by peer 1's error frame
+		}
+	}
+	_, errs, err := RunLocal(3, 4, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[1], boom) {
+		t.Errorf("node 1 error = %v", errs[1])
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] == nil || !strings.Contains(errs[i].Error(), "abort") {
+			t.Errorf("node %d should abort, got %v", i, errs[i])
+		}
+	}
+}
+
+func TestFullKNNPipelineOverTCP(t *testing.T) {
+	// The headline integration: election + Algorithm 2 + classification
+	// over real sockets, validated against a brute-force oracle.
+	k, n, l := 4, 400, 25
+	seed := uint64(99)
+	var mu sync.Mutex
+	boundaries := make([]keys.Key, k)
+	labels := make([]float64, k)
+
+	prog := func(m kmachine.Env) error {
+		set := instanceFor(seed, m.ID(), n)
+		q := points.Scalar(xrand.NewStream(seed, 1<<40).Uint64N(points.PaperDomain))
+		leader, err := election.MinGUID(m)
+		if err != nil {
+			return err
+		}
+		res, err := core.KNN(m, core.Config{Leader: leader, L: l}, set.TopLItems(q, l))
+		if err != nil {
+			return err
+		}
+		label, err := core.Classify(m, leader, res.Winners)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		boundaries[m.ID()] = res.Boundary
+		labels[m.ID()] = label
+		mu.Unlock()
+		return nil
+	}
+	_, errs, err := RunLocal(k, seed, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("node %d: %v", i, e)
+		}
+	}
+
+	// Oracle: merge all machines' data and brute-force the query.
+	var parts []*points.Set[points.Scalar]
+	for i := 0; i < k; i++ {
+		parts = append(parts, instanceFor(seed, i, n))
+	}
+	global := points.Merge(parts)
+	q := points.Scalar(xrand.NewStream(seed, 1<<40).Uint64N(points.PaperDomain))
+	want := global.BruteKNN(q, l)
+	wantBoundary := want[l-1].Key
+	for i := 0; i < k; i++ {
+		if boundaries[i] != wantBoundary {
+			t.Errorf("node %d boundary %v, want %v", i, boundaries[i], wantBoundary)
+		}
+		if labels[i] != labels[0] {
+			t.Errorf("nodes disagree on label")
+		}
+	}
+}
+
+func TestTCPMatchesSimulator(t *testing.T) {
+	// With the same seed, the TCP runtime and the unlimited-bandwidth
+	// simulator must make bit-identical protocol decisions.
+	k, n, l := 3, 200, 10
+	seed := uint64(55)
+	q := points.Scalar(12345678)
+
+	prog := func(record func(id int, b keys.Key)) kmachine.Program {
+		return func(m kmachine.Env) error {
+			set := instanceFor(seed, m.ID(), n)
+			res, err := core.KNN(m, core.Config{Leader: 0, L: l}, set.TopLItems(q, l))
+			if err != nil {
+				return err
+			}
+			record(m.ID(), res.Boundary)
+			return nil
+		}
+	}
+
+	var mu sync.Mutex
+	tcpBounds := make([]keys.Key, k)
+	_, errs, err := RunLocal(k, seed, prog(func(id int, b keys.Key) {
+		mu.Lock()
+		tcpBounds[id] = b
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("node %d: %v", i, e)
+		}
+	}
+
+	simBounds := make([]keys.Key, k)
+	_, err = kmachine.Run(kmachine.Config{K: k, Seed: seed, BandwidthBytes: -1},
+		prog(func(id int, b keys.Key) {
+			mu.Lock()
+			simBounds[id] = b
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if tcpBounds[i] != simBounds[i] {
+			t.Errorf("node %d: tcp %v != sim %v", i, tcpBounds[i], simBounds[i])
+		}
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	_, errs, err := RunLocal(1, 7, func(m kmachine.Env) error {
+		if m.K() != 1 || m.ID() != 0 {
+			return fmt.Errorf("bad identity")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator("127.0.0.1:0", 0, 1); err == nil {
+		t.Errorf("k=0 coordinator must fail")
+	}
+}
+
+func TestNodeGUIDMatchesSimulator(t *testing.T) {
+	var tcpGUID, simGUID uint64
+	_, errs, err := RunLocal(1, 42, func(m kmachine.Env) error {
+		tcpGUID = m.GUID()
+		return nil
+	})
+	if err != nil || errs[0] != nil {
+		t.Fatal(err, errs)
+	}
+	if _, err := kmachine.Run(kmachine.Config{K: 1, Seed: 42}, func(m kmachine.Env) error {
+		simGUID = m.GUID()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tcpGUID != simGUID {
+		t.Errorf("GUIDs differ: %d vs %d", tcpGUID, simGUID)
+	}
+}

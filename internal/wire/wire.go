@@ -1,0 +1,264 @@
+// Package wire is the binary message codec shared by the in-process
+// simulator and the TCP runtime.
+//
+// Every protocol message is marshalled to bytes before it crosses a link, for
+// two reasons: the simulator's bandwidth accounting must charge the size a
+// real implementation would pay, and the TCP runtime ships the very same
+// bytes. Encoding is little-endian with unsigned LEB128 varints for counts.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"distknn/internal/keys"
+	"distknn/internal/points"
+)
+
+// ErrTruncated is reported when a reader runs out of bytes mid-value.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Writer accumulates an encoded message. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded message. The slice aliases the writer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the encoded size in bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U64 appends a fixed-width little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// Varint appends an unsigned LEB128 varint.
+func (w *Writer) Varint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// F64 appends a float64 by bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// String appends a varint-length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.Varint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Key appends a selection key (16 bytes).
+func (w *Writer) Key(k keys.Key) {
+	w.U64(k.Dist)
+	w.U64(k.ID)
+}
+
+// Item appends a key + label (24 bytes).
+func (w *Writer) Item(it points.Item) {
+	w.Key(it.Key)
+	w.F64(it.Label)
+}
+
+// Raw appends bytes verbatim (for nesting pre-encoded payloads).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Keys appends a length-prefixed key slice.
+func (w *Writer) Keys(ks []keys.Key) {
+	w.Varint(uint64(len(ks)))
+	for _, k := range ks {
+		w.Key(k)
+	}
+}
+
+// Items appends a length-prefixed item slice.
+func (w *Writer) Items(its []points.Item) {
+	w.Varint(uint64(len(its)))
+	for _, it := range its {
+		w.Item(it)
+	}
+}
+
+// Reader decodes a message produced by Writer. Errors are sticky: after the
+// first failure every read returns zero values and Err reports the cause.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps an encoded message.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+1 > len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// U64 reads a fixed-width uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Varint reads an unsigned LEB128 varint.
+func (r *Reader) Varint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Raw reads n bytes verbatim. The returned slice aliases the input buffer.
+func (r *Reader) Raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// String reads a varint-length-prefixed UTF-8 string.
+func (r *Reader) String() string {
+	n := r.Varint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(fmt.Errorf("wire: string length %d exceeds payload", n))
+		return ""
+	}
+	return string(r.Raw(int(n)))
+}
+
+// Key reads a selection key.
+func (r *Reader) Key() keys.Key {
+	return keys.Key{Dist: r.U64(), ID: r.U64()}
+}
+
+// Item reads a key + label.
+func (r *Reader) Item() points.Item {
+	return points.Item{Key: r.Key(), Label: r.F64()}
+}
+
+// Keys reads a length-prefixed key slice.
+func (r *Reader) Keys() []keys.Key {
+	n := r.Varint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()/16) {
+		r.fail(fmt.Errorf("wire: key slice length %d exceeds payload", n))
+		return nil
+	}
+	out := make([]keys.Key, n)
+	for i := range out {
+		out[i] = r.Key()
+	}
+	return out
+}
+
+// Items reads a length-prefixed item slice.
+func (r *Reader) Items() []points.Item {
+	n := r.Varint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()/24) {
+		r.fail(fmt.Errorf("wire: item slice length %d exceeds payload", n))
+		return nil
+	}
+	out := make([]points.Item, n)
+	for i := range out {
+		out[i] = r.Item()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing (TCP runtime)
+// ---------------------------------------------------------------------------
+
+// MaxFrame bounds a single frame to keep a malformed peer from forcing an
+// arbitrarily large allocation.
+const MaxFrame = 64 << 20
+
+// WriteFrame writes a length-prefixed payload to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distknn/internal/keys"
+	"distknn/internal/points"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var w Writer
+	w.U8(7)
+	w.U64(math.MaxUint64)
+	w.Varint(300)
+	w.F64(3.14)
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U64(); got != math.MaxUint64 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.Varint(); got != 300 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.F64(); got != 3.14 {
+		t.Errorf("F64 = %g", got)
+	}
+	if r.Err() != nil {
+		t.Errorf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestRoundTripKeyAndItem(t *testing.T) {
+	k := keys.Key{Dist: 123, ID: 456}
+	it := points.Item{Key: k, Label: -2.5}
+	var w Writer
+	w.Key(k)
+	w.Item(it)
+	r := NewReader(w.Bytes())
+	if got := r.Key(); got != k {
+		t.Errorf("Key = %v", got)
+	}
+	if got := r.Item(); got != it {
+		t.Errorf("Item = %+v", got)
+	}
+}
+
+func TestRoundTripSlices(t *testing.T) {
+	ks := []keys.Key{{Dist: 1, ID: 2}, {Dist: 3, ID: 4}}
+	its := []points.Item{{Key: keys.Key{Dist: 5, ID: 6}, Label: 1}}
+	var w Writer
+	w.Keys(ks)
+	w.Items(its)
+	w.Keys(nil)
+	r := NewReader(w.Bytes())
+	gotK := r.Keys()
+	gotI := r.Items()
+	gotEmpty := r.Keys()
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+	if len(gotK) != 2 || gotK[0] != ks[0] || gotK[1] != ks[1] {
+		t.Errorf("Keys = %v", gotK)
+	}
+	if len(gotI) != 1 || gotI[0] != its[0] {
+		t.Errorf("Items = %v", gotI)
+	}
+	if len(gotEmpty) != 0 {
+		t.Errorf("empty Keys = %v", gotEmpty)
+	}
+}
+
+func TestTruncatedReads(t *testing.T) {
+	var w Writer
+	w.U64(42)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64()
+		if r.Err() == nil {
+			t.Errorf("cut=%d: expected truncation error", cut)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U64() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	// Subsequent reads return zero values and keep the first error.
+	if got := r.U8(); got != 0 {
+		t.Errorf("read after error returned %d", got)
+	}
+	if r.Err() != first {
+		t.Errorf("error not sticky")
+	}
+}
+
+func TestMaliciousLengthPrefixRejected(t *testing.T) {
+	var w Writer
+	w.Varint(1 << 40) // claims 2^40 keys in an empty payload
+	r := NewReader(w.Bytes())
+	if got := r.Keys(); got != nil || r.Err() == nil {
+		t.Errorf("oversized length prefix must be rejected, got %v err %v", got, r.Err())
+	}
+	var w2 Writer
+	w2.Varint(1 << 40)
+	r2 := NewReader(w2.Bytes())
+	if got := r2.Items(); got != nil || r2.Err() == nil {
+		t.Errorf("oversized item prefix must be rejected")
+	}
+}
+
+// Property: arbitrary key/item sequences round-trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(dists, ids []uint64, labels []float64) bool {
+		n := len(dists)
+		if len(ids) < n {
+			n = len(ids)
+		}
+		if len(labels) < n {
+			n = len(labels)
+		}
+		items := make([]points.Item, n)
+		for i := 0; i < n; i++ {
+			if math.IsNaN(labels[i]) {
+				labels[i] = 0
+			}
+			items[i] = points.Item{Key: keys.Key{Dist: dists[i], ID: ids[i]}, Label: labels[i]}
+		}
+		var w Writer
+		w.Items(items)
+		r := NewReader(w.Bytes())
+		got := r.Items()
+		if r.Err() != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("round-trip property failed: %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{0xab}, 1000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); err == nil {
+		t.Errorf("oversized outgoing frame must fail")
+	}
+	// Forge a header claiming a huge frame.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Errorf("oversized incoming frame must fail")
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Errorf("truncated payload must fail")
+	}
+}

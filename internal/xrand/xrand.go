@@ -1,0 +1,98 @@
+// Package xrand provides the deterministic randomness plumbing shared by the
+// simulator and the algorithms.
+//
+// The k-machine model assumes every machine has a private source of true
+// random bits. For reproducible experiments each machine instead gets an
+// independent PCG stream whose seed is derived from a single experiment seed
+// via SplitMix64, the standard way to expand one seed into many uncorrelated
+// ones. Two machines (or two repetitions) therefore never share a stream, but
+// rerunning an experiment with the same seed replays it bit-for-bit.
+package xrand
+
+import (
+	"math/rand/v2"
+)
+
+// SplitMix64 advances the classic splitmix64 generator one step from state x
+// and returns the output. It is used only for seed derivation.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed expands (seed, stream) into a new 64-bit seed. Distinct stream
+// indices yield (with overwhelming probability) distinct, uncorrelated seeds.
+func DeriveSeed(seed uint64, stream uint64) uint64 {
+	return SplitMix64(seed ^ SplitMix64(stream))
+}
+
+// New returns a deterministic *rand.Rand for the given seed.
+func New(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, SplitMix64(seed)))
+}
+
+// NewStream returns the RNG for stream index `stream` of experiment `seed`.
+// Machine i of a simulation uses NewStream(seed, i).
+func NewStream(seed, stream uint64) *rand.Rand {
+	return New(DeriveSeed(seed, stream))
+}
+
+// WeightedChoice draws an index in [0, len(weights)) with probability
+// proportional to weights[i]. It is the primitive behind Algorithm 1's
+// "pick machine i with probability n_i / s". Zero-weight entries are never
+// chosen. It panics if all weights are zero or the slice is empty, because
+// the calling protocol guarantees at least one point remains in range.
+func WeightedChoice(rng *rand.Rand, weights []int64) int {
+	var total int64
+	for _, w := range weights {
+		if w < 0 {
+			panic("xrand: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("xrand: WeightedChoice with no positive weight")
+	}
+	x := rng.Int64N(total)
+	for i, w := range weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	// Unreachable: x < total implies a bucket was hit.
+	panic("xrand: WeightedChoice fell through")
+}
+
+// SampleWithoutReplacement returns m distinct indices drawn uniformly from
+// [0, n). If m >= n it returns all n indices. The partial Fisher–Yates runs
+// in O(m) extra space and O(m) time beyond the index map.
+func SampleWithoutReplacement(rng *rand.Rand, n, m int) []int {
+	if m >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	// Sparse Fisher–Yates: swap[i] records the value displaced into slot i.
+	swap := make(map[int]int, m)
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		j := i + rng.IntN(n-i)
+		vi, ok := swap[i]
+		if !ok {
+			vi = i
+		}
+		vj, ok := swap[j]
+		if !ok {
+			vj = j
+		}
+		out[i] = vj
+		swap[j] = vi
+	}
+	return out
+}

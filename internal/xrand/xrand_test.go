@@ -1,0 +1,150 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs of splitmix64 seeded with 0 and 1
+	// (first output of the sequence), from the public-domain reference
+	// implementation by Sebastiano Vigna.
+	if got := SplitMix64(0); got != 0xe220a8397b1dcdaf {
+		t.Errorf("SplitMix64(0) = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+	if got := SplitMix64(1); got == SplitMix64(0) {
+		t.Errorf("SplitMix64(1) must differ from SplitMix64(0)")
+	}
+}
+
+func TestDeriveSeedDistinctStreams(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for stream := uint64(0); stream < 10000; stream++ {
+		s := DeriveSeed(42, stream)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: streams %d and %d both map to %#x", prev, stream, s)
+		}
+		seen[s] = stream
+	}
+}
+
+func TestNewStreamDeterministic(t *testing.T) {
+	a := NewStream(7, 3)
+	b := NewStream(7, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed,stream) must replay identically at draw %d", i)
+		}
+	}
+	c := NewStream(7, 4)
+	same := true
+	d := NewStream(7, 3)
+	for i := 0; i < 16; i++ {
+		if c.Uint64() != d.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different streams produced identical prefixes")
+	}
+}
+
+func TestWeightedChoiceRespectsZeroWeights(t *testing.T) {
+	rng := New(1)
+	weights := []int64{0, 5, 0, 3, 0}
+	for i := 0; i < 1000; i++ {
+		got := WeightedChoice(rng, weights)
+		if got != 1 && got != 3 {
+			t.Fatalf("WeightedChoice selected zero-weight index %d", got)
+		}
+	}
+}
+
+func TestWeightedChoiceProportions(t *testing.T) {
+	rng := New(99)
+	weights := []int64{1, 2, 3, 4}
+	counts := make([]int, 4)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[WeightedChoice(rng, weights)]++
+	}
+	total := int64(10)
+	for i, w := range weights {
+		want := float64(w) / float64(total)
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency %.4f, want %.4f ± 0.01", i, got, want)
+		}
+	}
+}
+
+func TestWeightedChoicePanicsOnAllZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for all-zero weights")
+		}
+	}()
+	WeightedChoice(New(1), []int64{0, 0})
+}
+
+func TestWeightedChoicePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for negative weight")
+		}
+	}()
+	WeightedChoice(New(1), []int64{3, -1})
+}
+
+func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	rng := New(5)
+	for trial := 0; trial < 100; trial++ {
+		n, m := 50, 20
+		got := SampleWithoutReplacement(rng, n, m)
+		if len(got) != m {
+			t.Fatalf("got %d samples, want %d", len(got), m)
+		}
+		seen := make(map[int]bool)
+		for _, v := range got {
+			if v < 0 || v >= n {
+				t.Fatalf("sample %d out of range [0,%d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate sample %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementAllWhenMTooBig(t *testing.T) {
+	got := SampleWithoutReplacement(New(1), 5, 10)
+	if len(got) != 5 {
+		t.Fatalf("expected all 5 indices, got %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("expected identity permutation for m>=n, got %v", got)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each index should appear with probability m/n.
+	rng := New(123)
+	n, m := 10, 3
+	counts := make([]int, n)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		for _, v := range SampleWithoutReplacement(rng, n, m) {
+			counts[v]++
+		}
+	}
+	want := float64(m) / float64(n)
+	for i, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency %.4f, want %.4f ± 0.01", i, got, want)
+		}
+	}
+}
