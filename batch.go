@@ -3,13 +3,9 @@ package distknn
 import (
 	"fmt"
 
-	"distknn/internal/core"
 	"distknn/internal/dsel"
-	"distknn/internal/election"
 	"distknn/internal/keys"
 	"distknn/internal/kmachine"
-	"distknn/internal/points"
-	"distknn/internal/xrand"
 )
 
 // BatchResult is the outcome of one query inside a KNNBatch call.
@@ -20,14 +16,16 @@ type BatchResult struct {
 	Boundary Key
 }
 
-// KNNBatch answers many queries in a single cluster run: the leader is
-// elected once and every query then costs only the O(log ℓ) query protocol,
-// amortizing the election and the per-run setup. This is the paper's
-// concluding suggestion — using the algorithm as a subroutine — applied to
-// the query stream itself.
+// KNNBatch answers many queries in a single cluster run: every query costs
+// only the O(log ℓ) query protocol back to back on one simulation world,
+// with no per-query setup at all — the paper's concluding suggestion of
+// using the algorithm as a subroutine, applied to the query stream itself.
+// On a persistent Cluster the leader is already cached, so unlike the
+// pre-runtime implementation the batch does not even pay one election.
 //
 // The per-query results are exact and identical to individual KNN calls.
-// The returned QueryStats aggregates the whole batch.
+// The returned QueryStats aggregates the whole batch. KNNBatch is safe to
+// call concurrently with itself and with single queries.
 func (c *Cluster[P]) KNNBatch(queries []P, l int) ([]BatchResult, *QueryStats, error) {
 	if l < 1 || l > c.n {
 		return nil, nil, fmt.Errorf("distknn: l=%d out of range [1, %d]", l, c.n)
@@ -35,17 +33,11 @@ func (c *Cluster[P]) KNNBatch(queries []P, l int) ([]BatchResult, *QueryStats, e
 	if len(queries) == 0 {
 		return nil, &QueryStats{}, nil
 	}
-	c.queries++
-	seed := xrand.DeriveSeed(c.opts.Seed, c.queries)
+	seed := c.querySeed()
+	leader := c.Leader()
 	algoFn := c.algoFn()
-	baseCfg := core.Config{
-		L:            l,
-		SampleFactor: c.opts.SampleFactor,
-		CutFactor:    c.opts.CutFactor,
-	}
-	if c.opts.MonteCarlo {
-		baseCfg.Mode = core.ModeMonteCarlo
-	}
+	cfg := c.baseConfig(l)
+	cfg.Leader = leader
 
 	k := len(c.parts)
 	winnersPerQuery := make([][][]Item, len(queries)) // [query][machine][]Item
@@ -55,12 +47,6 @@ func (c *Cluster[P]) KNNBatch(queries []P, l int) ([]BatchResult, *QueryStats, e
 	boundaries := make([]Key, len(queries))
 
 	prog := func(m kmachine.Env) error {
-		leader, err := c.elect(m)
-		if err != nil {
-			return err
-		}
-		cfg := baseCfg
-		cfg.Leader = leader
 		for qi, q := range queries {
 			local := c.localTopL(m.ID(), q, l)
 			res, err := algoFn(m, cfg, local)
@@ -74,40 +60,22 @@ func (c *Cluster[P]) KNNBatch(queries []P, l int) ([]BatchResult, *QueryStats, e
 		}
 		return nil
 	}
-	met, err := kmachine.Run(kmachine.Config{
-		K:              k,
-		Seed:           seed,
-		BandwidthBytes: c.opts.BandwidthBytes,
-	}, prog)
+	met, err := c.rt.ExecuteSeeded(seed, prog)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, c.wrapErr(err)
 	}
 
 	out := make([]BatchResult, len(queries))
 	for qi := range queries {
-		var merged []Item
-		for _, w := range winnersPerQuery[qi] {
-			merged = append(merged, w...)
-		}
-		points.SortItems(merged)
-		out[qi] = BatchResult{Neighbors: merged, Boundary: boundaries[qi]}
+		out[qi] = BatchResult{Neighbors: mergeWinners(winnersPerQuery[qi]), Boundary: boundaries[qi]}
 	}
 	stats := &QueryStats{
 		Rounds:   met.Rounds,
 		Messages: met.Messages,
 		Bytes:    met.Bytes,
+		Leader:   leader,
 	}
 	return out, stats, nil
-}
-
-// elect runs the configured leader election on machine m.
-func (c *Cluster[P]) elect(m kmachine.Env) (int, error) {
-	if c.opts.SublinearElection {
-		return election.Sublinear(m, election.SublinearOptions{
-			BandwidthBytes: c.opts.BandwidthBytes,
-		})
-	}
-	return election.MinGUID(m)
 }
 
 // SelectRank finds the value of global rank `rank` (1-based) among all
@@ -119,8 +87,8 @@ func SelectRank(c *Cluster[Scalar], rank int) (uint64, *QueryStats, error) {
 	if rank < 1 || rank > c.n {
 		return 0, nil, fmt.Errorf("distknn: rank %d out of range [1, %d]", rank, c.n)
 	}
-	c.queries++
-	seed := xrand.DeriveSeed(c.opts.Seed, c.queries)
+	seed := c.querySeed()
+	leader := c.Leader()
 	k := len(c.parts)
 	locals := make([][]keys.Key, k)
 	for i, part := range c.parts {
@@ -132,10 +100,6 @@ func SelectRank(c *Cluster[Scalar], rank int) (uint64, *QueryStats, error) {
 	}
 	stats := &QueryStats{}
 	prog := func(m kmachine.Env) error {
-		leader, err := c.elect(m)
-		if err != nil {
-			return err
-		}
 		res, err := dsel.FindLSmallest(m, leader, locals[m.ID()], rank, dsel.Options{})
 		if err != nil {
 			return err
@@ -147,13 +111,9 @@ func SelectRank(c *Cluster[Scalar], rank int) (uint64, *QueryStats, error) {
 		}
 		return nil
 	}
-	met, err := kmachine.Run(kmachine.Config{
-		K:              k,
-		Seed:           seed,
-		BandwidthBytes: c.opts.BandwidthBytes,
-	}, prog)
+	met, err := c.rt.ExecuteSeeded(seed, prog)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, c.wrapErr(err)
 	}
 	stats.Rounds = met.Rounds
 	stats.Messages = met.Messages

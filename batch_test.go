@@ -87,6 +87,7 @@ func TestSelectRankAndMedian(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	sorted := append([]uint64(nil), values...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
 
@@ -117,6 +118,7 @@ func TestSelectRankValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	if _, _, err := SelectRank(c, 0); err == nil {
 		t.Errorf("rank 0 must fail")
 	}
@@ -127,6 +129,7 @@ func TestSelectRankValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer empty.Close()
 	if _, _, err := Median(empty); err == nil {
 		t.Errorf("median of empty cluster must fail")
 	}
@@ -141,6 +144,7 @@ func TestSelectRankWithDuplicateValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	got, _, err := SelectRank(c, 50)
 	if err != nil {
 		t.Fatal(err)

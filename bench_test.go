@@ -145,6 +145,7 @@ func BenchmarkFacadeKNN(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer c.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := c.KNN(distknn.Scalar(rng.Uint64N(points.PaperDomain)), 64); err != nil {

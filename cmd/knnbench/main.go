@@ -1,6 +1,7 @@
-// Command knnbench regenerates the paper's evaluation: every experiment in
-// DESIGN.md's per-experiment index (E1–E9), including Figure 2, printed as
-// aligned tables or CSV.
+// Command knnbench regenerates the paper's evaluation — every experiment in
+// DESIGN.md's per-experiment index (E1–E9), including Figure 2 — plus the
+// serving-throughput experiment (E10), printed as aligned tables, CSV, or
+// one JSON document for machine consumption.
 //
 // Examples:
 //
@@ -9,9 +10,11 @@
 //	knnbench -experiment figure2 -ks 2,8,32,128 -ls 8,128,2048 -reps 30
 //	knnbench -experiment all -quick
 //	knnbench -experiment sampling -csv > sampling.csv
+//	knnbench -experiment all -quick -json > BENCH_quick.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,9 +39,13 @@ func main() {
 		latency    = flag.Duration("latency", 50*time.Microsecond, "modeled per-round link latency")
 		quick      = flag.Bool("quick", false, "tiny sweep sizes (smoke test)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = flag.Bool("json", false, "emit one JSON document instead of tables")
 	)
 	flag.Parse()
 
+	if *csv && *jsonOut {
+		fatalf("-csv and -json are mutually exclusive")
+	}
 	if *list {
 		for _, e := range bench.Experiments {
 			fmt.Printf("%-10s %s\n", e.ID, e.Description)
@@ -73,11 +80,24 @@ func main() {
 		todo = []bench.Experiment{e}
 	}
 
+	var doc jsonDoc
+	doc.Seed = params.Seed
+	doc.Quick = params.Quick
 	for _, e := range todo {
 		start := time.Now()
 		tables, err := e.Run(params)
 		if err != nil {
 			fatalf("%s: %v", e.ID, err)
+		}
+		elapsed := time.Since(start)
+		if *jsonOut {
+			doc.Experiments = append(doc.Experiments, jsonExperiment{
+				ID:          e.ID,
+				Description: e.Description,
+				ElapsedMs:   float64(elapsed.Microseconds()) / 1e3,
+				Tables:      tables,
+			})
+			continue
 		}
 		for _, t := range tables {
 			if *csv {
@@ -89,9 +109,32 @@ func main() {
 			}
 		}
 		if !*csv {
-			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
 		}
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatalf("json: %v", err)
+		}
+	}
+}
+
+// jsonDoc is the machine-readable output of -json: everything the text
+// tables carry, keyed so future PRs can diff perf trajectories
+// (BENCH_*.json).
+type jsonDoc struct {
+	Seed        uint64           `json:"seed"`
+	Quick       bool             `json:"quick"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID          string         `json:"id"`
+	Description string         `json:"description"`
+	ElapsedMs   float64        `json:"elapsed_ms"`
+	Tables      []*bench.Table `json:"tables"`
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,7 +1,10 @@
 // Command knnquery builds a synthetic distributed dataset and answers one
 // ℓ-NN query with any of the implemented algorithms, printing the neighbors
 // and the distributed cost. With -compare it runs every algorithm on the
-// same query and tabulates their costs side by side.
+// same query and tabulates their costs side by side. With -serve it keeps
+// the cluster resident and fires a stream of queries from -concurrency
+// goroutines, reporting sustained QPS and latency percentiles — the
+// serving workload the persistent runtime exists for.
 //
 // Examples:
 //
@@ -9,15 +12,20 @@
 //	knnquery -n 100000 -k 16 -l 10 -algo simple
 //	knnquery -n 65536 -k 32 -l 256 -compare
 //	knnquery -metric vector -dim 8 -n 10000 -l 5
+//	knnquery -n 100000 -k 16 -l 10 -serve -concurrency 8 -queries 5000
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
+	"runtime"
 	"text/tabwriter"
+	"time"
 
 	"distknn"
+	"distknn/internal/bench"
 	"distknn/internal/keys"
 	"distknn/internal/points"
 	"distknn/internal/xrand"
@@ -43,9 +51,15 @@ func main() {
 		bandwidth = flag.Int("bandwidth", 0, "link bandwidth in bytes/round (0 = 64)")
 		compare   = flag.Bool("compare", false, "run every algorithm and compare costs")
 		show      = flag.Int("show", 10, "how many neighbors to print")
+		serve     = flag.Bool("serve", false, "throughput mode: stream queries at the resident cluster and report QPS")
+		workers   = flag.Int("concurrency", runtime.GOMAXPROCS(0), "client goroutines in -serve mode")
+		queries   = flag.Int("queries", 2000, "total queries in -serve mode")
 	)
 	flag.Parse()
 
+	if *compare && *serve {
+		fatalf("-compare and -serve are mutually exclusive")
+	}
 	algo, ok := algoByName[*algoName]
 	if !ok {
 		fatalf("unknown algorithm %q", *algoName)
@@ -71,6 +85,13 @@ func main() {
 		})
 		if err != nil {
 			fatalf("%v", err)
+		}
+		defer c.Close()
+		if *serve {
+			runServe(c, func(rng *rand.Rand) distknn.Scalar {
+				return distknn.Scalar(rng.Uint64N(points.PaperDomain))
+			}, *l, *queries, *workers, *seed)
+			return
 		}
 		items, stats, err := c.KNN(q, *l)
 		if err != nil {
@@ -100,6 +121,18 @@ func main() {
 		})
 		if err != nil {
 			fatalf("%v", err)
+		}
+		defer c.Close()
+		if *serve {
+			dims := *dim
+			runServe(c, func(rng *rand.Rand) distknn.Vector {
+				v := make(distknn.Vector, dims)
+				for j := range v {
+					v[j] = rng.Float64()
+				}
+				return v
+			}, *l, *queries, *workers, *seed)
+			return
 		}
 		items, stats, err := c.KNN(q, *l)
 		if err != nil {
@@ -146,6 +179,7 @@ func compareAll(values []uint64, labels []float64, q distknn.Scalar, k, l int, s
 			fatalf("%v", err)
 		}
 		_, stats, err := c.KNN(q, l)
+		c.Close()
 		if err != nil {
 			fatalf("%s: %v", name, err)
 		}
@@ -154,6 +188,42 @@ func compareAll(values []uint64, labels []float64, q distknn.Scalar, k, l int, s
 	}
 	w.Flush()
 	fmt.Println("\n(all algorithms returned the same boundary; they are exact)")
+}
+
+// runServe streams `total` queries at the resident cluster from `workers`
+// goroutines — via the same bench.Serve driver the throughput experiment
+// uses — and reports sustained throughput, latency percentiles and mean
+// distributed cost. Every query is exact; the persistent runtime gives each
+// in-flight query its own simulation world, so workers never contend on the
+// model's links.
+func runServe[P any](c *distknn.Cluster[P], gen func(*rand.Rand) P, l, total, workers int, seed uint64) {
+	// Per-index query streams keep the workload deterministic however the
+	// work queue interleaves across workers; bench.Serve runs its own
+	// un-measured warm-up query first.
+	query := func(i int) P {
+		return gen(xrand.NewStream(seed, 1<<52+uint64(i)))
+	}
+	res := bench.Serve(c, query, l, total, workers)
+	if res.FirstErr != nil && res.OK() == 0 {
+		fatalf("serve: %v", res.FirstErr)
+	}
+
+	ok := res.OK()
+	fmt.Printf("serve: %d queries, %d workers, leader=machine %d\n", total, workers, c.Leader())
+	fmt.Printf("  wall        %v\n", res.Wall.Round(time.Millisecond))
+	if ok > 0 {
+		fmt.Printf("  throughput  %.0f queries/s\n", res.QPS())
+		fmt.Printf("  latency     p50=%v  p95=%v  p99=%v  max=%v\n",
+			res.Percentile(0.50).Round(time.Microsecond), res.Percentile(0.95).Round(time.Microsecond),
+			res.Percentile(0.99).Round(time.Microsecond), res.Latencies[ok-1].Round(time.Microsecond))
+		fmt.Printf("  per query   rounds=%.1f  messages=%.1f  traffic=%.0fB (election: 0, paid once at startup)\n",
+			float64(res.Rounds)/float64(ok), float64(res.Messages)/float64(ok),
+			float64(res.Bytes)/float64(ok))
+	}
+	if res.Failed > 0 {
+		fmt.Printf("  FAILED      %d queries (excluded from the numbers above; first error: %v)\n",
+			res.Failed, res.FirstErr)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -24,6 +24,7 @@ func scalarFixture(t *testing.T, n int, opts Options) (*Cluster[Scalar], []uint6
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(c.Close) // idempotent; tests may also Close explicitly
 	return c, values, labels
 }
 
@@ -139,6 +140,7 @@ func TestClassifyAndRegress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	label, stats, err := c.Classify(Scalar(0), 15)
 	if err != nil {
 		t.Fatal(err)
@@ -170,6 +172,7 @@ func TestVectorCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	got, _, err := c.KNN(Vector{0.5, 0.5}, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -236,8 +239,11 @@ func TestInvalidArguments(t *testing.T) {
 	if _, _, err := c.Regress(Scalar(1), 999); err == nil {
 		t.Errorf("regress l>n must fail")
 	}
-	if _, err := NewScalarCluster(nil, nil, Options{Machines: 2}); err != nil {
+	empty, err := NewScalarCluster(nil, nil, Options{Machines: 2})
+	if err != nil {
 		t.Errorf("empty cluster should build (queries will fail): %v", err)
+	} else {
+		empty.Close()
 	}
 }
 
@@ -265,6 +271,7 @@ func TestDefaultOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	if c.Machines() != 4 {
 		t.Errorf("default machines = %d, want 4", c.Machines())
 	}
@@ -289,10 +296,12 @@ func TestVectorClusterTreeMatchesScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer treeC.Close()
 	scanC, err := NewCluster(vecs, nil, points.L2, Options{Machines: 5, Seed: 62})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer scanC.Close()
 	for rep := 0; rep < 3; rep++ {
 		q := Vector{rng.Float64(), rng.Float64(), rng.Float64()}
 		a, _, err := treeC.KNN(q, 11)
@@ -314,6 +323,29 @@ func TestVectorClusterTreeMatchesScan(t *testing.T) {
 func TestVectorClusterRejectsMixedDims(t *testing.T) {
 	if _, err := NewVectorCluster([]Vector{{1, 2}, {1}}, nil, Options{Machines: 1}); err == nil {
 		t.Errorf("mixed-dimension vectors must be rejected at construction")
+	}
+}
+
+func TestKNNOneShotMatchesKNN(t *testing.T) {
+	c, values, labels := scalarFixture(t, 300, Options{Machines: 6, Seed: 73})
+	defer c.Close()
+	q := uint64(123456)
+	const l = 9
+	want := bruteScalar(values, labels, q, l)
+	got, stats, err := c.KNNOneShot(Scalar(q), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if stats.Rounds == 0 || stats.Messages == 0 {
+		t.Errorf("one-shot stats not populated: %+v", stats)
+	}
+	if _, _, err := c.KNNOneShot(Scalar(q), 0); err == nil {
+		t.Errorf("l=0 must fail")
 	}
 }
 

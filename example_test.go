@@ -15,6 +15,7 @@ func ExampleCluster_KNN() {
 	if err != nil {
 		panic(err)
 	}
+	defer cluster.Close()
 	neighbors, _, err := cluster.KNN(distknn.Scalar(27), 3)
 	if err != nil {
 		panic(err)
@@ -36,6 +37,7 @@ func ExampleCluster_Classify() {
 	if err != nil {
 		panic(err)
 	}
+	defer cluster.Close()
 	label, _, err := cluster.Classify(distknn.Scalar(25), 3)
 	if err != nil {
 		panic(err)
@@ -51,6 +53,7 @@ func ExampleSelectRank() {
 	if err != nil {
 		panic(err)
 	}
+	defer cluster.Close()
 	median, _, err := distknn.Median(cluster)
 	if err != nil {
 		panic(err)

@@ -34,6 +34,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cluster.Close()
 
 	correct := 0
 	var rounds, msgs int64

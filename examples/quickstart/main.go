@@ -28,6 +28,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cluster.Close()
 
 	query := distknn.Scalar(1 << 31)
 	neighbors, stats, err := cluster.KNN(query, 10)

@@ -36,6 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cluster.Close()
 
 	var se float64
 	for i := 0; i < nQueries; i++ {

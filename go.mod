@@ -1,0 +1,3 @@
+module distknn
+
+go 1.24

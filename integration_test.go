@@ -205,6 +205,7 @@ func TestFacadeAgainstInternalPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	q := distknn.Scalar(7777777)
 	items, stats, err := c.KNN(q, 13)
 	if err != nil {

@@ -83,13 +83,15 @@ func (p Params) ls(def []int) []int {
 	return def
 }
 
-// Table is a rendered experiment result.
+// Table is a rendered experiment result. The json tags define the schema
+// cmd/knnbench -json emits, which downstream tooling tracks across PRs
+// (BENCH_*.json); renaming them is a breaking change.
 type Table struct {
-	ID     string
-	Title  string
-	Note   string
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a formatted row.

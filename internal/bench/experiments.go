@@ -36,6 +36,7 @@ var Experiments = []Experiment{
 	{"baselines", "Section 1.4: comparison against prior-work baselines", Baselines},
 	{"wallclock", "Section 3: wall-clock speedup as machines are added", WallClock},
 	{"constants", "Ablation: Lemma 2.3 constants (SampleFactor x CutFactor)", Constants},
+	{"throughput", "Serving: QPS of a persistent concurrent cluster vs the one-shot path", Throughput},
 }
 
 // ByID finds an experiment by its id.

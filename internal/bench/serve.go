@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distknn"
+)
+
+// ServeResult is one serving run's measurements: wall time, the latency of
+// every successful query in ascending order, the k-machine cost totals over
+// successful queries, and the failure tally.
+type ServeResult struct {
+	Wall      time.Duration
+	Latencies []time.Duration // successful queries only, sorted ascending
+	Rounds    int64
+	Messages  int64
+	Bytes     int64
+	Failed    int
+	FirstErr  error
+}
+
+// OK returns the number of successful queries.
+func (r *ServeResult) OK() int { return len(r.Latencies) }
+
+// QPS returns successful queries per second of wall time.
+func (r *ServeResult) QPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.OK()) / r.Wall.Seconds()
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of the successful-query
+// latencies, 0 if none succeeded.
+func (r *ServeResult) Percentile(p float64) time.Duration {
+	n := len(r.Latencies)
+	if n == 0 {
+		return 0
+	}
+	return r.Latencies[int(p*float64(n-1))]
+}
+
+// Serve is the shared serving-throughput driver used by the E10a experiment
+// and cmd/knnquery -serve: `workers` goroutines drain an atomic work queue
+// of `total` queries against one persistent cluster. query(i) generates the
+// i-th query point, so the workload is deterministic regardless of how the
+// queue interleaves across workers. One un-measured warm-up query (query(0))
+// primes the world pool and allocator before the clock starts; a warm-up
+// failure aborts the run with only FirstErr set. Failed queries are counted
+// (first error retained) and excluded from latencies and cost totals.
+func Serve[P any](cluster *distknn.Cluster[P], query func(i int) P, l, total, workers int) ServeResult {
+	if workers < 1 {
+		workers = 1
+	}
+	if total < 1 {
+		total = 1
+	}
+	if _, _, err := cluster.KNN(query(0), l); err != nil {
+		// No measured query was attempted, so Failed stays zero.
+		return ServeResult{FirstErr: err}
+	}
+	latencies := make([]time.Duration, total) // slot i written by one worker only
+	succeeded := make([]bool, total)
+	var next, rounds, msgs, bytes atomic.Int64
+	var mu sync.Mutex
+	var firstErr error
+	failed := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				q := query(i)
+				t0 := time.Now()
+				_, qs, err := cluster.KNN(q, l)
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					mu.Lock()
+					failed++
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				succeeded[i] = true
+				rounds.Add(int64(qs.Rounds))
+				msgs.Add(qs.Messages)
+				bytes.Add(qs.Bytes)
+			}
+		}()
+	}
+	wg.Wait()
+	res := ServeResult{
+		Wall:     time.Since(start),
+		Rounds:   rounds.Load(),
+		Messages: msgs.Load(),
+		Bytes:    bytes.Load(),
+		Failed:   failed,
+		FirstErr: firstErr,
+	}
+	for i, ok := range succeeded {
+		if ok {
+			res.Latencies = append(res.Latencies, latencies[i])
+		}
+	}
+	sort.Slice(res.Latencies, func(a, b int) bool { return res.Latencies[a] < res.Latencies[b] })
+	return res
+}

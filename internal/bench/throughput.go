@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"distknn"
+	"distknn/internal/points"
+	"distknn/internal/stats"
+	"distknn/internal/xrand"
+)
+
+// Throughput measures the serving path the persistent runtime enables: a
+// long-lived cluster answering a stream of queries. Two tables come out.
+//
+// E10a sweeps the number of client goroutines firing queries at one shared
+// cluster and reports sustained QPS; because every in-flight query runs on
+// its own isolated simulation world, QPS should scale with workers until the
+// host's cores saturate.
+//
+// E10b compares the same serial query stream on the one-shot execution path
+// (spawn k goroutines, elect a leader, query, tear down — what every query
+// paid before the persistent runtime) against the resident cluster (elect
+// once at construction, machines stay alive). The delta is pure overhead
+// removed from the steady-state path.
+func Throughput(p Params) ([]*Table, error) {
+	p = p.withDefaults()
+	k, l := 8, 64
+	queries := 256
+	workersSweep := []int{1, 2, 4, 8, 16}
+	if p.Quick {
+		k, l = 4, 16
+		queries = 48
+		workersSweep = []int{1, 4}
+	}
+	if len(p.Ks) > 0 {
+		k = p.Ks[0]
+	}
+	if len(p.Ls) > 0 {
+		l = p.Ls[0]
+	}
+
+	values := make([]uint64, k*p.PerMachine)
+	rng := xrand.NewStream(p.Seed, 0x7B)
+	for i := range values {
+		values[i] = rng.Uint64N(points.PaperDomain)
+	}
+	cluster, err := distknn.NewScalarCluster(values, nil, distknn.Options{
+		Machines:       k,
+		Seed:           p.Seed,
+		BandwidthBytes: p.Bandwidth,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("throughput: %w", err)
+	}
+	defer cluster.Close()
+
+	queryAt := func(i int) distknn.Scalar {
+		return distknn.Scalar(xrand.NewStream(p.Seed, 1<<41+uint64(i)).Uint64N(points.PaperDomain))
+	}
+
+	ta := &Table{
+		ID:    "E10a",
+		Title: fmt.Sprintf("serving throughput vs concurrency (k=%d, l=%d, %d queries)", k, l, queries),
+		Note:  "one persistent cluster, N client goroutines; each in-flight query gets an isolated world",
+		Header: []string{"workers", "queries", "wall_ms", "qps", "speedup",
+			"mean_rounds", "mean_msgs"},
+	}
+	var baseQPS float64
+	for idx, workers := range workersSweep {
+		res := Serve(cluster, queryAt, l, queries, workers)
+		if res.FirstErr != nil {
+			return nil, fmt.Errorf("throughput workers=%d: %w", workers, res.FirstErr)
+		}
+		qps := res.QPS()
+		if idx == 0 {
+			baseQPS = qps
+		}
+		ta.AddRow(d(workers), d(res.OK()), f(res.Wall.Seconds()*1e3), f(qps),
+			f(qps/baseQPS),
+			f(float64(res.Rounds)/float64(res.OK())),
+			f(float64(res.Messages)/float64(res.OK())))
+	}
+
+	// Measure the election's own cost directly (re-deriving the cached
+	// leader) so the table states the exact rounds the persistent path
+	// amortizes away, independent of per-query pivot noise.
+	_, estats, err := cluster.ElectLeader()
+	if err != nil {
+		return nil, fmt.Errorf("throughput election measurement: %w", err)
+	}
+	tb := &Table{
+		ID:    "E10b",
+		Title: fmt.Sprintf("per-query cost: one-shot path vs persistent cluster (k=%d, l=%d)", k, l),
+		Note: fmt.Sprintf("same cluster, shards and queries; one-shot re-elects every query (election alone: %d rounds, %d messages) and re-spawns machines; "+
+			"mean_rounds carries per-query pivot randomness (seeds differ), so the row difference equals the election cost only in expectation",
+			estats.Rounds, estats.Messages),
+		Header: []string{"mode", "queries", "wall_ms", "qps", "mean_rounds"},
+	}
+	serialQueries := queries
+
+	// One-shot: what every query cost before the persistent runtime,
+	// measured on the very same cluster and shards via KNNOneShot.
+	var osRounds []float64
+	start := time.Now()
+	for i := 0; i < serialQueries; i++ {
+		_, qs, err := cluster.KNNOneShot(queryAt(i), l)
+		if err != nil {
+			return nil, fmt.Errorf("throughput one-shot query %d: %w", i, err)
+		}
+		osRounds = append(osRounds, float64(qs.Rounds))
+	}
+	osWall := time.Since(start)
+	tb.AddRow("one-shot", d(serialQueries), f(osWall.Seconds()*1e3),
+		f(float64(serialQueries)/osWall.Seconds()), f(stats.Summarize(osRounds).Mean))
+
+	// Persistent: the steady-state serving path.
+	var psRounds []float64
+	start = time.Now()
+	for i := 0; i < serialQueries; i++ {
+		_, qs, err := cluster.KNN(queryAt(i), l)
+		if err != nil {
+			return nil, fmt.Errorf("throughput persistent query %d: %w", i, err)
+		}
+		psRounds = append(psRounds, float64(qs.Rounds))
+	}
+	psWall := time.Since(start)
+	tb.AddRow("persistent", d(serialQueries), f(psWall.Seconds()*1e3),
+		f(float64(serialQueries)/psWall.Seconds()), f(stats.Summarize(psRounds).Mean))
+
+	return []*Table{ta, tb}, nil
+}

@@ -20,7 +20,10 @@
 //     to run the selection protocols.
 //
 // Both return the same value on every machine, which is all the callers rely
-// on.
+// on. Once runs either elector across a persistent kmachine.Runtime so a
+// long-lived cluster elects at construction and caches the winner; the
+// paper's per-query election cost then amortizes to zero over the query
+// stream.
 package election
 
 import (
@@ -31,6 +34,53 @@ import (
 	"distknn/internal/wire"
 	"distknn/internal/xrand"
 )
+
+// OnceOptions selects the elector for Elect and Once.
+type OnceOptions struct {
+	// Sublinear selects the randomized referee election instead of the
+	// min-GUID broadcast.
+	Sublinear bool
+	// BandwidthBytes is forwarded to SublinearOptions.
+	BandwidthBytes int
+}
+
+// Elect runs the configured elector on machine m. It is the single dispatch
+// point between the two protocols; every caller — persistent (Once) or
+// per-run — goes through it.
+func Elect(m kmachine.Env, opts OnceOptions) (int, error) {
+	if opts.Sublinear {
+		return Sublinear(m, SublinearOptions{BandwidthBytes: opts.BandwidthBytes})
+	}
+	return MinGUID(m)
+}
+
+// Once runs a single leader election across a persistent runtime and returns
+// the agreed leader index together with the run's cost. It is the
+// construction-time path of a long-lived cluster: elect once, cache the
+// winner, and let every steady-state query skip election entirely (any index
+// all machines agree on is a valid leader for the selection protocols, which
+// only require agreement).
+func Once(rt *kmachine.Runtime, seed uint64, opts OnceOptions) (int, *kmachine.Metrics, error) {
+	leaders := make([]int, rt.K())
+	prog := func(m kmachine.Env) error {
+		leader, err := Elect(m, opts)
+		if err != nil {
+			return err
+		}
+		leaders[m.ID()] = leader
+		return nil
+	}
+	met, err := rt.ExecuteSeeded(seed, prog)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, leader := range leaders {
+		if leader != leaders[0] {
+			return 0, met, fmt.Errorf("election: machine %d elected %d, machine 0 elected %d", i, leader, leaders[0])
+		}
+	}
+	return leaders[0], met, nil
+}
 
 // MinGUID elects the machine with the smallest GUID (ties, which cannot
 // happen with 64-bit GUIDs in practice, broken by machine index). Every
