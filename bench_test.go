@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation artifacts (one Benchmark
-// per experiment id in DESIGN.md). Each benchmark runs its experiment at a
+// per bench.Experiments id). Each benchmark runs its experiment at a
 // reduced but meaningful size and reports model-level costs (rounds,
 // messages) as custom metrics alongside wall time; run cmd/knnbench for the
 // full sweeps and tables.

@@ -1,7 +1,9 @@
-// Command knnbench regenerates the paper's evaluation — every experiment in
-// DESIGN.md's per-experiment index (E1–E9), including Figure 2 — plus the
-// serving-throughput experiment (E10), printed as aligned tables, CSV, or
-// one JSON document for machine consumption.
+// Command knnbench regenerates the paper's evaluation — every experiment of
+// the per-experiment index (E1–E9), including Figure 2 — plus the serving
+// experiments this repository adds: the persistent-runtime throughput
+// comparison (E10) and the resident-TCP-mesh comparison over real loopback
+// sockets (E11). Results print as aligned tables, CSV, or one JSON document
+// for machine consumption.
 //
 // Examples:
 //

@@ -1,18 +1,34 @@
-// Command knnnode runs the distributed ℓ-NN pipeline over real TCP sockets:
-// a coordinator process performs rendezvous, and k node processes (one per
-// machine) mesh up, elect a leader, and answer a query with Algorithm 2.
+// Command knnnode runs the distributed ℓ-NN pipeline over real TCP sockets.
 // Every node generates its own shard of the paper's synthetic workload from
 // the shared seed, so no data files need distributing.
 //
-// Single-machine demo (three terminals):
+// Without -serve it is a one-shot cluster: a coordinator process performs
+// rendezvous, and k node processes (one per machine) mesh up, elect a
+// leader, answer a single query with Algorithm 2, and tear down.
+//
+// With -serve the deployment is a resident serving cluster: the coordinator
+// becomes a long-lived frontend, the nodes mesh up once, elect a leader
+// once, and then answer a stream of queries — one BSP epoch per query —
+// dispatched by the frontend to remote clients (knnquery -connect, or the
+// distknn.DialCluster API).
+//
+// One-shot demo (three terminals):
 //
 //	knnnode -coordinator -addr 127.0.0.1:7100 -k 2 -seed 1
 //	knnnode -join 127.0.0.1:7100 -points 100000 -l 10 -query 12345
 //	knnnode -join 127.0.0.1:7100 -points 100000 -l 10 -query 12345
 //
+// Serving demo (three terminals plus any number of clients):
+//
+//	knnnode -serve -coordinator -addr 127.0.0.1:7100 -k 2 -seed 1
+//	knnnode -serve -join 127.0.0.1:7100 -points 100000
+//	knnnode -serve -join 127.0.0.1:7100 -points 100000
+//	knnquery -connect 127.0.0.1:7100 -l 10
+//
 // Or everything in one process:
 //
 //	knnnode -local -k 8 -points 100000 -l 10 -query 12345
+//	knnnode -serve -local -k 8 -points 100000 -l 10 -queries 100
 package main
 
 import (
@@ -20,6 +36,7 @@ import (
 	"fmt"
 	"os"
 
+	"distknn"
 	"distknn/internal/core"
 	"distknn/internal/election"
 	"distknn/internal/kmachine"
@@ -30,15 +47,17 @@ import (
 
 func main() {
 	var (
-		coordinator = flag.Bool("coordinator", false, "run the rendezvous coordinator")
+		coordinator = flag.Bool("coordinator", false, "run the rendezvous coordinator (with -serve: the resident frontend)")
 		addr        = flag.String("addr", "127.0.0.1:7100", "coordinator listen address")
 		join        = flag.String("join", "", "coordinator address to join as a node")
 		local       = flag.Bool("local", false, "run coordinator and all k nodes in this process")
+		serve       = flag.Bool("serve", false, "resident serving cluster instead of one-shot")
 		k           = flag.Int("k", 4, "cluster size (coordinator/local mode)")
 		seed        = flag.Uint64("seed", 1, "shared cluster seed")
 		perNode     = flag.Int("points", 1<<16, "points generated per node")
 		l           = flag.Int("l", 10, "number of nearest neighbors")
-		query       = flag.Uint64("query", 0, "query point (0 = derived from seed)")
+		query       = flag.Uint64("query", 0, "query point (0 = derived from seed; one-shot and -serve -local)")
+		queries     = flag.Int("queries", 100, "queries the -serve -local demo issues before exiting")
 		meshAddr    = flag.String("mesh", "127.0.0.1:0", "node mesh listen address")
 	)
 	flag.Parse()
@@ -49,6 +68,23 @@ func main() {
 	}
 
 	switch {
+	case *serve && *coordinator:
+		fe, err := distknn.NewFrontend(*addr, *k, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("serving frontend on %s waiting for %d nodes (seed=%d)\n", fe.Addr(), *k, *seed)
+		if err := fe.Serve(); err != nil {
+			fatalf("%v", err)
+		}
+	case *serve && *join != "":
+		fmt.Printf("resident node joining %s (%d points/node)\n", *join, *perNode)
+		if err := distknn.ServeScalarNode(*join, *meshAddr, distknn.PaperShards(*seed, *perNode), distknn.NodeOptions{}); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println("node shut down cleanly")
+	case *serve && *local:
+		serveLocalDemo(*k, *seed, *perNode, *l, *queries)
 	case *coordinator:
 		c, err := tcp.NewCoordinator(*addr, *k, *seed)
 		if err != nil {
@@ -91,6 +127,44 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// serveLocalDemo runs the whole serving deployment in one process —
+// frontend, k resident nodes, and a client — answers `queries` queries over
+// the standing mesh, and prints the last answer plus aggregate cost.
+func serveLocalDemo(k int, seed uint64, perNode, l, queries int) {
+	if queries < 1 {
+		queries = 1
+	}
+	fmt.Printf("local serving cluster: k=%d, %d points/node, l=%d, %d queries\n", k, perNode, l, queries)
+	srv, err := distknn.ServeLocal(k, seed, distknn.PaperShards(seed, perNode), distknn.NodeOptions{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rc, err := distknn.DialCluster(srv.Addr())
+	if err != nil {
+		srv.Close()
+		fatalf("%v", err)
+	}
+	var rounds, msgs int64
+	var last *distknn.QueryStats
+	for i := 0; i < queries; i++ {
+		q := distknn.Scalar(xrand.NewStream(seed, 1<<40+uint64(i)).Uint64N(points.PaperDomain))
+		_, stats, err := rc.KNN(q, l)
+		if err != nil {
+			fatalf("query %d: %v", i, err)
+		}
+		rounds += int64(stats.Rounds)
+		msgs += stats.Messages
+		last = stats
+	}
+	rc.Close()
+	if err := srv.Close(); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+	fmt.Printf("answered %d queries on one mesh: leader=machine %d, mean rounds=%.1f, mean messages=%.1f\n",
+		queries, last.Leader, float64(rounds)/float64(queries), float64(msgs)/float64(queries))
+	fmt.Printf("last query: boundary-dist=%d (election ran once, in the setup epoch)\n", last.Boundary.Dist)
 }
 
 // nodeProgram builds the per-node behaviour: generate the local shard from

@@ -6,6 +6,10 @@
 // goroutines, reporting sustained QPS and latency percentiles — the
 // serving workload the persistent runtime exists for.
 //
+// With -connect it skips building anything and becomes a remote client of a
+// TCP serving cluster (started with knnnode -serve): one query by default,
+// or the same -serve throughput driver aimed across the network.
+//
 // Examples:
 //
 //	knnquery -n 100000 -k 16 -l 10
@@ -13,6 +17,8 @@
 //	knnquery -n 65536 -k 32 -l 256 -compare
 //	knnquery -metric vector -dim 8 -n 10000 -l 5
 //	knnquery -n 100000 -k 16 -l 10 -serve -concurrency 8 -queries 5000
+//	knnquery -connect 127.0.0.1:7100 -l 10
+//	knnquery -connect 127.0.0.1:7100 -l 10 -serve -queries 1000
 package main
 
 import (
@@ -54,6 +60,7 @@ func main() {
 		serve     = flag.Bool("serve", false, "throughput mode: stream queries at the resident cluster and report QPS")
 		workers   = flag.Int("concurrency", runtime.GOMAXPROCS(0), "client goroutines in -serve mode")
 		queries   = flag.Int("queries", 2000, "total queries in -serve mode")
+		connect   = flag.String("connect", "", "frontend address of a remote TCP serving cluster (see knnnode -serve); query it instead of building a local one")
 	)
 	flag.Parse()
 
@@ -65,6 +72,36 @@ func main() {
 		fatalf("unknown algorithm %q", *algoName)
 	}
 	rng := xrand.New(*seed)
+
+	if *connect != "" {
+		if *compare {
+			fatalf("-compare needs a local cluster; it cannot be combined with -connect")
+		}
+		if *metric != "scalar" {
+			fatalf("remote serving clusters hold scalar shards; -metric %s is not served yet", *metric)
+		}
+		rc, err := distknn.DialCluster(*connect)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer rc.Close()
+		if *serve {
+			runServe(rc, func(rng *rand.Rand) distknn.Scalar {
+				return distknn.Scalar(rng.Uint64N(points.PaperDomain))
+			}, *l, *queries, *workers, *seed)
+			return
+		}
+		q := distknn.Scalar(rng.Uint64N(points.PaperDomain))
+		fmt.Printf("remote cluster at %s; query=%d l=%d\n\n", *connect, uint64(q), *l)
+		items, stats, err := rc.KNN(q, *l)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printResult(items, stats, *show, func(key keys.Key) string {
+			return fmt.Sprintf("%d", key.Dist)
+		})
+		return
+	}
 
 	switch *metric {
 	case "scalar":
@@ -190,13 +227,22 @@ func compareAll(values []uint64, labels []float64, q distknn.Scalar, k, l int, s
 	fmt.Println("\n(all algorithms returned the same boundary; they are exact)")
 }
 
+// servable is what the throughput driver needs from either deployment: the
+// in-process *distknn.Cluster or the remote *distknn.RemoteCluster.
+type servable[P any] interface {
+	bench.Queryable[P]
+	Leader() int
+}
+
 // runServe streams `total` queries at the resident cluster from `workers`
 // goroutines — via the same bench.Serve driver the throughput experiment
 // uses — and reports sustained throughput, latency percentiles and mean
-// distributed cost. Every query is exact; the persistent runtime gives each
-// in-flight query its own simulation world, so workers never contend on the
-// model's links.
-func runServe[P any](c *distknn.Cluster[P], gen func(*rand.Rand) P, l, total, workers int, seed uint64) {
+// distributed cost. Every query is exact. In-process, the persistent
+// runtime gives each in-flight query its own simulation world, so workers
+// never contend on the model's links; against a remote cluster the frontend
+// serializes query epochs, so added workers measure pipelining of the
+// client path only.
+func runServe[P any](c servable[P], gen func(*rand.Rand) P, l, total, workers int, seed uint64) {
 	// Per-index query streams keep the workload deterministic however the
 	// work queue interleaves across workers; bench.Serve runs its own
 	// un-measured warm-up query first.

@@ -38,6 +38,16 @@
 // per-query cost metrics — and MonteCarlo-mode failures — are deterministic
 // only under serial issue; see Options.Seed.)
 //
+// # Serving over TCP
+//
+// The same serving model runs over real sockets: a Frontend plus k
+// resident nodes (ServeScalarNode, or ServeLocal for a single-process
+// loopback deployment) mesh up once, elect a leader once, and answer each
+// query as one BSP epoch on the standing mesh. A RemoteCluster is the
+// client handle: the same KNN/Classify/Regress surface, the same exact
+// results, deterministic per (seed, query stream). See remote.go,
+// docs/ARCHITECTURE.md and docs/PROTOCOL.md.
+//
 // Quickstart:
 //
 //	cluster, err := distknn.NewScalarCluster(values, labels, distknn.Options{Machines: 8})
@@ -47,8 +57,8 @@
 //
 // For the experiment harness reproducing the paper's evaluation, see
 // cmd/knnbench; for a concurrent throughput benchmark, see cmd/knnquery
-// -serve; for running over real TCP sockets, see cmd/knnnode and
-// internal/transport/tcp.
+// -serve; for running over real TCP sockets, see cmd/knnnode -serve,
+// RemoteCluster, and internal/transport/tcp.
 package distknn
 
 import (
@@ -537,7 +547,14 @@ func (c *Cluster[P]) execute(q P, l int, stats *QueryStats,
 }
 
 func (c *Cluster[P]) algoFn() func(kmachine.Env, core.Config, []Item) (core.Result, error) {
-	switch c.opts.Algorithm {
+	return algorithmFn(c.opts.Algorithm)
+}
+
+// algorithmFn maps an Algorithm to its protocol implementation. Both the
+// in-process Cluster and the TCP serving node dispatch through it, so the
+// two runtimes can never disagree on what an Algorithm value means.
+func algorithmFn(a Algorithm) func(kmachine.Env, core.Config, []Item) (core.Result, error) {
+	switch a {
 	case Direct:
 		return core.DirectKNN
 	case Simple:

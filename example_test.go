@@ -47,6 +47,44 @@ func ExampleCluster_Classify() {
 	// label 1
 }
 
+func ExampleRemoteCluster_KNN() {
+	// A real serving cluster over loopback TCP: a frontend plus two
+	// resident nodes, each holding half of the ten-point dataset. The
+	// remote client then asks the same query as ExampleCluster_KNN and
+	// gets the same exact answer — over sockets, as one BSP epoch on the
+	// resident mesh.
+	shards := func(id, k int) (distknn.ScalarShard, error) {
+		all := []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+		per := len(all) / k
+		return distknn.ScalarShard{
+			Values:  all[id*per : (id+1)*per],
+			FirstID: uint64(id*per) + 1,
+		}, nil
+	}
+	srv, err := distknn.ServeLocal(2, 1, shards, distknn.NodeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	rc, err := distknn.DialCluster(srv.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer rc.Close()
+	neighbors, _, err := rc.KNN(distknn.Scalar(27), 3)
+	if err != nil {
+		panic(err)
+	}
+	for _, nb := range neighbors {
+		fmt.Println("distance", nb.Key.Dist)
+	}
+	// Output:
+	// distance 3
+	// distance 7
+	// distance 13
+}
+
 func ExampleSelectRank() {
 	values := []uint64{9, 1, 8, 2, 7, 3, 6, 4, 5}
 	cluster, err := distknn.NewScalarCluster(values, nil, distknn.Options{Machines: 3, Seed: 1})

@@ -1,0 +1,68 @@
+// TCP serving cluster: the persistent counterpart of examples/tcpcluster.
+// A frontend and k resident nodes mesh up over loopback sockets, elect a
+// leader once, and then answer a stream of queries — one BSP epoch per
+// query on the standing mesh — through the same RemoteCluster client a
+// remote process would use. Compare the per-query cost printed here with
+// examples/tcpcluster, which pays rendezvous + mesh + election for its
+// single query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distknn"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+func main() {
+	const (
+		k       = 4
+		perNode = 50_000
+		l       = 10
+		seed    = 2026
+		queries = 500
+	)
+
+	// Each node builds its shard from the shared seed at join time —
+	// exactly like a real deployment, where data lives with the node.
+	srv, err := distknn.ServeLocal(k, seed, distknn.PaperShards(seed, perNode), distknn.NodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving cluster up: %d nodes x %d points, leader=machine %d\n",
+		k, perNode, srv.Leader())
+
+	rc, err := distknn.DialCluster(srv.Addr())
+	if err != nil {
+		srv.Close()
+		log.Fatal(err)
+	}
+
+	var rounds, msgs int64
+	for i := 0; i < queries; i++ {
+		q := distknn.Scalar(xrand.NewStream(seed, 1<<40+uint64(i)).Uint64N(points.PaperDomain))
+		_, stats, err := rc.KNN(q, l)
+		if err != nil {
+			log.Fatalf("query %d: %v", i, err)
+		}
+		rounds += int64(stats.Rounds)
+		msgs += stats.Messages
+	}
+	// Labels are the values scaled to [0,1], so regression at the domain
+	// midpoint should come out near 0.5.
+	mean, _, err := rc.Regress(distknn.Scalar(1<<31), l)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d queries on one mesh: mean rounds=%.1f, mean messages=%.1f (election: 0 per query)\n",
+		queries, float64(rounds)/float64(queries), float64(msgs)/float64(queries))
+	fmt.Printf("bonus regression at the domain midpoint: mean label=%.4f\n", mean)
+
+	rc.Close()
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("clean shutdown")
+}

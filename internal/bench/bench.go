@@ -1,6 +1,8 @@
 // Package bench is the experiment harness: it regenerates every figure and
 // quantitative claim of the paper's evaluation as a table of measurements
-// (see DESIGN.md's per-experiment index, E1–E9).
+// (E1–E9), plus the serving-path experiments this repository adds on top —
+// E10 (persistent simulator runtime vs one-shot) and E11 (resident TCP mesh
+// vs one-shot, over real loopback sockets).
 //
 // Each experiment is a pure function from Params to tables; cmd/knnbench
 // renders them as text or CSV, and bench_test.go smoke-tests each one in

@@ -17,15 +17,15 @@ import (
 	"distknn/internal/xrand"
 )
 
-// Experiment couples an id from DESIGN.md's per-experiment index with its
-// runner.
+// Experiment couples a stable experiment id (E1–E11, addressable from
+// cmd/knnbench -experiment) with its runner.
 type Experiment struct {
 	ID          string
 	Description string
 	Run         func(p Params) ([]*Table, error)
 }
 
-// Experiments lists every reproducible artifact. Order matches DESIGN.md.
+// Experiments lists every reproducible artifact, in table-id order.
 var Experiments = []Experiment{
 	{"figure2", "Figure 2: speedup of Algorithm 2 over the simple method", Figure2},
 	{"rounds", "Theorem 2.4: rounds are O(log l) and independent of k", RoundsScaling},
@@ -37,6 +37,7 @@ var Experiments = []Experiment{
 	{"wallclock", "Section 3: wall-clock speedup as machines are added", WallClock},
 	{"constants", "Ablation: Lemma 2.3 constants (SampleFactor x CutFactor)", Constants},
 	{"throughput", "Serving: QPS of a persistent concurrent cluster vs the one-shot path", Throughput},
+	{"tcpserve", "Serving over loopback TCP: one-shot mesh per query vs resident mesh", TCPServe},
 }
 
 // ByID finds an experiment by its id.

@@ -43,15 +43,23 @@ func (r *ServeResult) Percentile(p float64) time.Duration {
 	return r.Latencies[int(p*float64(n-1))]
 }
 
+// Queryable is the query surface the serving driver needs. Both the
+// in-process *distknn.Cluster and the remote *distknn.RemoteCluster satisfy
+// it, so one driver measures either deployment.
+type Queryable[P any] interface {
+	KNN(q P, l int) ([]distknn.Item, *distknn.QueryStats, error)
+}
+
 // Serve is the shared serving-throughput driver used by the E10a experiment
-// and cmd/knnquery -serve: `workers` goroutines drain an atomic work queue
-// of `total` queries against one persistent cluster. query(i) generates the
-// i-th query point, so the workload is deterministic regardless of how the
-// queue interleaves across workers. One un-measured warm-up query (query(0))
-// primes the world pool and allocator before the clock starts; a warm-up
-// failure aborts the run with only FirstErr set. Failed queries are counted
-// (first error retained) and excluded from latencies and cost totals.
-func Serve[P any](cluster *distknn.Cluster[P], query func(i int) P, l, total, workers int) ServeResult {
+// and cmd/knnquery -serve / -connect: `workers` goroutines drain an atomic
+// work queue of `total` queries against one persistent cluster. query(i)
+// generates the i-th query point, so the workload is deterministic
+// regardless of how the queue interleaves across workers. One un-measured
+// warm-up query (query(0)) primes the world pool and allocator before the
+// clock starts; a warm-up failure aborts the run with only FirstErr set.
+// Failed queries are counted (first error retained) and excluded from
+// latencies and cost totals.
+func Serve[P any](cluster Queryable[P], query func(i int) P, l, total, workers int) ServeResult {
 	if workers < 1 {
 		workers = 1
 	}

@@ -25,7 +25,7 @@
 // All protocols treat the active range as half-open (lo, hi]: a pivot that
 // moves the lower boundary is itself excluded from the next iteration, which
 // avoids the double-count that a closed-interval reading of the paper's
-// pseudocode would allow (see DESIGN.md).
+// pseudocode would allow.
 package dsel
 
 import (

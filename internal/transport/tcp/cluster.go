@@ -9,16 +9,11 @@ import (
 	"distknn/internal/wire"
 )
 
-// Rendezvous message kinds.
-const (
-	ctlRegister = iota + 1 // node → coordinator: my mesh listen address
-	ctlAssign              // coordinator → node: id, k, seed, address book
-)
-
-// Coordinator performs rendezvous for a k-node cluster: nodes register their
-// mesh listen addresses, the coordinator assigns machine indices in
-// registration order and sends every node the full address book. It carries
-// no protocol traffic.
+// Coordinator performs rendezvous for a one-shot k-node cluster: nodes
+// register their mesh listen addresses, the coordinator assigns machine
+// indices in registration order and sends every node the full address book.
+// It carries no protocol traffic and exits after rendezvous. For a resident
+// serving cluster, use Frontend instead.
 type Coordinator struct {
 	ln   net.Listener
 	k    int
@@ -47,50 +42,129 @@ func (c *Coordinator) Close() error { return c.ln.Close() }
 // Wait accepts the k registrations and distributes assignments; it returns
 // when every node has been configured.
 func (c *Coordinator) Wait() error {
-	conns := make([]net.Conn, 0, c.k)
-	addrs := make([]string, 0, c.k)
+	conns, addrs, err := acceptRegistrations(c.ln, c.k)
 	defer func() {
 		for _, conn := range conns {
 			conn.Close()
 		}
 	}()
-	for len(conns) < c.k {
-		conn, err := c.ln.Accept()
+	if err != nil {
+		return err
+	}
+	for id, conn := range conns {
+		if err := writeAssign(conn, wire.ModeOneShot, id, c.k, c.seed, addrs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// acceptRegistrations collects k KindRegister frames from ln, returning the
+// control connections and mesh addresses in registration order. On error the
+// already-accepted connections are still returned so the caller can close
+// them.
+func acceptRegistrations(ln net.Listener, k int) ([]net.Conn, []string, error) {
+	conns := make([]net.Conn, 0, k)
+	addrs := make([]string, 0, k)
+	for len(conns) < k {
+		conn, err := ln.Accept()
 		if err != nil {
-			return fmt.Errorf("tcp: coordinator accept: %w", err)
+			return conns, addrs, fmt.Errorf("tcp: coordinator accept: %w", err)
 		}
-		payload, err := wire.ReadFrame(conn)
+		addr, err := readRegister(conn)
 		if err != nil {
 			conn.Close()
-			return fmt.Errorf("tcp: coordinator read register: %w", err)
-		}
-		r := wire.NewReader(payload)
-		if kind := r.U8(); kind != ctlRegister {
-			conn.Close()
-			return fmt.Errorf("tcp: expected register, got kind %d", kind)
-		}
-		addr := r.String()
-		if err := r.Err(); err != nil {
-			conn.Close()
-			return fmt.Errorf("tcp: bad register: %w", err)
+			return conns, addrs, err
 		}
 		conns = append(conns, conn)
 		addrs = append(addrs, addr)
 	}
-	for id, conn := range conns {
-		var w wire.Writer
-		w.U8(ctlAssign)
-		w.Varint(uint64(id))
-		w.Varint(uint64(c.k))
-		w.U64(c.seed)
-		for _, a := range addrs {
-			w.String(a)
-		}
-		if err := wire.WriteFrame(conn, w.Bytes()); err != nil {
-			return fmt.Errorf("tcp: coordinator assign to %d: %w", id, err)
-		}
+	return conns, addrs, nil
+}
+
+// readRegister decodes one KindRegister frame from a fresh connection.
+func readRegister(conn net.Conn) (string, error) {
+	payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return "", fmt.Errorf("tcp: coordinator read register: %w", err)
+	}
+	r := wire.NewReader(payload)
+	if kind := r.U8(); kind != wire.KindRegister {
+		return "", fmt.Errorf("tcp: expected register, got kind %d", kind)
+	}
+	addr := r.String()
+	if err := r.Err(); err != nil {
+		return "", fmt.Errorf("tcp: bad register: %w", err)
+	}
+	return addr, nil
+}
+
+// writeAssign sends one KindAssign frame: session mode, machine index,
+// cluster size, session seed and the full mesh address book.
+func writeAssign(conn net.Conn, mode uint8, id, k int, seed uint64, addrs []string) error {
+	var w wire.Writer
+	w.U8(wire.KindAssign)
+	w.U8(mode)
+	w.Varint(uint64(id))
+	w.Varint(uint64(k))
+	w.U64(seed)
+	for _, a := range addrs {
+		w.String(a)
+	}
+	if err := wire.WriteFrame(conn, w.Bytes()); err != nil {
+		return fmt.Errorf("tcp: coordinator assign to %d: %w", id, err)
 	}
 	return nil
+}
+
+// assignment is what a node learns from the coordinator at join time.
+type assignment struct {
+	mode  uint8
+	id, k int
+	seed  uint64
+	addrs []string
+}
+
+// join registers ln's address with the coordinator and reads back the
+// assignment. The returned control connection stays open; a one-shot node
+// closes it immediately, a serving node keeps it for dispatches.
+func join(coordAddr string, ln net.Listener) (net.Conn, assignment, error) {
+	coord, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		return nil, assignment{}, fmt.Errorf("tcp: dial coordinator: %w", err)
+	}
+	var reg wire.Writer
+	reg.U8(wire.KindRegister)
+	reg.String(ln.Addr().String())
+	if err := wire.WriteFrame(coord, reg.Bytes()); err != nil {
+		coord.Close()
+		return nil, assignment{}, fmt.Errorf("tcp: register: %w", err)
+	}
+	payload, err := wire.ReadFrame(coord)
+	if err != nil {
+		coord.Close()
+		return nil, assignment{}, fmt.Errorf("tcp: read assignment: %w", err)
+	}
+	r := wire.NewReader(payload)
+	if kind := r.U8(); kind != wire.KindAssign {
+		coord.Close()
+		return nil, assignment{}, fmt.Errorf("tcp: expected assignment, got kind %d", kind)
+	}
+	a := assignment{
+		mode: r.U8(),
+		id:   int(r.Varint()),
+		k:    int(r.Varint()),
+		seed: r.U64(),
+	}
+	a.addrs = make([]string, a.k)
+	for i := range a.addrs {
+		a.addrs[i] = r.String()
+	}
+	if err := r.Err(); err != nil {
+		coord.Close()
+		return nil, assignment{}, fmt.Errorf("tcp: bad assignment: %w", err)
+	}
+	return coord, a, nil
 }
 
 // RunNode joins the cluster at the coordinator's address and executes prog
@@ -104,41 +178,20 @@ func RunNode(coordAddr, meshAddr string, prog kmachine.Program) (Metrics, error)
 	}
 	defer ln.Close()
 
-	coord, err := net.Dial("tcp", coordAddr)
-	if err != nil {
-		return Metrics{}, fmt.Errorf("tcp: dial coordinator: %w", err)
-	}
-	defer coord.Close()
-	var reg wire.Writer
-	reg.U8(ctlRegister)
-	reg.String(ln.Addr().String())
-	if err := wire.WriteFrame(coord, reg.Bytes()); err != nil {
-		return Metrics{}, fmt.Errorf("tcp: register: %w", err)
-	}
-	payload, err := wire.ReadFrame(coord)
-	if err != nil {
-		return Metrics{}, fmt.Errorf("tcp: read assignment: %w", err)
-	}
-	r := wire.NewReader(payload)
-	if kind := r.U8(); kind != ctlAssign {
-		return Metrics{}, fmt.Errorf("tcp: expected assignment, got kind %d", kind)
-	}
-	id := int(r.Varint())
-	k := int(r.Varint())
-	seed := r.U64()
-	addrs := make([]string, k)
-	for i := range addrs {
-		addrs[i] = r.String()
-	}
-	if err := r.Err(); err != nil {
-		return Metrics{}, fmt.Errorf("tcp: bad assignment: %w", err)
-	}
-
-	conns, err := buildMesh(ln, id, k, addrs)
+	coord, a, err := join(coordAddr, ln)
 	if err != nil {
 		return Metrics{}, err
 	}
-	node := newNode(id, k, seed, conns)
+	defer coord.Close()
+	if a.mode != wire.ModeOneShot {
+		return Metrics{}, fmt.Errorf("tcp: coordinator runs mode %d, RunNode requires one-shot; use ServeNode", a.mode)
+	}
+
+	conns, err := buildMesh(ln, a.id, a.k, a.addrs)
+	if err != nil {
+		return Metrics{}, err
+	}
+	node := newNode(a.id, a.k, a.seed, conns)
 	return node.runProgram(prog)
 }
 

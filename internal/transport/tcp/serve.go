@@ -1,0 +1,692 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"distknn/internal/keys"
+	"distknn/internal/kmachine"
+	"distknn/internal/points"
+	"distknn/internal/wire"
+	"distknn/internal/xrand"
+)
+
+// SetupSeedStream is the seed-derivation stream reserved for the setup epoch
+// (leader election). It matches the stream the in-process facade reserves
+// for its construction-time election, so a serving TCP cluster and an
+// in-process Cluster built from the same session seed derive identical
+// election randomness. Query epochs use the small positive ordinals
+// 1, 2, 3, …, which never collide with it.
+const SetupSeedStream = ^uint64(0)
+
+// SessionInfo is what a node's Handler learns during the setup epoch and
+// reports to the frontend in its KindReady frame.
+type SessionInfo struct {
+	// Leader is the elected leader's machine index (identical on every
+	// node — the frontend verifies agreement before serving).
+	Leader int
+	// ShardLen is the number of points this node holds; the frontend sums
+	// the shards to validate ℓ against the global point count.
+	ShardLen int
+	// PointTag is the wire encoding this node's shard understands
+	// (wire.PointScalar, …); the frontend rejects mismatched queries.
+	PointTag uint8
+}
+
+// EpochResult is one node's local outcome of a query epoch. Winners is this
+// node's share of the global answer; the remaining fields are only read from
+// the leader node's result.
+type EpochResult struct {
+	Winners    []points.Item
+	Boundary   keys.Key
+	Survivors  int64
+	FellBack   bool
+	Iterations int
+	Value      float64 // OpClassify / OpRegress aggregate
+}
+
+// Handler is the per-node protocol logic a resident node runs: one Setup
+// epoch at session start (leader election, shard discovery), then one Query
+// epoch per dispatched client query. Both run inside a BSP epoch on the
+// standing mesh, so they may freely use the full kmachine.Env protocol
+// surface. A Handler instance belongs to one node; it may keep state (the
+// shard, the elected leader) across calls.
+type Handler interface {
+	Setup(m kmachine.Env) (SessionInfo, error)
+	Query(m kmachine.Env, q wire.Query) (EpochResult, error)
+}
+
+// ServeNode joins the serving cluster at the frontend's address and stays
+// resident: it meshes up once, runs h.Setup as the setup epoch, reports
+// readiness, and then executes one BSP epoch per dispatched query until the
+// frontend shuts the session down (clean return) or the mesh breaks.
+//
+// A query epoch whose program fails (including a program failure on a peer)
+// is reported to the frontend and serving continues; only transport-level
+// failures end the session with an error.
+func ServeNode(coordAddr, meshAddr string, h Handler) error {
+	ln, err := net.Listen("tcp", meshAddr)
+	if err != nil {
+		return fmt.Errorf("tcp: node mesh listen: %w", err)
+	}
+	defer ln.Close()
+
+	coord, a, err := join(coordAddr, ln)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	if a.mode != wire.ModeServe {
+		return fmt.Errorf("tcp: coordinator runs mode %d, ServeNode requires serving; use RunNode", a.mode)
+	}
+
+	conns, err := buildMesh(ln, a.id, a.k, a.addrs)
+	if err != nil {
+		return err
+	}
+	node := newNode(a.id, a.k, a.seed, conns)
+	defer node.closePeers()
+
+	// Setup epoch (ordinal 0): elect the leader exactly once per session.
+	var info SessionInfo
+	if _, err := node.runEpoch(0, xrand.DeriveSeed(a.seed, SetupSeedStream), func(m kmachine.Env) error {
+		var err error
+		info, err = h.Setup(m)
+		return err
+	}); err != nil {
+		_ = writeNodeError(coord, 0, err)
+		return fmt.Errorf("tcp: node %d setup: %w", a.id, err)
+	}
+	var ready wire.Writer
+	ready.U8(wire.KindReady)
+	ready.Varint(uint64(a.id))
+	ready.Varint(uint64(info.Leader))
+	ready.Varint(uint64(info.ShardLen))
+	ready.U8(info.PointTag)
+	if err := wire.WriteFrame(coord, ready.Bytes()); err != nil {
+		return fmt.Errorf("tcp: node %d ready: %w", a.id, err)
+	}
+
+	for {
+		payload, err := wire.ReadFrame(coord)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // frontend closed the session
+			}
+			return fmt.Errorf("tcp: node %d read dispatch: %w", a.id, err)
+		}
+		r := wire.NewReader(payload)
+		switch kind := r.U8(); kind {
+		case wire.KindShutdown:
+			return nil
+		case wire.KindDispatch:
+			epoch := r.Varint()
+			q, err := wire.DecodeQuery(r)
+			if err != nil {
+				return fmt.Errorf("tcp: node %d bad dispatch: %w", a.id, err)
+			}
+			var res EpochResult
+			met, err := node.runEpoch(epoch, xrand.DeriveSeed(a.seed, epoch), func(m kmachine.Env) error {
+				var err error
+				res, err = h.Query(m, q)
+				return err
+			})
+			if err != nil {
+				if werr := writeNodeError(coord, epoch, err); werr != nil {
+					return fmt.Errorf("tcp: node %d report error: %w", a.id, werr)
+				}
+				if IsTransportError(err) {
+					return fmt.Errorf("tcp: node %d epoch %d: %w", a.id, epoch, err)
+				}
+				continue // query failed, session intact
+			}
+			nr := wire.NodeResult{
+				Epoch:    epoch,
+				Node:     a.id,
+				Rounds:   met.Rounds,
+				Messages: met.Messages,
+				Bytes:    met.Bytes,
+				IsLeader: a.id == info.Leader,
+			}
+			// The winner share only travels for KNN queries; Classify and
+			// Regress replies carry the aggregate value, so shipping (and
+			// the frontend merging) up to ℓ items would be wasted work.
+			if q.Op == wire.OpKNN {
+				nr.Winners = res.Winners
+			}
+			if nr.IsLeader {
+				nr.Boundary = res.Boundary
+				nr.Survivors = res.Survivors
+				nr.FellBack = res.FellBack
+				nr.Iterations = res.Iterations
+				nr.Value = res.Value
+			}
+			if err := wire.WriteFrame(coord, wire.EncodeNodeResult(nr)); err != nil {
+				return fmt.Errorf("tcp: node %d report result: %w", a.id, err)
+			}
+		default:
+			return fmt.Errorf("tcp: node %d got unexpected control kind %d", a.id, kind)
+		}
+	}
+}
+
+// writeNodeError reports a failed epoch. The origin byte is 1 when the
+// failure originated in this node's own program (as opposed to a peer's
+// error frame or a transport fault), so the frontend can surface the root
+// cause instead of k−1 "aborted by peer" echoes.
+func writeNodeError(coord net.Conn, epoch uint64, err error) error {
+	origin := uint8(0)
+	if !IsTransportError(err) && !errors.Is(err, errPeerAbort) {
+		origin = 1
+	}
+	var w wire.Writer
+	w.U8(wire.KindError)
+	w.Varint(epoch)
+	w.U8(origin)
+	w.String(err.Error())
+	return wire.WriteFrame(coord, w.Bytes())
+}
+
+// Frontend is the client-facing side of a serving cluster. It performs
+// rendezvous exactly like a Coordinator, but then stays resident: it keeps
+// the control connection to every node, dispatches one BSP epoch per client
+// query, merges the nodes' winner shares, and answers the client. Protocol
+// traffic between nodes still flows over the mesh only; the frontend
+// carries queries in and merged results out.
+//
+// Query epochs are serialized: one query is in flight at a time, and
+// concurrent clients are queued in arrival order. Epoch ordinals (and with
+// them the per-epoch seeds) therefore follow the global query arrival
+// order, mirroring the in-process Cluster's atomic query counter.
+type Frontend struct {
+	ln   net.Listener
+	k    int
+	seed uint64
+
+	ready    chan struct{} // closed once serving (or failed); see readyErr
+	readyErr error         // written before ready closes on failure
+
+	mu     sync.Mutex // guards the fields below and serializes epochs
+	nodes  []net.Conn // control connections, indexed by machine id
+	leader int
+	total  int64 // global point count (sum of shard sizes)
+	tag    uint8 // point encoding the nodes serve
+	epoch  uint64
+	broken error // first session-fatal failure
+
+	clientsMu sync.Mutex
+	clients   map[net.Conn]struct{} // live client connections, for Close
+
+	closed atomic.Bool
+}
+
+// NewFrontend starts the serving listener on addr for a k-node cluster with
+// the given session seed. Call Serve to run the session.
+func NewFrontend(addr string, k int, seed uint64) (*Frontend, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("tcp: frontend needs k >= 1, got %d", k)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: frontend listen: %w", err)
+	}
+	return &Frontend{
+		ln: ln, k: k, seed: seed,
+		ready:   make(chan struct{}),
+		leader:  -1,
+		clients: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// trackClient registers a live client connection; it refuses (and the
+// caller must drop the connection) once the frontend is closed.
+func (f *Frontend) trackClient(conn net.Conn) bool {
+	f.clientsMu.Lock()
+	defer f.clientsMu.Unlock()
+	if f.closed.Load() {
+		return false
+	}
+	f.clients[conn] = struct{}{}
+	return true
+}
+
+func (f *Frontend) untrackClient(conn net.Conn) {
+	f.clientsMu.Lock()
+	defer f.clientsMu.Unlock()
+	delete(f.clients, conn)
+}
+
+// Addr returns the frontend's dialable address (nodes and clients share it).
+func (f *Frontend) Addr() string { return f.ln.Addr().String() }
+
+// Serve runs the session: it accepts the k node registrations, configures
+// the mesh, waits for every node's ready report, and then answers client
+// queries until Close. A connection's first frame decides its role —
+// KindRegister makes it a node control connection, KindQuery a client.
+func (f *Frontend) Serve() error {
+	type reg struct {
+		conn net.Conn
+		addr string
+	}
+	regCh := make(chan reg)
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			conn, err := f.ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				payload, err := wire.ReadFrame(conn)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				r := wire.NewReader(payload)
+				switch kind := r.U8(); kind {
+				case wire.KindRegister:
+					addr := r.String()
+					if r.Err() != nil {
+						conn.Close()
+						return
+					}
+					select {
+					case regCh <- reg{conn, addr}:
+					case <-f.ready: // late registration: cluster is full
+						conn.Close()
+					}
+				case wire.KindQuery:
+					f.serveClient(conn, payload)
+				default:
+					conn.Close()
+				}
+			}()
+		}
+	}()
+
+	// Rendezvous: collect k registrations, assign ids in arrival order.
+	conns := make([]net.Conn, 0, f.k)
+	addrs := make([]string, 0, f.k)
+
+	fail := func(err error) error {
+		// Release every registered node — a resident node blocked on its
+		// control connection (ready wait or dispatch loop) exits cleanly
+		// on EOF — and the listener, so a failed session neither strands
+		// the cluster nor keeps the port bound after Serve returns.
+		for _, conn := range conns {
+			conn.Close()
+		}
+		f.ln.Close()
+		f.readyErr = err
+		close(f.ready)
+		if f.closed.Load() {
+			return nil
+		}
+		return err
+	}
+	for len(conns) < f.k {
+		select {
+		case r := <-regCh:
+			conns = append(conns, r.conn)
+			addrs = append(addrs, r.addr)
+		case <-acceptDone:
+			return fail(fmt.Errorf("tcp: frontend closed with %d of %d nodes registered", len(conns), f.k))
+		}
+	}
+	for id, conn := range conns {
+		if err := writeAssign(conn, wire.ModeServe, id, f.k, f.seed, addrs); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Wait for every node's post-setup report and verify agreement. All k
+	// frames are drained before failing so that a setup error surfaces
+	// the originating node's message (origin=1) instead of whichever
+	// peer-abort echo happens to arrive on the lowest id.
+	leader, tag := -1, uint8(0)
+	var total int64
+	haveFirst := false
+	var setupErr error
+	setupOrigin := false
+	record := func(origin bool, err error) {
+		if setupErr == nil || (origin && !setupOrigin) {
+			setupErr, setupOrigin = err, origin
+		}
+	}
+	for id, conn := range conns {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			record(false, fmt.Errorf("tcp: frontend read ready from node %d: %w", id, err))
+			continue
+		}
+		r := wire.NewReader(payload)
+		switch kind := r.U8(); kind {
+		case wire.KindError:
+			r.Varint() // epoch
+			origin := r.U8() == 1
+			msg := r.String()
+			if r.Err() != nil {
+				record(false, fmt.Errorf("tcp: bad setup error from node %d", id))
+				continue
+			}
+			record(origin, fmt.Errorf("tcp: node %d failed setup: %s", id, msg))
+		case wire.KindReady:
+			nid := int(r.Varint())
+			nodeLeader := int(r.Varint())
+			shardLen := int64(r.Varint())
+			nodeTag := r.U8()
+			if err := r.Err(); err != nil {
+				record(false, fmt.Errorf("tcp: bad ready from node %d: %w", id, err))
+				continue
+			}
+			if nid != id {
+				record(false, fmt.Errorf("tcp: node %d reported ready as %d", id, nid))
+				continue
+			}
+			if !haveFirst {
+				leader, tag, haveFirst = nodeLeader, nodeTag, true
+			} else if nodeLeader != leader {
+				record(true, fmt.Errorf("tcp: node %d elected %d, an earlier node elected %d", id, nodeLeader, leader))
+			} else if nodeTag != tag {
+				record(true, fmt.Errorf("tcp: node %d serves point tag %d, an earlier node serves %d", id, nodeTag, tag))
+			}
+			total += shardLen
+		default:
+			record(false, fmt.Errorf("tcp: expected ready from node %d, got kind %d", id, kind))
+		}
+	}
+	if setupErr != nil {
+		return fail(setupErr)
+	}
+
+	f.mu.Lock()
+	f.nodes = conns
+	f.leader = leader
+	f.total = total
+	f.tag = tag
+	f.mu.Unlock()
+	close(f.ready)
+
+	<-acceptDone
+	return nil
+}
+
+// Leader returns the cluster's elected leader (-1 before the session is
+// ready).
+func (f *Frontend) Leader() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leader
+}
+
+// Close ends the session: it stops accepting connections, asks every node
+// to shut down, and releases the control and client connections. In-flight
+// queries complete first. Safe to call more than once.
+func (f *Frontend) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := f.ln.Close()
+	f.mu.Lock()
+	for _, conn := range f.nodes {
+		var w wire.Writer
+		w.U8(wire.KindShutdown)
+		_ = wire.WriteFrame(conn, w.Bytes())
+		conn.Close()
+	}
+	f.nodes = nil
+	f.mu.Unlock()
+	// Unblock serveClient goroutines parked in ReadFrame so a long-lived
+	// process reclaims their goroutines and sockets.
+	f.clientsMu.Lock()
+	defer f.clientsMu.Unlock()
+	for conn := range f.clients {
+		conn.Close()
+	}
+	f.clients = nil
+	return err
+}
+
+// serveClient answers one client connection's query stream; first is the
+// already-read first frame.
+func (f *Frontend) serveClient(conn net.Conn, first []byte) {
+	defer conn.Close()
+	if !f.trackClient(conn) {
+		return
+	}
+	defer f.untrackClient(conn)
+	<-f.ready
+	payload := first
+	for {
+		var rep wire.Reply
+		if f.readyErr != nil {
+			rep = wire.Reply{Err: fmt.Sprintf("cluster unavailable: %v", f.readyErr)}
+		} else {
+			r := wire.NewReader(payload)
+			if kind := r.U8(); kind != wire.KindQuery {
+				return
+			}
+			q, err := wire.DecodeQuery(r)
+			if err != nil {
+				rep = wire.Reply{Err: fmt.Sprintf("bad query: %v", err)}
+			} else {
+				rep = f.query(q)
+			}
+		}
+		if err := wire.WriteFrame(conn, wire.EncodeReply(rep)); err != nil {
+			return
+		}
+		var err error
+		if payload, err = wire.ReadFrame(conn); err != nil {
+			return
+		}
+	}
+}
+
+// query runs one query epoch across the resident nodes and merges the
+// result. It holds the epoch lock for the whole round trip.
+func (f *Frontend) query(q wire.Query) wire.Reply {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken != nil {
+		return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
+	}
+	if f.nodes == nil {
+		return wire.Reply{Err: "cluster unavailable"}
+	}
+	if q.Op < wire.OpKNN || q.Op > wire.OpRegress {
+		return wire.Reply{Err: fmt.Sprintf("unknown op %d", q.Op)}
+	}
+	if q.Tag != f.tag {
+		return wire.Reply{Err: fmt.Sprintf("cluster serves point tag %d, query uses %d", f.tag, q.Tag)}
+	}
+	if q.L < 1 || int64(q.L) > f.total {
+		return wire.Reply{Err: fmt.Sprintf("l=%d out of range [1, %d]", q.L, f.total)}
+	}
+
+	f.epoch++
+	dispatch := wire.EncodeDispatch(f.epoch, q)
+	for id, conn := range f.nodes {
+		if err := wire.WriteFrame(conn, dispatch); err != nil {
+			f.broken = fmt.Errorf("dispatch to node %d: %w", id, err)
+			return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
+		}
+	}
+
+	var rep wire.Reply
+	var epochErr string
+	epochErrOrigin := false
+	for id, conn := range f.nodes {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			f.broken = fmt.Errorf("result from node %d: %w", id, err)
+			return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
+		}
+		r := wire.NewReader(payload)
+		switch kind := r.U8(); kind {
+		case wire.KindError:
+			epoch := r.Varint()
+			origin := r.U8() == 1
+			msg := r.String()
+			if r.Err() != nil || epoch != f.epoch {
+				f.broken = fmt.Errorf("node %d sent malformed or stale error", id)
+				return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
+			}
+			if epochErr == "" || (origin && !epochErrOrigin) {
+				epochErr = fmt.Sprintf("node %d: %s", id, msg)
+				epochErrOrigin = origin
+			}
+		case wire.KindResult:
+			nr, err := wire.DecodeNodeResult(r)
+			if err != nil || nr.Epoch != f.epoch || nr.Node != id {
+				f.broken = fmt.Errorf("node %d sent malformed or stale result (%v)", id, err)
+				return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
+			}
+			if nr.Rounds > rep.Rounds {
+				rep.Rounds = nr.Rounds
+			}
+			rep.Messages += nr.Messages
+			rep.Bytes += nr.Bytes
+			rep.Items = append(rep.Items, nr.Winners...)
+			if nr.IsLeader {
+				rep.Boundary = nr.Boundary
+				rep.Survivors = nr.Survivors
+				rep.FellBack = nr.FellBack
+				rep.Iterations = nr.Iterations
+				rep.Value = nr.Value
+			}
+		default:
+			f.broken = fmt.Errorf("node %d sent unexpected kind %d", id, kind)
+			return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
+		}
+	}
+	if epochErr != "" {
+		return wire.Reply{Err: fmt.Sprintf("query failed: %s", epochErr)}
+	}
+	rep.Leader = f.leader
+	points.SortItems(rep.Items)
+	if q.Op != wire.OpKNN {
+		rep.Items = nil
+	}
+	return rep
+}
+
+// Client is a remote handle on a serving cluster: it speaks the
+// query/reply half of the protocol over one connection. Queries on one
+// Client are serialized (the frontend serializes epochs globally anyway);
+// it is safe for concurrent use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialFrontend connects to a serving frontend.
+func DialFrontend(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial frontend: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Do sends one query and waits for the reply. A Reply with a non-empty Err
+// is returned as a Go error.
+func (c *Client) Do(q wire.Query) (wire.Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.conn, wire.EncodeQuery(q)); err != nil {
+		return wire.Reply{}, fmt.Errorf("tcp: send query: %w", err)
+	}
+	payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return wire.Reply{}, fmt.Errorf("tcp: read reply: %w", err)
+	}
+	r := wire.NewReader(payload)
+	if kind := r.U8(); kind != wire.KindReply {
+		return wire.Reply{}, fmt.Errorf("tcp: expected reply, got kind %d", kind)
+	}
+	rep, err := wire.DecodeReply(r)
+	if err != nil {
+		return wire.Reply{}, fmt.Errorf("tcp: bad reply: %w", err)
+	}
+	if rep.Err != "" {
+		return wire.Reply{}, fmt.Errorf("tcp: remote: %s", rep.Err)
+	}
+	return rep, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// LocalCluster is an in-process serving deployment over loopback sockets:
+// one frontend plus k resident nodes, each on its own goroutine. It exists
+// for tests, benchmarks and single-binary demos of the serving path.
+type LocalCluster struct {
+	fe       *Frontend
+	serveErr chan error
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	nodeErrs []error
+}
+
+// ServeLocal starts a loopback serving cluster. newHandler builds one
+// Handler per node (each node needs its own instance, since a Handler keeps
+// per-node state); node identities are assigned at join time, so handlers
+// must discover their shard through the Env they are given. The cluster is
+// ready to serve (and Addr dialable by clients) when ServeLocal returns.
+func ServeLocal(k int, seed uint64, newHandler func() Handler) (*LocalCluster, error) {
+	fe, err := NewFrontend("127.0.0.1:0", k, seed)
+	if err != nil {
+		return nil, err
+	}
+	lc := &LocalCluster{fe: fe, serveErr: make(chan error, 1)}
+	go func() { lc.serveErr <- fe.Serve() }()
+	for i := 0; i < k; i++ {
+		lc.wg.Add(1)
+		go func() {
+			defer lc.wg.Done()
+			if err := ServeNode(fe.Addr(), "127.0.0.1:0", newHandler()); err != nil {
+				lc.mu.Lock()
+				lc.nodeErrs = append(lc.nodeErrs, err)
+				lc.mu.Unlock()
+			}
+		}()
+	}
+	// Wait until the session is ready (or failed) before handing it out.
+	<-fe.ready
+	if fe.readyErr != nil {
+		err := fe.readyErr
+		lc.Close()
+		return nil, err
+	}
+	return lc, nil
+}
+
+// Addr returns the frontend address clients should dial.
+func (lc *LocalCluster) Addr() string { return lc.fe.Addr() }
+
+// Leader returns the elected leader machine.
+func (lc *LocalCluster) Leader() int { return lc.fe.Leader() }
+
+// Close shuts the cluster down and reports the first failure observed by
+// the frontend or any node.
+func (lc *LocalCluster) Close() error {
+	lc.fe.Close()
+	err := <-lc.serveErr
+	lc.wg.Wait()
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if len(lc.nodeErrs) > 0 {
+		return lc.nodeErrs[0]
+	}
+	return nil
+}

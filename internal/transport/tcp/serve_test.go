@@ -1,0 +1,199 @@
+package tcp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"distknn/internal/election"
+	"distknn/internal/keys"
+	"distknn/internal/kmachine"
+	"distknn/internal/points"
+	"distknn/internal/wire"
+)
+
+// echoHandler is a minimal serving protocol for transport tests: the setup
+// epoch elects a min-GUID leader; each query epoch broadcasts the node's id,
+// gathers the peers', and returns one synthetic "winner" per node so the
+// frontend's merge path is exercised. A query for the magic value 1313 fails
+// on node 1, exercising epoch-failure recovery.
+type echoHandler struct {
+	leader int
+}
+
+func (h *echoHandler) Setup(m kmachine.Env) (SessionInfo, error) {
+	leader, err := election.MinGUID(m)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	h.leader = leader
+	return SessionInfo{Leader: leader, ShardLen: 10, PointTag: wire.PointScalar}, nil
+}
+
+func (h *echoHandler) Query(m kmachine.Env, q wire.Query) (EpochResult, error) {
+	v, err := wire.DecodeScalarPoint(q.Point)
+	if err != nil {
+		return EpochResult{}, err
+	}
+	if v == 1313 && m.ID() == 1 {
+		return EpochResult{}, fmt.Errorf("unlucky query")
+	}
+	// One real BSP round so epochs exercise the mesh.
+	m.Broadcast([]byte{byte(m.ID())})
+	m.EndRound()
+	if got := len(m.Gather(m.K() - 1)); got != m.K()-1 {
+		return EpochResult{}, fmt.Errorf("gathered %d of %d", got, m.K()-1)
+	}
+	res := EpochResult{
+		Winners: []points.Item{{Key: keys.Key{Dist: v*10 + uint64(m.ID()), ID: uint64(m.ID()) + 1}}},
+	}
+	if m.ID() == h.leader {
+		res.Boundary = keys.Key{Dist: v}
+		res.Value = float64(v)
+	}
+	return res, nil
+}
+
+func startEchoCluster(t *testing.T, k int, seed uint64) (*LocalCluster, *Client) {
+	t.Helper()
+	lc, err := ServeLocal(k, seed, func() Handler { return &echoHandler{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := DialFrontend(lc.Addr())
+	if err != nil {
+		lc.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		if err := lc.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return lc, client
+}
+
+func TestServeManyEpochsOverOneMesh(t *testing.T) {
+	k := 3
+	lc, client := startEchoCluster(t, k, 7)
+	if l := lc.Leader(); l < 0 || l >= k {
+		t.Fatalf("leader = %d", l)
+	}
+	for v := uint64(1); v <= 50; v++ {
+		rep, err := client.Do(wire.Query{
+			Op: wire.OpKNN, L: 1, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(v),
+		})
+		if err != nil {
+			t.Fatalf("query %d: %v", v, err)
+		}
+		if len(rep.Items) != k {
+			t.Fatalf("query %d: %d items, want %d", v, len(rep.Items), k)
+		}
+		for id, it := range rep.Items {
+			want := keys.Key{Dist: v*10 + uint64(id), ID: uint64(id) + 1}
+			if it.Key != want {
+				t.Fatalf("query %d item %d = %v, want %v", v, id, it.Key, want)
+			}
+		}
+		if rep.Boundary.Dist != v || rep.Leader != lc.Leader() {
+			t.Fatalf("query %d: boundary %v leader %d", v, rep.Boundary, rep.Leader)
+		}
+		if rep.Rounds < 1 || rep.Messages < int64(k*(k-1)) {
+			t.Fatalf("query %d: implausible cost rounds=%d msgs=%d", v, rep.Rounds, rep.Messages)
+		}
+	}
+}
+
+func TestServeEpochFailureKeepsSessionAlive(t *testing.T) {
+	_, client := startEchoCluster(t, 3, 8)
+	ok := func(v uint64) wire.Reply {
+		t.Helper()
+		rep, err := client.Do(wire.Query{Op: wire.OpKNN, L: 1, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(v)})
+		if err != nil {
+			t.Fatalf("query %d: %v", v, err)
+		}
+		return rep
+	}
+	ok(5)
+	if _, err := client.Do(wire.Query{Op: wire.OpKNN, L: 1, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(1313)}); err == nil {
+		t.Fatal("magic query should fail")
+	} else if !strings.Contains(err.Error(), "unlucky") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The session must survive a failed epoch.
+	for v := uint64(20); v < 30; v++ {
+		ok(v)
+	}
+}
+
+func TestFrontendValidatesQueries(t *testing.T) {
+	_, client := startEchoCluster(t, 2, 9)
+	cases := []struct {
+		name string
+		q    wire.Query
+	}{
+		{"bad op", wire.Query{Op: 99, L: 1, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(1)}},
+		{"bad tag", wire.Query{Op: wire.OpKNN, L: 1, Tag: wire.PointVector, Point: wire.EncodeScalarPoint(1)}},
+		{"l too small", wire.Query{Op: wire.OpKNN, L: 0, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(1)}},
+		{"l too large", wire.Query{Op: wire.OpKNN, L: 21, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(1)}},
+	}
+	for _, tc := range cases {
+		if _, err := client.Do(tc.q); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	// Validation failures must not have consumed an epoch or broken the
+	// session.
+	if _, err := client.Do(wire.Query{Op: wire.OpKNN, L: 1, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(4)}); err != nil {
+		t.Fatalf("valid query after rejections: %v", err)
+	}
+}
+
+// mismatchedTagHandler makes every node report a different point tag, so
+// the frontend must reject the session during the ready phase.
+type mismatchedTagHandler struct{ echoHandler }
+
+func (h *mismatchedTagHandler) Setup(m kmachine.Env) (SessionInfo, error) {
+	info, err := h.echoHandler.Setup(m)
+	info.PointTag += uint8(m.ID())
+	return info, err
+}
+
+func TestFailedSessionReleasesNodes(t *testing.T) {
+	// A session that fails validation must close the node control
+	// connections so every resident node exits — ServeLocal's error-path
+	// Close would otherwise deadlock waiting for them.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		lc, err := ServeLocal(3, 4, func() Handler { return &mismatchedTagHandler{} })
+		if err == nil {
+			lc.Close()
+			t.Error("mismatched point tags must fail the session")
+		} else if !strings.Contains(err.Error(), "point tag") {
+			t.Errorf("unexpected error: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("failed session left nodes (or ServeLocal) hanging")
+	}
+}
+
+func TestRunNodeRejectsServingCoordinator(t *testing.T) {
+	fe, err := NewFrontend("127.0.0.1:0", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- fe.Serve() }()
+	if _, err := RunNode(fe.Addr(), "127.0.0.1:0", func(m kmachine.Env) error { return nil }); err == nil || !strings.Contains(err.Error(), "one-shot") {
+		t.Fatalf("RunNode against a frontend should fail with mode mismatch, got %v", err)
+	}
+	fe.Close()
+	<-serveDone
+}

@@ -1,7 +1,6 @@
 // Package tcp runs k-machine programs over real TCP sockets: one process (or
 // goroutine) per machine, a full connection mesh between them, and a
-// coordinator that only performs rendezvous (ID assignment and address
-// exchange) — data never flows through it.
+// coordinator that performs rendezvous (ID assignment and address exchange).
 //
 // The synchronous-round semantics match the in-process simulator exactly:
 // messages sent in round r are delivered at the start of round r+1. Rounds
@@ -16,9 +15,26 @@
 // A node that finishes marks its final frame with a halt flag; peers stop
 // expecting frames from it. A node that fails broadcasts an error flag,
 // which aborts every peer's run.
+//
+// Two deployment styles are offered, mirroring internal/kmachine's Run vs
+// Runtime split:
+//
+//   - One-shot (RunNode, RunLocal): the mesh is built, a single program
+//     runs, and everything is torn down — the coordinator carries no
+//     protocol traffic and exits after rendezvous.
+//
+//   - Serving (Frontend, ServeNode, ServeLocal, Client): the nodes stay
+//     resident after rendezvous, run a setup epoch once (leader election),
+//     and then execute one BSP epoch per query dispatched by the frontend,
+//     which also answers remote clients. Each epoch is an isolated run on
+//     the standing mesh — fresh round numbering, fresh per-epoch randomness
+//     derived from the session seed — so a serving cluster is deterministic
+//     per (seed, query stream) exactly like the simulator. See serve.go and
+//     docs/PROTOCOL.md.
 package tcp
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net"
@@ -44,11 +60,36 @@ type Metrics struct {
 	Bytes    int64 // payload bytes sent
 }
 
-var errRemote = fmt.Errorf("tcp: aborted by remote failure")
+// transportError marks failures of the mesh itself — a lost connection, a
+// corrupt or out-of-order frame — as opposed to a program deciding to fail.
+// A resident serving node treats a program error as "this epoch failed, keep
+// serving" but a transport error as "the session is broken, shut down".
+type transportError struct{ err error }
 
-// frame is one per-round unit from one peer.
+func (e transportError) Error() string { return e.err.Error() }
+func (e transportError) Unwrap() error { return e.err }
+
+// IsTransportError reports whether err (or anything it wraps) signals a
+// broken mesh rather than a failed program.
+func IsTransportError(err error) bool {
+	var te transportError
+	return errors.As(err, &te)
+}
+
+// errPeerAbort marks an epoch ended by a peer's error frame: the failure
+// originated elsewhere, this node only observed it. The serving path uses
+// it to report the originating node's message to the client instead of k−1
+// "aborted by peer" echoes.
+var errPeerAbort = errors.New("aborted by peer")
+
+// frame is one per-round unit from one peer. epoch orders frames across the
+// BSP runs a resident mesh executes back to back: a node draining its inbox
+// at epoch e silently discards leftovers from epochs < e (a peer's final
+// halt frames, which nobody reads during the epoch itself) and treats a
+// frame from an epoch > e as a protocol error. One-shot runs are epoch 0.
 type frame struct {
 	flag  byte
+	epoch uint64
 	round uint64
 	msgs  [][]byte
 	err   error // reader-side injection for broken connections
@@ -66,7 +107,8 @@ type Node struct {
 	id, k int
 	guid  uint64
 	rng   *rand.Rand
-	seed  uint64
+	seed  uint64 // session seed (per-epoch seeds are derived from it)
+	epoch uint64 // current epoch ordinal (0 for one-shot runs)
 
 	round   int
 	inbox   []kmachine.Message
@@ -157,7 +199,7 @@ func (n *Node) exchange(flag byte) {
 		wg.Add(1)
 		go func(j int, out [][]byte) {
 			defer wg.Done()
-			writeErrs[j] = writeFrame(n.peers[j].conn, flag, uint64(n.round), out)
+			writeErrs[j] = writeFrame(n.peers[j].conn, flag, n.epoch, uint64(n.round), out)
 		}(j, out)
 	}
 	// Read while writes drain to avoid mutual kernel-buffer deadlock.
@@ -168,18 +210,28 @@ func (n *Node) exchange(flag byte) {
 			continue
 		}
 		f := <-n.peers[j].frames
+		// Discard leftovers from completed epochs (a peer's final halt
+		// frames, never read during the epoch that produced them).
+		for f.err == nil && f.epoch < n.epoch {
+			f = <-n.peers[j].frames
+		}
 		if f.err != nil {
-			remoteErr = fmt.Errorf("tcp: node %d lost peer %d: %w", n.id, j, f.err)
+			remoteErr = transportError{fmt.Errorf("tcp: node %d lost peer %d: %w", n.id, j, f.err)}
+			continue
+		}
+		if f.epoch != n.epoch {
+			remoteErr = transportError{fmt.Errorf("tcp: node %d got epoch %d frame from %d during epoch %d",
+				n.id, f.epoch, j, n.epoch)}
 			continue
 		}
 		if f.round != uint64(n.round) {
-			remoteErr = fmt.Errorf("tcp: node %d got round %d frame from %d during round %d",
-				n.id, f.round, j, n.round)
+			remoteErr = transportError{fmt.Errorf("tcp: node %d got round %d frame from %d during round %d",
+				n.id, f.round, j, n.round)}
 			continue
 		}
 		switch f.flag {
 		case flagErr:
-			remoteErr = fmt.Errorf("tcp: node %d aborted by peer %d", n.id, j)
+			remoteErr = fmt.Errorf("tcp: node %d %w %d", n.id, errPeerAbort, j)
 			continue
 		case flagHalt:
 			n.peers[j].halted = true
@@ -197,7 +249,7 @@ func (n *Node) exchange(flag byte) {
 		// closed its sockets after its halt frame) is benign; any other
 		// write failure is a real transport error.
 		if err != nil && !(n.peers[j] != nil && n.peers[j].halted) {
-			panic(fmt.Errorf("tcp: node %d write to %d: %w", n.id, j, err))
+			panic(transportError{fmt.Errorf("tcp: node %d write to %d: %w", n.id, j, err)})
 		}
 	}
 	sort.SliceStable(next, func(a, b int) bool { return next[a].From < next[b].From })
@@ -205,9 +257,10 @@ func (n *Node) exchange(flag byte) {
 }
 
 // writeFrame serializes one round frame.
-func writeFrame(conn net.Conn, flag byte, round uint64, msgs [][]byte) error {
+func writeFrame(conn net.Conn, flag byte, epoch, round uint64, msgs [][]byte) error {
 	var w wire.Writer
 	w.U8(flag)
+	w.Varint(epoch)
 	w.Varint(round)
 	w.Varint(uint64(len(msgs)))
 	for _, m := range msgs {
@@ -227,7 +280,7 @@ func readFrames(conn net.Conn, out chan<- frame) {
 			return
 		}
 		r := wire.NewReader(payload)
-		f := frame{flag: r.U8(), round: r.Varint()}
+		f := frame{flag: r.U8(), epoch: r.Varint(), round: r.Varint()}
 		count := r.Varint()
 		for i := uint64(0); i < count; i++ {
 			size := r.Varint()
@@ -245,9 +298,11 @@ func readFrames(conn net.Conn, out chan<- frame) {
 	}
 }
 
-// runProgram executes prog on a fully meshed node, translating the final
-// state into halt/error frames for the peers.
-func (n *Node) runProgram(prog kmachine.Program) (m Metrics, err error) {
+// execute runs prog on the meshed node, translating the final state into
+// halt/error frames for the peers. It leaves the connections open so a
+// resident node can run further epochs; runProgram closes them for the
+// one-shot path.
+func (n *Node) execute(prog kmachine.Program) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			if e, ok := rec.(error); ok {
@@ -258,23 +313,58 @@ func (n *Node) runProgram(prog kmachine.Program) (m Metrics, err error) {
 			// Best effort: tell the peers we are gone.
 			for j := 0; j < n.k; j++ {
 				if j != n.id && n.peers[j] != nil && !n.peers[j].halted {
-					_ = writeFrame(n.peers[j].conn, flagErr, uint64(n.round), nil)
+					_ = writeFrame(n.peers[j].conn, flagErr, n.epoch, uint64(n.round), nil)
 				}
 			}
 		}
-		for j := 0; j < n.k; j++ {
-			if j != n.id && n.peers[j] != nil {
-				n.peers[j].conn.Close()
-			}
-		}
-		m = n.metrics
 	}()
 	if perr := prog(n); perr != nil {
 		panic(perr)
 	}
 	// Clean halt: flush pending sends with the halt flag.
 	n.exchangeHalt()
-	return n.metrics, nil
+	return nil
+}
+
+// runProgram executes one one-shot program and tears the mesh down.
+func (n *Node) runProgram(prog kmachine.Program) (Metrics, error) {
+	err := n.execute(prog)
+	n.closePeers()
+	return n.metrics, err
+}
+
+// runEpoch executes prog as one isolated BSP epoch on the standing mesh:
+// round numbering restarts at zero, every peer is live again, and the node's
+// GUID and private random stream are re-derived from the epoch's seed —
+// exactly how a kmachine.Runtime seeds each ExecuteSeeded run. The epoch
+// ordinal must be strictly greater than the previous one (the frame filter
+// relies on it); epochSeed is derived by the caller from the session seed.
+func (n *Node) runEpoch(epoch, epochSeed uint64, prog kmachine.Program) (Metrics, error) {
+	n.epoch = epoch
+	n.guid = xrand.DeriveSeed(epochSeed, uint64(n.id)+(1<<32))
+	n.rng = xrand.NewStream(epochSeed, uint64(n.id))
+	n.round = 0
+	n.inbox = nil
+	n.metrics = Metrics{}
+	for j := range n.outbox {
+		n.outbox[j] = nil
+	}
+	for _, p := range n.peers {
+		if p != nil {
+			p.halted = false
+		}
+	}
+	err := n.execute(prog)
+	return n.metrics, err
+}
+
+// closePeers shuts every mesh connection.
+func (n *Node) closePeers() {
+	for j := 0; j < n.k; j++ {
+		if j != n.id && n.peers[j] != nil {
+			n.peers[j].conn.Close()
+		}
+	}
 }
 
 // exchangeHalt writes halt frames (write-only: a halted node never reads
@@ -291,7 +381,7 @@ func (n *Node) exchangeHalt() {
 		go func(j int, out [][]byte) {
 			defer wg.Done()
 			// Ignore errors: the peer may have halted concurrently.
-			_ = writeFrame(n.peers[j].conn, flagHalt, uint64(n.round), out)
+			_ = writeFrame(n.peers[j].conn, flagHalt, n.epoch, uint64(n.round), out)
 		}(j, out)
 	}
 	wg.Wait()

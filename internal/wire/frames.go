@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"fmt"
+
+	"distknn/internal/keys"
+	"distknn/internal/points"
+)
+
+// Control-plane frame kinds. Every frame crossing a rendezvous, serving or
+// client connection starts with one of these bytes; the mesh (node↔node)
+// frames are the only ones that do not, since the mesh carries exactly one
+// frame shape. The full layouts are specified in docs/PROTOCOL.md and
+// pinned by golden-byte tests in this package.
+const (
+	// KindRegister: node → coordinator. Body: String mesh-listen address.
+	KindRegister = 1
+	// KindAssign: coordinator → node. Body: U8 mode, Varint id, Varint k,
+	// U64 seed, then k × String mesh addresses (the address book).
+	KindAssign = 2
+	// KindReady: node → frontend, once the setup epoch (leader election)
+	// has completed. Body: Varint id, Varint leader, Varint shard size,
+	// U8 point tag.
+	KindReady = 3
+	// KindDispatch: frontend → node, one query epoch. Body: Varint epoch,
+	// then a Query body.
+	KindDispatch = 4
+	// KindResult: node → frontend, one epoch's outcome. Body: NodeResult.
+	KindResult = 5
+	// KindError: node → frontend, the epoch (or session) failed.
+	// Body: Varint epoch, U8 origin (1 if the failure originated in this
+	// node's program), String message.
+	KindError = 6
+	// KindShutdown: frontend → node, clean stop. Empty body.
+	KindShutdown = 7
+	// KindQuery: client → frontend. Body: Query.
+	KindQuery = 8
+	// KindReply: frontend → client. Body: Reply.
+	KindReply = 9
+)
+
+// Session modes carried in the KindAssign frame.
+const (
+	// ModeOneShot tears the mesh down after a single program run.
+	ModeOneShot = 0
+	// ModeServe keeps the node resident: after the setup epoch it executes
+	// one BSP epoch per KindDispatch until shutdown.
+	ModeServe = 1
+)
+
+// Query operations.
+const (
+	// OpKNN returns the ℓ nearest neighbors.
+	OpKNN = 1
+	// OpClassify returns the majority label among the ℓ nearest.
+	OpClassify = 2
+	// OpRegress returns the mean label of the ℓ nearest.
+	OpRegress = 3
+)
+
+// Point encodings, selected by the tag byte inside a Query.
+const (
+	// PointScalar is a one-dimensional integer point: U64 value.
+	PointScalar = 1
+	// PointVector is a d-dimensional point: Varint dim, then dim × F64.
+	// Reserved: the serving path does not ship vector shards yet.
+	PointVector = 2
+)
+
+// Query is one client request: which operation to run, how many neighbors,
+// and the query point in its tagged encoding. It is the body of a KindQuery
+// frame and the tail of a KindDispatch frame.
+type Query struct {
+	Op    uint8
+	L     int
+	Tag   uint8
+	Point []byte // tag-specific encoding, length-prefixed on the wire
+}
+
+// EncodeScalarPoint encodes a scalar query point for Query.Point.
+func EncodeScalarPoint(v uint64) []byte {
+	var w Writer
+	w.U64(v)
+	return w.Bytes()
+}
+
+// DecodeScalarPoint decodes a PointScalar payload.
+func DecodeScalarPoint(p []byte) (uint64, error) {
+	r := NewReader(p)
+	v := r.U64()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func (q Query) append(w *Writer) {
+	w.U8(q.Op)
+	w.Varint(uint64(q.L))
+	w.U8(q.Tag)
+	w.Varint(uint64(len(q.Point)))
+	w.Raw(q.Point)
+}
+
+// EncodeQuery builds a KindQuery frame payload.
+func EncodeQuery(q Query) []byte {
+	var w Writer
+	w.U8(KindQuery)
+	q.append(&w)
+	return w.Bytes()
+}
+
+// EncodeDispatch builds a KindDispatch frame payload for one epoch.
+func EncodeDispatch(epoch uint64, q Query) []byte {
+	var w Writer
+	w.U8(KindDispatch)
+	w.Varint(epoch)
+	q.append(&w)
+	return w.Bytes()
+}
+
+// DecodeQuery reads a Query body; the kind byte must already be consumed.
+func DecodeQuery(r *Reader) (Query, error) {
+	q := Query{Op: r.U8(), L: int(r.Varint()), Tag: r.U8()}
+	n := r.Varint()
+	if r.Err() == nil && n > uint64(r.Remaining()) {
+		return Query{}, fmt.Errorf("wire: query point length %d exceeds payload", n)
+	}
+	q.Point = r.Raw(int(n))
+	if err := r.Err(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// NodeResult is one resident node's report for one query epoch: its local
+// share of the winning points, its local view of the epoch's cost, and — on
+// the leader only — the result metadata and aggregate value.
+type NodeResult struct {
+	Epoch    uint64
+	Node     int
+	Rounds   int
+	Messages int64
+	Bytes    int64
+	Winners  []points.Item
+
+	IsLeader   bool
+	Boundary   keys.Key
+	Survivors  int64
+	FellBack   bool
+	Iterations int
+	Value      float64 // classification label or regression mean
+}
+
+// EncodeNodeResult builds a KindResult frame payload.
+func EncodeNodeResult(nr NodeResult) []byte {
+	var w Writer
+	w.U8(KindResult)
+	w.Varint(nr.Epoch)
+	w.Varint(uint64(nr.Node))
+	w.Varint(uint64(nr.Rounds))
+	w.Varint(uint64(nr.Messages))
+	w.Varint(uint64(nr.Bytes))
+	w.Items(nr.Winners)
+	w.U8(b2u(nr.IsLeader))
+	if nr.IsLeader {
+		w.Key(nr.Boundary)
+		w.Varint(uint64(nr.Survivors))
+		w.U8(b2u(nr.FellBack))
+		w.Varint(uint64(nr.Iterations))
+		w.F64(nr.Value)
+	}
+	return w.Bytes()
+}
+
+// DecodeNodeResult reads a NodeResult body; the kind byte must already be
+// consumed.
+func DecodeNodeResult(r *Reader) (NodeResult, error) {
+	nr := NodeResult{
+		Epoch:    r.Varint(),
+		Node:     int(r.Varint()),
+		Rounds:   int(r.Varint()),
+		Messages: int64(r.Varint()),
+		Bytes:    int64(r.Varint()),
+		Winners:  r.Items(),
+		IsLeader: r.U8() == 1,
+	}
+	if nr.IsLeader {
+		nr.Boundary = r.Key()
+		nr.Survivors = int64(r.Varint())
+		nr.FellBack = r.U8() == 1
+		nr.Iterations = int(r.Varint())
+		nr.Value = r.F64()
+	}
+	if err := r.Err(); err != nil {
+		return NodeResult{}, err
+	}
+	return nr, nil
+}
+
+// Reply is the frontend's answer to one client query: either an error
+// message or the merged result with its aggregated distributed cost.
+type Reply struct {
+	Err string // non-empty means the query failed
+
+	Rounds     int
+	Messages   int64
+	Bytes      int64
+	Leader     int
+	Boundary   keys.Key
+	Survivors  int64
+	FellBack   bool
+	Iterations int
+	Value      float64       // OpClassify / OpRegress result
+	Items      []points.Item // OpKNN result, ascending key order
+}
+
+// EncodeReply builds a KindReply frame payload.
+func EncodeReply(rep Reply) []byte {
+	var w Writer
+	w.U8(KindReply)
+	if rep.Err != "" {
+		w.U8(1)
+		w.String(rep.Err)
+		return w.Bytes()
+	}
+	w.U8(0)
+	w.Varint(uint64(rep.Rounds))
+	w.Varint(uint64(rep.Messages))
+	w.Varint(uint64(rep.Bytes))
+	w.Varint(uint64(rep.Leader))
+	w.Key(rep.Boundary)
+	w.Varint(uint64(rep.Survivors))
+	w.U8(b2u(rep.FellBack))
+	w.Varint(uint64(rep.Iterations))
+	w.F64(rep.Value)
+	w.Items(rep.Items)
+	return w.Bytes()
+}
+
+// DecodeReply reads a Reply body; the kind byte must already be consumed.
+func DecodeReply(r *Reader) (Reply, error) {
+	if r.U8() == 1 {
+		rep := Reply{Err: r.String()}
+		if err := r.Err(); err != nil {
+			return Reply{}, err
+		}
+		if rep.Err == "" {
+			return Reply{}, fmt.Errorf("wire: error reply with empty message")
+		}
+		return rep, nil
+	}
+	rep := Reply{
+		Rounds:   int(r.Varint()),
+		Messages: int64(r.Varint()),
+		Bytes:    int64(r.Varint()),
+		Leader:   int(r.Varint()),
+		Boundary: r.Key(),
+	}
+	rep.Survivors = int64(r.Varint())
+	rep.FellBack = r.U8() == 1
+	rep.Iterations = int(r.Varint())
+	rep.Value = r.F64()
+	rep.Items = r.Items()
+	if err := r.Err(); err != nil {
+		return Reply{}, err
+	}
+	return rep, nil
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

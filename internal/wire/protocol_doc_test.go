@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"distknn/internal/keys"
+	"distknn/internal/points"
+)
+
+// TestProtocolDocExamples pins docs/PROTOCOL.md to the shipped codec: every
+// example frame below is re-encoded and its hex must appear verbatim in the
+// document (ignoring line breaks). Changing an encoding without updating
+// the spec — or vice versa — fails this test.
+func TestProtocolDocExamples(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("protocol spec missing: %v", err)
+	}
+	// Normalize all whitespace so examples may wrap in the document.
+	doc := regexp.MustCompile(`\s+`).ReplaceAllString(string(raw), " ")
+
+	hex := func(b []byte) string {
+		parts := make([]string, len(b))
+		for i, c := range b {
+			parts[i] = fmt.Sprintf("%02x", c)
+		}
+		return strings.Join(parts, " ")
+	}
+	check := func(name string, frame []byte) {
+		t.Helper()
+		if !strings.Contains(doc, hex(frame)) {
+			t.Errorf("PROTOCOL.md is missing the current bytes of the %s example:\n%s", name, hex(frame))
+		}
+	}
+
+	// Stream framing: payload "abc" with its U32 length prefix.
+	check("stream framing", []byte{3, 0, 0, 0, 'a', 'b', 'c'})
+
+	// Register: mesh address 127.0.0.1:9000.
+	var reg Writer
+	reg.U8(KindRegister)
+	reg.String("127.0.0.1:9000")
+	check("register", reg.Bytes())
+
+	// Assign: serve mode, id=1, k=2, seed=7, two-entry address book.
+	var asg Writer
+	asg.U8(KindAssign)
+	asg.U8(ModeServe)
+	asg.Varint(1)
+	asg.Varint(2)
+	asg.U64(7)
+	asg.String("127.0.0.1:9000")
+	asg.String("127.0.0.1:9001")
+	check("assign", asg.Bytes())
+
+	// Mesh hello from node 1.
+	var hello Writer
+	hello.Varint(1)
+	check("mesh hello", hello.Bytes())
+
+	// Mesh round frame: flag=data, epoch=1, round=2, messages ["hi", ""].
+	var mesh Writer
+	mesh.U8(0)
+	mesh.Varint(1)
+	mesh.Varint(2)
+	mesh.Varint(2)
+	mesh.Varint(2)
+	mesh.Raw([]byte("hi"))
+	mesh.Varint(0)
+	check("mesh round frame", mesh.Bytes())
+
+	// Query: KNN, l=10, scalar point 12345 — and its epoch-1 dispatch.
+	q := Query{Op: OpKNN, L: 10, Tag: PointScalar, Point: EncodeScalarPoint(12345)}
+	check("query", EncodeQuery(q))
+	check("dispatch", EncodeDispatch(1, q))
+
+	// Ready: node 1, leader 0, 5000-point scalar shard.
+	var rdy Writer
+	rdy.U8(KindReady)
+	rdy.Varint(1)
+	rdy.Varint(0)
+	rdy.Varint(5000)
+	rdy.U8(PointScalar)
+	check("ready", rdy.Bytes())
+
+	// Result: leader node 0's report for epoch 1.
+	check("result", EncodeNodeResult(NodeResult{
+		Epoch: 1, Node: 0, Rounds: 26, Messages: 44, Bytes: 745,
+		Winners:  []points.Item{{Key: keys.Key{Dist: 3, ID: 1}, Label: 2}},
+		IsLeader: true, Boundary: keys.Key{Dist: 5, ID: 2}, Survivors: 20,
+		Iterations: 4, Value: 2,
+	}))
+
+	// Error: epoch 1, originated locally, message "boom".
+	var ne Writer
+	ne.U8(KindError)
+	ne.Varint(1)
+	ne.U8(1)
+	ne.String("boom")
+	check("node error", ne.Bytes())
+
+	// Shutdown: kind byte only.
+	check("shutdown", []byte{KindShutdown})
+
+	// Reply, success: the merged epoch-1 answer.
+	check("reply", EncodeReply(Reply{
+		Rounds: 26, Messages: 44, Bytes: 745, Leader: 0,
+		Boundary: keys.Key{Dist: 5, ID: 2}, Survivors: 20, Iterations: 4,
+		Items: []points.Item{{Key: keys.Key{Dist: 3, ID: 1}, Label: 2}},
+	}))
+
+	// Reply, error.
+	check("error reply", EncodeReply(Reply{Err: "l=0 out of range [1, 10000]"}))
+}
+
+// TestFrameRoundTrips checks that every composite frame decodes back to
+// what was encoded.
+func TestFrameRoundTrips(t *testing.T) {
+	q := Query{Op: OpClassify, L: 42, Tag: PointScalar, Point: EncodeScalarPoint(987654321)}
+	{
+		r := NewReader(EncodeQuery(q))
+		if kind := r.U8(); kind != KindQuery {
+			t.Fatalf("kind %d", kind)
+		}
+		got, err := DecodeQuery(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Op != q.Op || got.L != q.L || got.Tag != q.Tag {
+			t.Fatalf("query round trip: %+v", got)
+		}
+		v, err := DecodeScalarPoint(got.Point)
+		if err != nil || v != 987654321 {
+			t.Fatalf("point round trip: %d %v", v, err)
+		}
+	}
+	{
+		r := NewReader(EncodeDispatch(9, q))
+		if kind := r.U8(); kind != KindDispatch {
+			t.Fatalf("kind %d", kind)
+		}
+		if epoch := r.Varint(); epoch != 9 {
+			t.Fatalf("epoch %d", epoch)
+		}
+		if _, err := DecodeQuery(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	{
+		nr := NodeResult{
+			Epoch: 3, Node: 2, Rounds: 7, Messages: 11, Bytes: 400,
+			Winners:  []points.Item{{Key: keys.Key{Dist: 9, ID: 4}, Label: 1.5}},
+			IsLeader: true, Boundary: keys.Key{Dist: 10, ID: 6}, Survivors: 33,
+			FellBack: true, Iterations: 5, Value: -2.5,
+		}
+		r := NewReader(EncodeNodeResult(nr))
+		if kind := r.U8(); kind != KindResult {
+			t.Fatalf("kind %d", kind)
+		}
+		got, err := DecodeNodeResult(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Epoch != nr.Epoch || got.Node != nr.Node || got.Rounds != nr.Rounds ||
+			got.Messages != nr.Messages || got.Bytes != nr.Bytes ||
+			len(got.Winners) != 1 || got.Winners[0] != nr.Winners[0] ||
+			!got.IsLeader || got.Boundary != nr.Boundary || got.Survivors != nr.Survivors ||
+			!got.FellBack || got.Iterations != nr.Iterations || got.Value != nr.Value {
+			t.Fatalf("node result round trip: %+v", got)
+		}
+	}
+	{
+		rep := Reply{
+			Rounds: 6, Messages: 13, Bytes: 512, Leader: 1,
+			Boundary: keys.Key{Dist: 77, ID: 8}, Survivors: 40, FellBack: true,
+			Iterations: 2, Value: 3.25,
+			Items:      []points.Item{{Key: keys.Key{Dist: 1, ID: 2}, Label: 0}},
+		}
+		r := NewReader(EncodeReply(rep))
+		if kind := r.U8(); kind != KindReply {
+			t.Fatalf("kind %d", kind)
+		}
+		got, err := DecodeReply(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rounds != rep.Rounds || got.Leader != rep.Leader || got.Boundary != rep.Boundary ||
+			!got.FellBack || got.Value != rep.Value || len(got.Items) != 1 || got.Items[0] != rep.Items[0] {
+			t.Fatalf("reply round trip: %+v", got)
+		}
+	}
+	{
+		r := NewReader(EncodeReply(Reply{Err: "nope"}))
+		r.U8()
+		got, err := DecodeReply(r)
+		if err != nil || got.Err != "nope" {
+			t.Fatalf("error reply round trip: %+v %v", got, err)
+		}
+	}
+}

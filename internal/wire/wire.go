@@ -5,6 +5,13 @@
 // two reasons: the simulator's bandwidth accounting must charge the size a
 // real implementation would pay, and the TCP runtime ships the very same
 // bytes. Encoding is little-endian with unsigned LEB128 varints for counts.
+//
+// Besides the Writer/Reader primitives and the stream framing, the package
+// defines the typed frames of the TCP serving protocol (frames.go):
+// rendezvous, query dispatch, per-epoch results, and the client-facing
+// query/reply pair. The byte-level layout of every frame is specified in
+// docs/PROTOCOL.md, whose hex examples are pinned to this codec by
+// TestProtocolDocExamples.
 package wire
 
 import (

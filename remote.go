@@ -1,0 +1,312 @@
+package distknn
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"distknn/internal/core"
+	"distknn/internal/election"
+	"distknn/internal/kmachine"
+	"distknn/internal/points"
+	"distknn/internal/transport/tcp"
+	"distknn/internal/wire"
+	"distknn/internal/xrand"
+)
+
+// This file is the real-socket counterpart of the in-process Cluster: a
+// serving deployment over TCP. The cluster side is a Frontend (rendezvous +
+// client-facing query endpoint) plus k resident nodes (ServeScalarNode),
+// each holding one shard; the client side is a RemoteCluster, which offers
+// the same KNN/Classify/Regress surface as Cluster but executes every query
+// as one BSP epoch on the remote mesh. ServeLocal wires a whole loopback
+// deployment together in one process for tests, benchmarks and demos.
+
+// NodeOptions configures a resident serving node. All nodes of a cluster
+// must be configured identically (the protocols assume symmetric machines).
+type NodeOptions struct {
+	// Algorithm selects the query strategy (default Alg2).
+	Algorithm Algorithm
+	// SublinearElection selects the randomized O(√k·log^{3/2} k)-message
+	// election for the setup epoch instead of the min-GUID broadcast.
+	SublinearElection bool
+	// SampleFactor and CutFactor override Algorithm 2's Lemma 2.3
+	// constants (defaults 12 and 21).
+	SampleFactor, CutFactor int
+}
+
+// ScalarShard is the slice of the global dataset one serving node holds.
+type ScalarShard struct {
+	// Values are the node's points.
+	Values []uint64
+	// Labels carries one label per value; nil means all zero.
+	Labels []float64
+	// FirstID is the node's first point ID; the shard occupies the ID
+	// block [FirstID, FirstID+len(Values)). Blocks must not overlap
+	// across nodes — IDs are the global tie-breaker, so a collision
+	// silently merges two points.
+	FirstID uint64
+}
+
+// ShardProvider builds the shard for machine id of k. It runs on the node
+// after the coordinator assigns its identity — the serving analogue of
+// "each machine holds its part of the data" — so a provider typically
+// generates or loads data keyed by id.
+type ShardProvider func(id, k int) (ScalarShard, error)
+
+// PaperShards is the ShardProvider for the paper's synthetic workload,
+// generated exactly as cmd/knnnode's one-shot program and the bench
+// instances generate it: node id draws perNode scalars uniform in
+// [0, 2³²) from stream id of seed, labels are the values scaled to [0, 1]
+// (so regression has a meaningful target), and the node owns the ID block
+// [id·perNode+1, (id+1)·perNode]. One-shot and serving deployments built
+// from the same seed therefore hold — and answer over — identical data.
+func PaperShards(seed uint64, perNode int) ShardProvider {
+	return func(id, k int) (ScalarShard, error) {
+		set := points.GenUniformScalars(xrand.NewStream(seed, uint64(id)), perNode, points.PaperDomain)
+		values := make([]uint64, set.Len())
+		for j, p := range set.Pts {
+			values[j] = uint64(p)
+		}
+		return ScalarShard{
+			Values:  values,
+			Labels:  set.Labels,
+			FirstID: uint64(id)*uint64(perNode) + 1,
+		}, nil
+	}
+}
+
+// scalarHandler adapts a shard + options to the transport's per-epoch
+// Handler interface.
+type scalarHandler struct {
+	shards ShardProvider
+	opts   NodeOptions
+
+	set    *points.Set[Scalar]
+	leader int
+}
+
+func (h *scalarHandler) Setup(m kmachine.Env) (tcp.SessionInfo, error) {
+	shard, err := h.shards(m.ID(), m.K())
+	if err != nil {
+		return tcp.SessionInfo{}, fmt.Errorf("distknn: shard for node %d: %w", m.ID(), err)
+	}
+	pts := make([]Scalar, len(shard.Values))
+	for i, v := range shard.Values {
+		pts[i] = Scalar(v)
+	}
+	h.set, err = points.NewSet(pts, shard.Labels, points.ScalarMetric, shard.FirstID)
+	if err != nil {
+		return tcp.SessionInfo{}, fmt.Errorf("distknn: %w", err)
+	}
+	h.leader, err = election.Elect(m, election.OnceOptions{
+		Sublinear:      h.opts.SublinearElection,
+		BandwidthBytes: -1, // real sockets have no per-round budget
+	})
+	if err != nil {
+		return tcp.SessionInfo{}, err
+	}
+	return tcp.SessionInfo{Leader: h.leader, ShardLen: h.set.Len(), PointTag: wire.PointScalar}, nil
+}
+
+func (h *scalarHandler) Query(m kmachine.Env, q wire.Query) (tcp.EpochResult, error) {
+	v, err := wire.DecodeScalarPoint(q.Point)
+	if err != nil {
+		return tcp.EpochResult{}, err
+	}
+	qp := Scalar(v)
+	cfg := core.Config{
+		Leader:       h.leader,
+		L:            q.L,
+		SampleFactor: h.opts.SampleFactor,
+		CutFactor:    h.opts.CutFactor,
+	}
+	res, err := algorithmFn(h.opts.Algorithm)(m, cfg, h.set.TopLItems(qp, q.L))
+	if err != nil {
+		return tcp.EpochResult{}, err
+	}
+	out := tcp.EpochResult{
+		Winners:    res.Winners,
+		Boundary:   res.Boundary,
+		Survivors:  res.Survivors,
+		FellBack:   res.FellBack,
+		Iterations: res.Iterations,
+	}
+	switch q.Op {
+	case wire.OpClassify:
+		out.Value, err = core.Classify(m, h.leader, res.Winners)
+	case wire.OpRegress:
+		out.Value, err = core.Regress(m, h.leader, res.Winners)
+	}
+	if err != nil {
+		return tcp.EpochResult{}, err
+	}
+	return out, nil
+}
+
+// ServeScalarNode runs one resident serving node: it joins the frontend at
+// coordAddr, receives its machine identity, builds its shard via shards,
+// meshes with its peers, takes part in the setup election, and then answers
+// query epochs until the frontend shuts the session down. It blocks for the
+// lifetime of the session; a nil return means a clean shutdown.
+//
+// meshAddr is the address to listen on for peer connections
+// ("127.0.0.1:0" picks a free loopback port; use a host-reachable address
+// for multi-host deployments).
+func ServeScalarNode(coordAddr, meshAddr string, shards ShardProvider, opts NodeOptions) error {
+	return tcp.ServeNode(coordAddr, meshAddr, &scalarHandler{shards: shards, opts: opts})
+}
+
+// Frontend is the client-facing endpoint of a TCP serving cluster: it
+// performs rendezvous for the k resident nodes and then serves remote
+// clients, one BSP epoch per query. Nodes and clients dial the same
+// address; a connection's first frame decides its role.
+type Frontend struct {
+	fe *tcp.Frontend
+}
+
+// NewFrontend starts the serving listener for a k-node cluster. seed is the
+// session seed every node receives: it drives the setup election and the
+// per-query epoch seeds, so a serving cluster replays deterministically for
+// the same (seed, query stream).
+func NewFrontend(addr string, k int, seed uint64) (*Frontend, error) {
+	fe, err := tcp.NewFrontend(addr, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Frontend{fe: fe}, nil
+}
+
+// Addr returns the dialable address for nodes (ServeScalarNode) and clients
+// (DialCluster).
+func (f *Frontend) Addr() string { return f.fe.Addr() }
+
+// Serve runs the session until Close: rendezvous, setup epoch, then client
+// queries. It blocks; run it on its own goroutine.
+func (f *Frontend) Serve() error { return f.fe.Serve() }
+
+// Leader returns the leader elected in the setup epoch (-1 until then).
+func (f *Frontend) Leader() int { return f.fe.Leader() }
+
+// Close shuts the session down; resident nodes exit cleanly.
+func (f *Frontend) Close() error { return f.fe.Close() }
+
+// RemoteCluster is a client handle on a TCP serving cluster. It satisfies
+// the same query surface as the in-process Cluster — KNN, Classify, Regress
+// with identical signatures and exact results — but every call travels to
+// the cluster's frontend and runs as one BSP epoch on the resident mesh.
+//
+// A RemoteCluster is safe for concurrent use; queries on one connection are
+// serialized, and the frontend serializes epochs across all clients anyway.
+// QueryStats are the real mesh costs: Rounds is the slowest node's round
+// count and Messages/Bytes are cluster-wide totals (election rounds were
+// paid once, in the setup epoch).
+type RemoteCluster[P any] struct {
+	client *tcp.Client
+	tag    uint8
+	encode func(q P) []byte
+	leader atomic.Int64
+}
+
+// DialCluster connects to a scalar serving cluster's frontend.
+func DialCluster(addr string) (*RemoteCluster[Scalar], error) {
+	c, err := tcp.DialFrontend(addr)
+	if err != nil {
+		return nil, err
+	}
+	rc := &RemoteCluster[Scalar]{
+		client: c,
+		tag:    wire.PointScalar,
+		encode: func(q Scalar) []byte { return wire.EncodeScalarPoint(uint64(q)) },
+	}
+	rc.leader.Store(-1)
+	return rc, nil
+}
+
+func (rc *RemoteCluster[P]) do(op uint8, q P, l int) (wire.Reply, error) {
+	rep, err := rc.client.Do(wire.Query{Op: op, L: l, Tag: rc.tag, Point: rc.encode(q)})
+	if err != nil {
+		return wire.Reply{}, fmt.Errorf("distknn: %w", err)
+	}
+	rc.leader.Store(int64(rep.Leader))
+	return rep, nil
+}
+
+func remoteStats(rep wire.Reply) *QueryStats {
+	return &QueryStats{
+		Rounds:     rep.Rounds,
+		Messages:   rep.Messages,
+		Bytes:      rep.Bytes,
+		Leader:     rep.Leader,
+		Boundary:   rep.Boundary,
+		Survivors:  rep.Survivors,
+		FellBack:   rep.FellBack,
+		Iterations: rep.Iterations,
+	}
+}
+
+// KNN returns the exact ℓ nearest neighbors of q in ascending distance
+// order, together with the query's distributed cost on the remote mesh.
+func (rc *RemoteCluster[P]) KNN(q P, l int) ([]Item, *QueryStats, error) {
+	rep, err := rc.do(wire.OpKNN, q, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep.Items, remoteStats(rep), nil
+}
+
+// Classify returns the majority label among the ℓ nearest neighbors of q
+// (ties broken toward the smallest label).
+func (rc *RemoteCluster[P]) Classify(q P, l int) (float64, *QueryStats, error) {
+	rep, err := rc.do(wire.OpClassify, q, l)
+	if err != nil {
+		return 0, nil, err
+	}
+	return rep.Value, remoteStats(rep), nil
+}
+
+// Regress returns the mean label of the ℓ nearest neighbors of q.
+func (rc *RemoteCluster[P]) Regress(q P, l int) (float64, *QueryStats, error) {
+	rep, err := rc.do(wire.OpRegress, q, l)
+	if err != nil {
+		return 0, nil, err
+	}
+	return rep.Value, remoteStats(rep), nil
+}
+
+// Leader returns the remote cluster's leader as last reported by a query
+// (-1 before the first successful query).
+func (rc *RemoteCluster[P]) Leader() int { return int(rc.leader.Load()) }
+
+// Close releases the connection to the frontend. The remote cluster keeps
+// serving other clients.
+func (rc *RemoteCluster[P]) Close() error { return rc.client.Close() }
+
+// LocalServer is a whole loopback serving deployment running in one
+// process: a Frontend plus k resident scalar nodes. Dial it with
+// DialCluster(s.Addr()).
+type LocalServer struct {
+	lc *tcp.LocalCluster
+}
+
+// ServeLocal starts a loopback TCP serving cluster: a frontend and k
+// resident nodes, each holding the shard that shards(id, k) builds. It
+// returns once the cluster is meshed, elected and ready to serve.
+func ServeLocal(k int, seed uint64, shards ShardProvider, opts NodeOptions) (*LocalServer, error) {
+	lc, err := tcp.ServeLocal(k, seed, func() tcp.Handler {
+		return &scalarHandler{shards: shards, opts: opts}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LocalServer{lc: lc}, nil
+}
+
+// Addr returns the frontend address clients should dial.
+func (s *LocalServer) Addr() string { return s.lc.Addr() }
+
+// Leader returns the elected leader machine.
+func (s *LocalServer) Leader() int { return s.lc.Leader() }
+
+// Close shuts the cluster down and reports the first failure observed by
+// the frontend or any node (nil on a clean shutdown).
+func (s *LocalServer) Close() error { return s.lc.Close() }
