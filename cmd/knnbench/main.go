@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id, comma-separated ids (see -list), or 'all'")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		seed       = flag.Uint64("seed", 1, "experiment seed")
 		reps       = flag.Int("reps", 0, "repetitions per configuration (0 = default)")
@@ -75,11 +75,13 @@ func main() {
 	if *experiment == "all" {
 		todo = bench.Experiments
 	} else {
-		e, ok := bench.ByID(*experiment)
-		if !ok {
-			fatalf("unknown experiment %q (use -list)", *experiment)
+		for _, id := range strings.Split(*experiment, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fatalf("unknown experiment %q (use -list)", id)
+			}
+			todo = append(todo, e)
 		}
-		todo = []bench.Experiment{e}
 	}
 
 	var doc jsonDoc

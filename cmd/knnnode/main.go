@@ -1,6 +1,6 @@
 // Command knnnode runs the distributed ℓ-NN pipeline over real TCP sockets.
-// Every node generates its own shard of the paper's synthetic workload from
-// the shared seed, so no data files need distributing.
+// Every node generates its own shard of the synthetic workload from the
+// shared seed, so no data files need distributing.
 //
 // Without -serve it is a one-shot cluster: a coordinator process performs
 // rendezvous, and k node processes (one per machine) mesh up, elect a
@@ -8,9 +8,15 @@
 //
 // With -serve the deployment is a resident serving cluster: the coordinator
 // becomes a long-lived frontend, the nodes mesh up once, elect a leader
-// once, and then answer a stream of queries — one BSP epoch per query —
-// dispatched by the frontend to remote clients (knnquery -connect, or the
-// distknn.DialCluster API).
+// once, and then answer a stream of query batches — one BSP epoch per
+// batch — dispatched by the frontend to remote clients (knnquery -connect,
+// or the distknn.DialScalarCluster / DialVectorCluster API). With -dim > 0
+// the nodes hold d-dimensional vector shards indexed by k-d trees instead
+// of the paper's scalar workload.
+//
+// Nodes spanning hosts listen on -mesh and may announce a different
+// reachable address with -advertise (e.g. -mesh 0.0.0.0:7101 -advertise
+// 10.0.0.5:7101); see docs/ARCHITECTURE.md for the port scheme.
 //
 // One-shot demo (three terminals):
 //
@@ -25,10 +31,18 @@
 //	knnnode -serve -join 127.0.0.1:7100 -points 100000
 //	knnquery -connect 127.0.0.1:7100 -l 10
 //
+// The same, serving 8-dimensional vectors:
+//
+//	knnnode -serve -coordinator -addr 127.0.0.1:7100 -k 2 -seed 1
+//	knnnode -serve -join 127.0.0.1:7100 -points 100000 -dim 8
+//	knnnode -serve -join 127.0.0.1:7100 -points 100000 -dim 8
+//	knnquery -connect 127.0.0.1:7100 -metric vector -dim 8 -l 10
+//
 // Or everything in one process:
 //
 //	knnnode -local -k 8 -points 100000 -l 10 -query 12345
 //	knnnode -serve -local -k 8 -points 100000 -l 10 -queries 100
+//	knnnode -serve -local -k 8 -points 100000 -dim 8 -queries 100 -batch 32
 package main
 
 import (
@@ -39,6 +53,7 @@ import (
 	"distknn"
 	"distknn/internal/core"
 	"distknn/internal/election"
+	"distknn/internal/keys"
 	"distknn/internal/kmachine"
 	"distknn/internal/points"
 	"distknn/internal/transport/tcp"
@@ -55,10 +70,13 @@ func main() {
 		k           = flag.Int("k", 4, "cluster size (coordinator/local mode)")
 		seed        = flag.Uint64("seed", 1, "shared cluster seed")
 		perNode     = flag.Int("points", 1<<16, "points generated per node")
+		dim         = flag.Int("dim", 0, "vector dimension of the served shards (0 = the paper's scalar workload)")
 		l           = flag.Int("l", 10, "number of nearest neighbors")
 		query       = flag.Uint64("query", 0, "query point (0 = derived from seed; one-shot and -serve -local)")
 		queries     = flag.Int("queries", 100, "queries the -serve -local demo issues before exiting")
+		batch       = flag.Int("batch", 1, "queries per dispatched batch in the -serve -local demo")
 		meshAddr    = flag.String("mesh", "127.0.0.1:0", "node mesh listen address")
+		advertise   = flag.String("advertise", "", "reachable mesh address announced to peers (default: the -mesh listener's own address)")
 	)
 	flag.Parse()
 
@@ -66,6 +84,7 @@ func main() {
 	if q == 0 {
 		q = xrand.NewStream(*seed, 1<<40).Uint64N(points.PaperDomain)
 	}
+	opts := distknn.NodeOptions{Advertise: *advertise}
 
 	switch {
 	case *serve && *coordinator:
@@ -78,13 +97,20 @@ func main() {
 			fatalf("%v", err)
 		}
 	case *serve && *join != "":
-		fmt.Printf("resident node joining %s (%d points/node)\n", *join, *perNode)
-		if err := distknn.ServeScalarNode(*join, *meshAddr, distknn.PaperShards(*seed, *perNode), distknn.NodeOptions{}); err != nil {
-			fatalf("%v", err)
+		if *dim > 0 {
+			fmt.Printf("resident vector node joining %s (%d %d-dim points/node)\n", *join, *perNode, *dim)
+			if err := distknn.ServeVectorNode(*join, *meshAddr, distknn.UniformVectorShards(*seed, *perNode, *dim), opts); err != nil {
+				fatalf("%v", err)
+			}
+		} else {
+			fmt.Printf("resident node joining %s (%d points/node)\n", *join, *perNode)
+			if err := distknn.ServeScalarNode(*join, *meshAddr, distknn.PaperShards(*seed, *perNode), opts); err != nil {
+				fatalf("%v", err)
+			}
 		}
 		fmt.Println("node shut down cleanly")
 	case *serve && *local:
-		serveLocalDemo(*k, *seed, *perNode, *l, *queries)
+		serveLocalDemo(*k, *seed, *perNode, *dim, *l, *queries, *batch)
 	case *coordinator:
 		c, err := tcp.NewCoordinator(*addr, *k, *seed)
 		if err != nil {
@@ -131,40 +157,91 @@ func main() {
 
 // serveLocalDemo runs the whole serving deployment in one process —
 // frontend, k resident nodes, and a client — answers `queries` queries over
-// the standing mesh, and prints the last answer plus aggregate cost.
-func serveLocalDemo(k int, seed uint64, perNode, l, queries int) {
+// the standing mesh (in dispatched batches of `batch`), and prints the
+// aggregate cost.
+func serveLocalDemo(k int, seed uint64, perNode, dim, l, queries, batch int) {
 	if queries < 1 {
 		queries = 1
 	}
-	fmt.Printf("local serving cluster: k=%d, %d points/node, l=%d, %d queries\n", k, perNode, l, queries)
-	srv, err := distknn.ServeLocal(k, seed, distknn.PaperShards(seed, perNode), distknn.NodeOptions{})
-	if err != nil {
-		fatalf("%v", err)
+	if batch < 1 {
+		batch = 1
 	}
-	rc, err := distknn.DialCluster(srv.Addr())
-	if err != nil {
-		srv.Close()
-		fatalf("%v", err)
+	kind := "scalar"
+	if dim > 0 {
+		kind = fmt.Sprintf("%d-dim vector", dim)
 	}
-	var rounds, msgs int64
-	var last *distknn.QueryStats
-	for i := 0; i < queries; i++ {
-		q := distknn.Scalar(xrand.NewStream(seed, 1<<40+uint64(i)).Uint64N(points.PaperDomain))
-		_, stats, err := rc.KNN(q, l)
+	fmt.Printf("local serving cluster: k=%d, %d %s points/node, l=%d, %d queries in batches of %d\n",
+		k, perNode, kind, l, queries, batch)
+	if dim > 0 {
+		srv, err := distknn.ServeVectorLocal(k, seed, distknn.UniformVectorShards(seed, perNode, dim), distknn.NodeOptions{})
 		if err != nil {
-			fatalf("query %d: %v", i, err)
+			fatalf("%v", err)
+		}
+		rc, err := distknn.DialVectorCluster(srv.Addr())
+		if err != nil {
+			srv.Close()
+			fatalf("%v", err)
+		}
+		gen := func(i int) distknn.Vector {
+			rng := xrand.NewStream(seed, 1<<40+uint64(i))
+			v := make(distknn.Vector, dim)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			return v
+		}
+		runDemo(srv, rc, gen, l, queries, batch, func(d uint64) string {
+			return fmt.Sprintf("%.6f", keys.DecodeFloat(d))
+		})
+	} else {
+		srv, err := distknn.ServeLocal(k, seed, distknn.PaperShards(seed, perNode), distknn.NodeOptions{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rc, err := distknn.DialScalarCluster(srv.Addr())
+		if err != nil {
+			srv.Close()
+			fatalf("%v", err)
+		}
+		gen := func(i int) distknn.Scalar {
+			return distknn.Scalar(xrand.NewStream(seed, 1<<40+uint64(i)).Uint64N(points.PaperDomain))
+		}
+		runDemo(srv, rc, gen, l, queries, batch, func(d uint64) string {
+			return fmt.Sprintf("%d", d)
+		})
+	}
+}
+
+// runDemo drives the -serve -local query stream for either point type.
+func runDemo[P any](srv *distknn.LocalServer, rc *distknn.RemoteCluster[P], gen func(i int) P, l, queries, batch int, distStr func(uint64) string) {
+	var rounds, msgs int64
+	epochs := 0
+	var lastBoundary distknn.Key
+	for i := 0; i < queries; i += batch {
+		n := batch
+		if i+n > queries {
+			n = queries - i
+		}
+		qs := make([]P, n)
+		for j := range qs {
+			qs[j] = gen(i + j)
+		}
+		res, stats, err := rc.KNNBatch(qs, l)
+		if err != nil {
+			fatalf("batch at query %d: %v", i, err)
 		}
 		rounds += int64(stats.Rounds)
 		msgs += stats.Messages
-		last = stats
+		epochs++
+		lastBoundary = res[len(res)-1].Boundary
 	}
 	rc.Close()
 	if err := srv.Close(); err != nil {
 		fatalf("shutdown: %v", err)
 	}
-	fmt.Printf("answered %d queries on one mesh: leader=machine %d, mean rounds=%.1f, mean messages=%.1f\n",
-		queries, last.Leader, float64(rounds)/float64(queries), float64(msgs)/float64(queries))
-	fmt.Printf("last query: boundary-dist=%d (election ran once, in the setup epoch)\n", last.Boundary.Dist)
+	fmt.Printf("answered %d queries in %d epochs on one mesh: leader=machine %d, mean rounds/query=%.1f, mean messages/query=%.1f\n",
+		queries, epochs, srv.Leader(), float64(rounds)/float64(queries), float64(msgs)/float64(queries))
+	fmt.Printf("last query: boundary-dist=%s (election ran once, in the setup epoch)\n", distStr(lastBoundary.Dist))
 }
 
 // nodeProgram builds the per-node behaviour: generate the local shard from

@@ -4,11 +4,15 @@
 // same query and tabulates their costs side by side. With -serve it keeps
 // the cluster resident and fires a stream of queries from -concurrency
 // goroutines, reporting sustained QPS and latency percentiles — the
-// serving workload the persistent runtime exists for.
+// serving workload the persistent runtime exists for. With -batch n > 1
+// the stream travels as KNNBatch batches of n instead of single queries,
+// amortizing per-query overhead (and, against a TCP cluster, frames,
+// syscalls and BSP epochs).
 //
 // With -connect it skips building anything and becomes a remote client of a
 // TCP serving cluster (started with knnnode -serve): one query by default,
-// or the same -serve throughput driver aimed across the network.
+// the -serve throughput driver, or -batch batched dispatch — for scalar
+// clusters and, with -metric vector -dim d, vector clusters.
 //
 // Examples:
 //
@@ -17,8 +21,11 @@
 //	knnquery -n 65536 -k 32 -l 256 -compare
 //	knnquery -metric vector -dim 8 -n 10000 -l 5
 //	knnquery -n 100000 -k 16 -l 10 -serve -concurrency 8 -queries 5000
+//	knnquery -n 100000 -k 16 -l 10 -queries 5000 -batch 64
 //	knnquery -connect 127.0.0.1:7100 -l 10
 //	knnquery -connect 127.0.0.1:7100 -l 10 -serve -queries 1000
+//	knnquery -connect 127.0.0.1:7100 -l 10 -queries 1000 -batch 32
+//	knnquery -connect 127.0.0.1:7100 -metric vector -dim 8 -l 10
 package main
 
 import (
@@ -59,13 +66,17 @@ func main() {
 		show      = flag.Int("show", 10, "how many neighbors to print")
 		serve     = flag.Bool("serve", false, "throughput mode: stream queries at the resident cluster and report QPS")
 		workers   = flag.Int("concurrency", runtime.GOMAXPROCS(0), "client goroutines in -serve mode")
-		queries   = flag.Int("queries", 2000, "total queries in -serve mode")
+		queries   = flag.Int("queries", 2000, "total queries in -serve and -batch modes")
+		batchSize = flag.Int("batch", 1, "queries per KNNBatch dispatch (>1 switches to serial batched mode)")
 		connect   = flag.String("connect", "", "frontend address of a remote TCP serving cluster (see knnnode -serve); query it instead of building a local one")
 	)
 	flag.Parse()
 
-	if *compare && *serve {
-		fatalf("-compare and -serve are mutually exclusive")
+	if *compare && (*serve || *batchSize > 1) {
+		fatalf("-compare is mutually exclusive with -serve and -batch")
+	}
+	if *serve && *batchSize > 1 {
+		fatalf("-serve streams single queries; use -batch without -serve for batched dispatch")
 	}
 	algo, ok := algoByName[*algoName]
 	if !ok {
@@ -73,33 +84,44 @@ func main() {
 	}
 	rng := xrand.New(*seed)
 
+	genScalar := func(rng *rand.Rand) distknn.Scalar {
+		return distknn.Scalar(rng.Uint64N(points.PaperDomain))
+	}
+	dims := *dim
+	genVector := func(rng *rand.Rand) distknn.Vector {
+		v := make(distknn.Vector, dims)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		return v
+	}
+	scalarDist := func(key keys.Key) string { return fmt.Sprintf("%d", key.Dist) }
+	vectorDist := func(key keys.Key) string { return fmt.Sprintf("%.6f", keys.DecodeFloat(key.Dist)) }
+
 	if *connect != "" {
 		if *compare {
 			fatalf("-compare needs a local cluster; it cannot be combined with -connect")
 		}
-		if *metric != "scalar" {
-			fatalf("remote serving clusters hold scalar shards; -metric %s is not served yet", *metric)
+		switch *metric {
+		case "scalar":
+			rc, err := distknn.DialScalarCluster(*connect)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer rc.Close()
+			fmt.Printf("remote scalar cluster at %s; l=%d\n\n", *connect, *l)
+			drive(rc, genScalar, scalarDist, *l, *queries, *workers, *batchSize, *serve, *show, *seed, rng)
+		case "vector":
+			rc, err := distknn.DialVectorCluster(*connect)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer rc.Close()
+			fmt.Printf("remote vector cluster at %s; dim=%d l=%d\n\n", *connect, dims, *l)
+			drive(rc, genVector, vectorDist, *l, *queries, *workers, *batchSize, *serve, *show, *seed, rng)
+		default:
+			fatalf("unknown metric %q", *metric)
 		}
-		rc, err := distknn.DialCluster(*connect)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer rc.Close()
-		if *serve {
-			runServe(rc, func(rng *rand.Rand) distknn.Scalar {
-				return distknn.Scalar(rng.Uint64N(points.PaperDomain))
-			}, *l, *queries, *workers, *seed)
-			return
-		}
-		q := distknn.Scalar(rng.Uint64N(points.PaperDomain))
-		fmt.Printf("remote cluster at %s; query=%d l=%d\n\n", *connect, uint64(q), *l)
-		items, stats, err := rc.KNN(q, *l)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		printResult(items, stats, *show, func(key keys.Key) string {
-			return fmt.Sprintf("%d", key.Dist)
-		})
 		return
 	}
 
@@ -124,35 +146,15 @@ func main() {
 			fatalf("%v", err)
 		}
 		defer c.Close()
-		if *serve {
-			runServe(c, func(rng *rand.Rand) distknn.Scalar {
-				return distknn.Scalar(rng.Uint64N(points.PaperDomain))
-			}, *l, *queries, *workers, *seed)
-			return
-		}
-		items, stats, err := c.KNN(q, *l)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		printResult(items, stats, *show, func(key keys.Key) string {
-			return fmt.Sprintf("%d", key.Dist)
-		})
+		drive(c, genScalar, scalarDist, *l, *queries, *workers, *batchSize, *serve, *show, *seed, rng)
 	case "vector":
 		vecs := make([]distknn.Vector, *n)
 		labels := make([]float64, *n)
 		for i := range vecs {
-			v := make(distknn.Vector, *dim)
-			for j := range v {
-				v[j] = rng.Float64()
-			}
-			vecs[i] = v
+			vecs[i] = genVector(rng)
 			labels[i] = float64(i % 4)
 		}
-		q := make(distknn.Vector, *dim)
-		for j := range q {
-			q[j] = rng.Float64()
-		}
-		fmt.Printf("dataset: %d %d-dim points on %d machines; l=%d\n\n", *n, *dim, *k, *l)
+		fmt.Printf("dataset: %d %d-dim points on %d machines; l=%d\n\n", *n, dims, *k, *l)
 		c, err := distknn.NewVectorCluster(vecs, labels, distknn.Options{
 			Machines: *k, Seed: *seed, Algorithm: algo, BandwidthBytes: *bandwidth,
 		})
@@ -160,26 +162,37 @@ func main() {
 			fatalf("%v", err)
 		}
 		defer c.Close()
-		if *serve {
-			dims := *dim
-			runServe(c, func(rng *rand.Rand) distknn.Vector {
-				v := make(distknn.Vector, dims)
-				for j := range v {
-					v[j] = rng.Float64()
-				}
-				return v
-			}, *l, *queries, *workers, *seed)
-			return
-		}
-		items, stats, err := c.KNN(q, *l)
+		drive(c, genVector, vectorDist, *l, *queries, *workers, *batchSize, *serve, *show, *seed, rng)
+	default:
+		fatalf("unknown metric %q", *metric)
+	}
+}
+
+// queryCluster is the full driver surface knnquery needs; both the
+// in-process *distknn.Cluster and the remote *distknn.RemoteCluster
+// satisfy it.
+type queryCluster[P any] interface {
+	bench.Queryable[P]
+	KNNBatch(qs []P, l int) ([]distknn.BatchResult, *distknn.QueryStats, error)
+	Leader() int
+}
+
+// drive routes one cluster handle into the selected mode: a single printed
+// query, the -serve concurrency driver, or -batch batched dispatch.
+func drive[P any](c queryCluster[P], gen func(*rand.Rand) P, distStr func(keys.Key) string,
+	l, queries, workers, batch int, serve bool, show int, seed uint64, rng *rand.Rand) {
+	switch {
+	case serve:
+		runServe(c, gen, l, queries, workers, seed)
+	case batch > 1:
+		runBatch(c, gen, l, queries, batch, seed)
+	default:
+		q := gen(rng)
+		items, stats, err := c.KNN(q, l)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		printResult(items, stats, *show, func(key keys.Key) string {
-			return fmt.Sprintf("%.6f", keys.DecodeFloat(key.Dist))
-		})
-	default:
-		fatalf("unknown metric %q", *metric)
+		printResult(items, stats, show, distStr)
 	}
 }
 
@@ -227,13 +240,6 @@ func compareAll(values []uint64, labels []float64, q distknn.Scalar, k, l int, s
 	fmt.Println("\n(all algorithms returned the same boundary; they are exact)")
 }
 
-// servable is what the throughput driver needs from either deployment: the
-// in-process *distknn.Cluster or the remote *distknn.RemoteCluster.
-type servable[P any] interface {
-	bench.Queryable[P]
-	Leader() int
-}
-
 // runServe streams `total` queries at the resident cluster from `workers`
 // goroutines — via the same bench.Serve driver the throughput experiment
 // uses — and reports sustained throughput, latency percentiles and mean
@@ -242,7 +248,7 @@ type servable[P any] interface {
 // never contend on the model's links; against a remote cluster the frontend
 // serializes query epochs, so added workers measure pipelining of the
 // client path only.
-func runServe[P any](c servable[P], gen func(*rand.Rand) P, l, total, workers int, seed uint64) {
+func runServe[P any](c queryCluster[P], gen func(*rand.Rand) P, l, total, workers int, seed uint64) {
 	// Per-index query streams keep the workload deterministic however the
 	// work queue interleaves across workers; bench.Serve runs its own
 	// un-measured warm-up query first.
@@ -270,6 +276,50 @@ func runServe[P any](c servable[P], gen func(*rand.Rand) P, l, total, workers in
 		fmt.Printf("  FAILED      %d queries (excluded from the numbers above; first error: %v)\n",
 			res.Failed, res.FirstErr)
 	}
+}
+
+// runBatch issues `total` queries serially in KNNBatch batches of `batch`
+// and reports the amortized per-query throughput and cost. Against a TCP
+// cluster every batch is one dispatched BSP epoch, so this is the client
+// view of the wire-native batching E11b measures.
+func runBatch[P any](c queryCluster[P], gen func(*rand.Rand) P, l, total, batch int, seed uint64) {
+	if total < 1 {
+		total = 1
+	}
+	query := func(i int) P {
+		return gen(xrand.NewStream(seed, 1<<52+uint64(i)))
+	}
+	// Warm up (and learn the leader) outside the clock, like bench.Serve.
+	if _, _, err := c.KNN(query(0), l); err != nil {
+		fatalf("batch warm-up: %v", err)
+	}
+	var rounds, msgs, traffic int64
+	epochs := 0
+	start := time.Now()
+	for i := 0; i < total; i += batch {
+		n := batch
+		if i+n > total {
+			n = total - i
+		}
+		qs := make([]P, n)
+		for j := range qs {
+			qs[j] = query(i + j)
+		}
+		_, stats, err := c.KNNBatch(qs, l)
+		if err != nil {
+			fatalf("batch at query %d: %v", i, err)
+		}
+		rounds += int64(stats.Rounds)
+		msgs += stats.Messages
+		traffic += stats.Bytes
+		epochs++
+	}
+	wall := time.Since(start)
+	fmt.Printf("batch: %d queries in %d batches of ≤%d, leader=machine %d\n", total, epochs, batch, c.Leader())
+	fmt.Printf("  wall        %v\n", wall.Round(time.Millisecond))
+	fmt.Printf("  throughput  %.0f queries/s\n", float64(total)/wall.Seconds())
+	fmt.Printf("  per query   rounds=%.1f  messages=%.1f  traffic=%.0fB\n",
+		float64(rounds)/float64(total), float64(msgs)/float64(total), float64(traffic)/float64(total))
 }
 
 func fatalf(format string, args ...any) {

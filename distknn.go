@@ -40,12 +40,16 @@
 //
 // # Serving over TCP
 //
-// The same serving model runs over real sockets: a Frontend plus k
-// resident nodes (ServeScalarNode, or ServeLocal for a single-process
-// loopback deployment) mesh up once, elect a leader once, and answer each
-// query as one BSP epoch on the standing mesh. A RemoteCluster is the
-// client handle: the same KNN/Classify/Regress surface, the same exact
-// results, deterministic per (seed, query stream). See remote.go,
+// The same serving model runs over real sockets, generic over the point
+// type: a Frontend plus k resident nodes (ServeTypedNode with a PointType
+// — scalar and k-d-tree-indexed vector shards ship — or ServeTypedLocal
+// for a single-process loopback deployment) mesh up once, elect a leader
+// once, and answer each dispatched query batch as one BSP epoch on the
+// standing mesh; a batch's queries run as lockstep sub-programs sharing
+// the epoch's physical rounds, so KNNBatch over TCP amortizes frames,
+// syscalls and round latency across the batch. A RemoteCluster is the
+// client handle: the same KNN/Classify/Regress/KNNBatch surface, the same
+// exact results, deterministic per (seed, query stream). See remote.go,
 // docs/ARCHITECTURE.md and docs/PROTOCOL.md.
 //
 // Quickstart:

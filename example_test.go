@@ -53,11 +53,11 @@ func ExampleRemoteCluster_KNN() {
 	// remote client then asks the same query as ExampleCluster_KNN and
 	// gets the same exact answer — over sockets, as one BSP epoch on the
 	// resident mesh.
-	shards := func(id, k int) (distknn.ScalarShard, error) {
-		all := []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	shards := func(id, k int) (distknn.Shard[distknn.Scalar], error) {
+		all := []distknn.Scalar{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 		per := len(all) / k
-		return distknn.ScalarShard{
-			Values:  all[id*per : (id+1)*per],
+		return distknn.Shard[distknn.Scalar]{
+			Points:  all[id*per : (id+1)*per],
 			FirstID: uint64(id*per) + 1,
 		}, nil
 	}
@@ -67,7 +67,7 @@ func ExampleRemoteCluster_KNN() {
 	}
 	defer srv.Close()
 
-	rc, err := distknn.DialCluster(srv.Addr())
+	rc, err := distknn.DialScalarCluster(srv.Addr())
 	if err != nil {
 		panic(err)
 	}

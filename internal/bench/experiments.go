@@ -38,6 +38,8 @@ var Experiments = []Experiment{
 	{"constants", "Ablation: Lemma 2.3 constants (SampleFactor x CutFactor)", Constants},
 	{"throughput", "Serving: QPS of a persistent concurrent cluster vs the one-shot path", Throughput},
 	{"tcpserve", "Serving over loopback TCP: one-shot mesh per query vs resident mesh", TCPServe},
+	{"tcpbatch", "Serving over loopback TCP: batched dispatch vs one query per epoch", TCPBatch},
+	{"tcpvector", "Vector workload over loopback TCP vs in-process, with and without batching", TCPVector},
 }
 
 // ByID finds an experiment by its id.

@@ -60,11 +60,7 @@ func TCPServe(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tcpserve: %w", err)
 		}
-		pts := make([]points.Scalar, len(shard.Values))
-		for j, v := range shard.Values {
-			pts[j] = points.Scalar(v)
-		}
-		set, err := points.NewSet(pts, shard.Labels, points.ScalarMetric, shard.FirstID)
+		set, err := points.NewSet(shard.Points, shard.Labels, points.ScalarMetric, shard.FirstID)
 		if err != nil {
 			return nil, fmt.Errorf("tcpserve: %w", err)
 		}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"distknn"
+	"distknn/internal/xrand"
+)
+
+// TCPVector measures the vector workload over the TCP serving path — the
+// deployment PANDA-style partition-parallel KNN systems run, on this
+// repository's exact protocols. For each dimension a resident cluster of
+// k-d-tree-indexed vector shards answers the same query stream twice (one
+// query per epoch, then batched), next to the in-process NewVectorCluster
+// holding the identical global dataset. Served answers are bit-identical to
+// the in-process ones (the parity tests assert it); the table shows what
+// the socket hop costs and what batching claws back.
+func TCPVector(p Params) ([]*Table, error) {
+	p = p.withDefaults()
+	k, l := 4, 10
+	queries := 128
+	perNode := 1 << 10
+	dims := []int{4, 16}
+	batch := 16
+	if p.Quick {
+		k, l = 3, 5
+		queries = 24
+		perNode = 200
+		dims = []int{4}
+		batch = 8
+	}
+	if len(p.Ks) > 0 {
+		k = p.Ks[0]
+	}
+	if len(p.Ls) > 0 {
+		l = p.Ls[0]
+	}
+	seed := p.Seed
+
+	t := &Table{
+		ID: "E12",
+		Title: fmt.Sprintf("tcpvector — vector workload over loopback TCP vs in-process (k=%d, l=%d, %d pts/node)",
+			k, l, perNode),
+		Note: "k-d-tree-indexed shards on both sides; tcp pays a socket round-trip and a real BSP epoch " +
+			"per query, tcp-batch amortizes it; answers are bit-identical across all three",
+		Header: []string{"dim", "deployment", "queries", "wall_ms", "qps", "mean_rounds", "mean_msgs"},
+	}
+
+	for _, dim := range dims {
+		shards := distknn.UniformVectorShards(seed, perNode, dim)
+		queryAt := func(i int) distknn.Vector {
+			rng := xrand.NewStream(seed, 1<<40+uint64(i))
+			v := make(distknn.Vector, dim)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			return v
+		}
+
+		// In-process baseline over the identical global dataset.
+		var vecs []distknn.Vector
+		var labels []float64
+		for id := 0; id < k; id++ {
+			s, err := shards(id, k)
+			if err != nil {
+				return nil, fmt.Errorf("tcpvector shards: %w", err)
+			}
+			vecs = append(vecs, s.Points...)
+			labels = append(labels, s.Labels...)
+		}
+		local, err := distknn.NewVectorCluster(vecs, labels, distknn.Options{Machines: k, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("tcpvector local: %w", err)
+		}
+		var localRounds, localMsgs int64
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			_, qs, err := local.KNN(queryAt(i), l)
+			if err != nil {
+				local.Close()
+				return nil, fmt.Errorf("tcpvector local query %d: %w", i, err)
+			}
+			localRounds += int64(qs.Rounds)
+			localMsgs += qs.Messages
+		}
+		localWall := time.Since(start)
+		local.Close()
+
+		// Served over loopback TCP: per-query epochs, then batched.
+		srv, err := distknn.ServeVectorLocal(k, seed, shards, distknn.NodeOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("tcpvector serve dim=%d: %w", dim, err)
+		}
+		rc, err := distknn.DialVectorCluster(srv.Addr())
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("tcpvector dial: %w", err)
+		}
+		var tcpRounds, tcpMsgs int64
+		start = time.Now()
+		for i := 0; i < queries; i++ {
+			_, qs, err := rc.KNN(queryAt(i), l)
+			if err != nil {
+				rc.Close()
+				srv.Close()
+				return nil, fmt.Errorf("tcpvector tcp query %d: %w", i, err)
+			}
+			tcpRounds += int64(qs.Rounds)
+			tcpMsgs += qs.Messages
+		}
+		tcpWall := time.Since(start)
+
+		var batchRounds, batchMsgs int64
+		start = time.Now()
+		for i := 0; i < queries; i += batch {
+			n := batch
+			if i+n > queries {
+				n = queries - i
+			}
+			qs := make([]distknn.Vector, n)
+			for j := range qs {
+				qs[j] = queryAt(i + j)
+			}
+			_, stats, err := rc.KNNBatch(qs, l)
+			if err != nil {
+				rc.Close()
+				srv.Close()
+				return nil, fmt.Errorf("tcpvector batch at %d: %w", i, err)
+			}
+			batchRounds += int64(stats.Rounds)
+			batchMsgs += stats.Messages
+		}
+		batchWall := time.Since(start)
+		rc.Close()
+		if err := srv.Close(); err != nil {
+			return nil, fmt.Errorf("tcpvector shutdown: %w", err)
+		}
+
+		row := func(name string, wall time.Duration, rounds, msgs int64) {
+			t.AddRow(d(dim), name, d(queries), f(wall.Seconds()*1e3),
+				f(float64(queries)/wall.Seconds()),
+				f(float64(rounds)/float64(queries)), f(float64(msgs)/float64(queries)))
+		}
+		row("in-process", localWall, localRounds, localMsgs)
+		row("tcp", tcpWall, tcpRounds, tcpMsgs)
+		row(fmt.Sprintf("tcp-batch%d", batch), batchWall, batchRounds, batchMsgs)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,295 @@
+package tcp
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"distknn/internal/kmachine"
+	"distknn/internal/wire"
+	"distknn/internal/xrand"
+)
+
+// This file implements lockstep batch epochs: one BSP epoch that answers a
+// whole dispatched query batch. Every query of the batch runs as its own
+// sub-program against the full kmachine.Env surface, but all sub-programs
+// share the epoch's physical rounds — their per-round messages are
+// multiplexed into the one frame per peer, tagged with the query index, and
+// demultiplexed on arrival. A batch of b queries therefore costs
+// max(rounds over the b queries) physical round exchanges instead of their
+// sum: frames, syscalls and per-round latency are amortized b-fold, which
+// is what makes batched dispatch the wire-native query shape worth having.
+//
+// The BSP semantics per query are unchanged. Every sub-program starts at
+// physical round 0 and advances exactly one physical round per EndRound, so
+// a sub-program's logical round always equals the physical round while it
+// runs; a message sent in its round r is delivered to the peer sub-program
+// in round r+1 exactly as in a solo epoch. Sub-program q draws its private
+// randomness from DeriveSeed(epochSeed, q) — deterministic per (session
+// seed, epoch, query index) — and only ever observes its own messages in
+// per-sender order, so its protocol decisions are independent of how the
+// runtime interleaves the batch. Results are exact either way, and
+// bit-identical to the same queries asked one per epoch.
+
+// batchRun coordinates the sub-programs of one lockstep epoch. The last
+// active sub-program to arrive at the round barrier performs the physical
+// exchange on behalf of everyone.
+type batchRun struct {
+	n    *Node
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	active   int // sub-programs still running
+	waiting  int // sub-programs parked at the round barrier
+	gen      uint64
+	err      error // sticky epoch failure; wakes and aborts every sub-program
+	subInbox [][]kmachine.Message
+}
+
+// lockstep runs one sub-program per query of the batch and multiplexes
+// their rounds. It is the body runEpochBatch hands to Node.execute, so a
+// returned error travels the usual epoch-failure path (error frames to
+// peers, KindError to the frontend).
+func (n *Node) lockstep(epochSeed uint64, progs []kmachine.Program) error {
+	r := &batchRun{n: n, active: len(progs), subInbox: make([][]kmachine.Message, len(progs))}
+	r.cond = sync.NewCond(&r.mu)
+	errs := make([]error, len(progs))
+	var wg sync.WaitGroup
+	for qi := range progs {
+		wg.Add(1)
+		go func(qi int) {
+			defer wg.Done()
+			s := &subEnv{
+				r:   r,
+				qi:  qi,
+				rng: xrand.NewStream(xrand.DeriveSeed(epochSeed, uint64(qi)), uint64(n.id)),
+			}
+			errs[qi] = s.run(progs[qi])
+			r.finish(s, errs[qi])
+		}(qi)
+	}
+	wg.Wait()
+	// Prefer the run-level error (a transport fault or peer abort observed
+	// at the shared exchange) over per-query program errors; either way
+	// the first failure wins, like a solo epoch.
+	if r.err != nil {
+		return r.err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish retires one sub-program: its unflushed sends still travel (with
+// the next exchange, or the epoch's final halt frame), and if every
+// remaining sub-program is already parked at the barrier, the retiree
+// triggers the exchange they are waiting for.
+func (r *batchRun) finish(s *subEnv, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.flushLocked()
+	r.active--
+	if err != nil {
+		if r.err == nil {
+			r.err = err
+		}
+		r.cond.Broadcast()
+		return
+	}
+	if r.err == nil && r.active > 0 && r.waiting == r.active {
+		r.roundLocked()
+	}
+}
+
+// roundLocked performs one physical round exchange on behalf of every
+// waiting sub-program and distributes the delivered messages by tag. The
+// caller holds r.mu; sub-programs parked in cond.Wait have released it.
+// A transport fault or peer abort panics out of the exchange — it is
+// converted into the sticky run error and every sub-program is woken to
+// abort.
+func (r *batchRun) roundLocked() {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				r.err = e
+			} else {
+				r.err = fmt.Errorf("tcp: node %d batch exchange panicked: %v", r.n.id, rec)
+			}
+		}
+		r.gen++
+		r.waiting = 0
+		r.cond.Broadcast()
+	}()
+	r.n.EndRound()
+	for _, msg := range r.n.Recv() {
+		rd := wire.NewReader(msg.Payload)
+		qi := int(rd.Varint())
+		payload := rd.Raw(rd.Remaining())
+		if rd.Err() != nil || qi < 0 || qi >= len(r.subInbox) {
+			panic(transportError{fmt.Errorf("tcp: node %d got mis-tagged batch message from %d", r.n.id, msg.From)})
+		}
+		r.subInbox[qi] = append(r.subInbox[qi], kmachine.Message{From: msg.From, To: msg.To, Payload: payload})
+	}
+}
+
+// subEnv is the kmachine.Env one sub-program sees: same identity as the
+// node, private randomness, and messaging that is multiplexed onto the
+// shared physical rounds.
+type subEnv struct {
+	r   *batchRun
+	qi  int
+	rng *rand.Rand
+
+	pending []kmachine.Message
+	out     []taggedSend
+	msgs    int64
+	bytes   int64
+}
+
+var _ kmachine.Env = (*subEnv)(nil)
+
+type taggedSend struct {
+	to      int
+	payload []byte
+}
+
+// run executes the sub-program, converting panics (including the sticky
+// run error re-panicked by a blocked EndRound) into ordinary errors.
+func (s *subEnv) run(prog kmachine.Program) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("tcp: node %d query %d panicked: %v", s.r.n.id, s.qi, rec)
+			}
+		}
+	}()
+	return prog(s)
+}
+
+// ID returns the node's machine index.
+func (s *subEnv) ID() int { return s.r.n.id }
+
+// K returns the cluster size.
+func (s *subEnv) K() int { return s.r.n.k }
+
+// GUID returns the node's epoch GUID (query protocols never use it; the
+// setup election runs as a solo epoch).
+func (s *subEnv) GUID() uint64 { return s.r.n.guid }
+
+// Rand returns the sub-program's private random stream, derived from
+// (epoch seed, query index, machine id).
+func (s *subEnv) Rand() *rand.Rand { return s.rng }
+
+// Round returns the current physical (== logical) round.
+func (s *subEnv) Round() int {
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	return s.r.n.round
+}
+
+// Send queues payload for machine `to` next round, tagged with the query
+// index so the receiving node can route it to the right sub-program.
+func (s *subEnv) Send(to int, payload []byte) {
+	n := s.r.n
+	if to < 0 || to >= n.k {
+		panic(fmt.Sprintf("tcp: node %d sending to out-of-range %d", n.id, to))
+	}
+	if to == n.id {
+		panic(fmt.Sprintf("tcp: node %d sending to itself", n.id))
+	}
+	var w wire.Writer
+	w.Varint(uint64(s.qi))
+	w.Raw(payload)
+	s.out = append(s.out, taggedSend{to: to, payload: w.Bytes()})
+	s.msgs++
+	// Charge the protocol payload only: the tag is transport framing, so
+	// metrics stay comparable with solo epochs.
+	s.bytes += int64(len(payload) + kmachine.MessageOverheadBytes)
+}
+
+// Broadcast sends payload to every other machine.
+func (s *subEnv) Broadcast(payload []byte) {
+	for to := 0; to < s.r.n.k; to++ {
+		if to != s.r.n.id {
+			s.Send(to, payload)
+		}
+	}
+}
+
+// flushLocked moves the sub-program's queued sends into the node outbox the
+// next physical exchange ships, and folds its message counts into the node
+// metrics. Caller holds r.mu.
+func (s *subEnv) flushLocked() {
+	for _, t := range s.out {
+		s.r.n.outbox[t.to] = append(s.r.n.outbox[t.to], t.payload)
+	}
+	s.out = s.out[:0]
+	s.r.n.metrics.Messages += s.msgs
+	s.r.n.metrics.Bytes += s.bytes
+	s.msgs, s.bytes = 0, 0
+}
+
+// EndRound commits this sub-program's sends and blocks until the shared
+// physical round completes. The last active sub-program to arrive performs
+// the exchange for everyone.
+func (s *subEnv) EndRound() {
+	r := s.r
+	r.mu.Lock()
+	if r.err != nil {
+		err := r.err
+		r.mu.Unlock()
+		panic(err)
+	}
+	s.flushLocked()
+	gen := r.gen
+	r.waiting++
+	if r.waiting == r.active {
+		r.roundLocked()
+	} else {
+		for r.gen == gen && r.err == nil {
+			r.cond.Wait()
+		}
+	}
+	if r.err != nil {
+		err := r.err
+		r.mu.Unlock()
+		panic(err)
+	}
+	s.pending = append(s.pending, r.subInbox[s.qi]...)
+	r.subInbox[s.qi] = nil
+	r.mu.Unlock()
+}
+
+// Recv takes this round's messages for this sub-program.
+func (s *subEnv) Recv() []kmachine.Message {
+	in := s.pending
+	s.pending = nil
+	return in
+}
+
+// Gather advances rounds until n messages have been received.
+func (s *subEnv) Gather(want int) []kmachine.Message {
+	got := s.Recv()
+	for len(got) < want {
+		s.EndRound()
+		got = append(got, s.Recv()...)
+	}
+	return got
+}
+
+// WaitAny advances rounds until at least one message arrives.
+func (s *subEnv) WaitAny() []kmachine.Message { return s.Gather(1) }
+
+// runEpochBatch executes the batch's sub-programs as one isolated lockstep
+// epoch on the standing mesh — the batched counterpart of runEpoch, with
+// the same epoch reset and seed schedule.
+func (n *Node) runEpochBatch(epoch, epochSeed uint64, progs []kmachine.Program) (Metrics, error) {
+	n.resetEpoch(epoch, epochSeed)
+	err := n.execute(func(kmachine.Env) error { return n.lockstep(epochSeed, progs) })
+	return n.metrics, err
+}

@@ -125,17 +125,22 @@ type assignment struct {
 	addrs []string
 }
 
-// join registers ln's address with the coordinator and reads back the
-// assignment. The returned control connection stays open; a one-shot node
-// closes it immediately, a serving node keeps it for dispatches.
-func join(coordAddr string, ln net.Listener) (net.Conn, assignment, error) {
+// join registers the node's mesh address with the coordinator and reads
+// back the assignment. advertise is the address peers are told to dial; if
+// empty, ln's own address is registered (right whenever the bind address is
+// reachable as-is). The returned control connection stays open; a one-shot
+// node closes it immediately, a serving node keeps it for dispatches.
+func join(coordAddr string, ln net.Listener, advertise string) (net.Conn, assignment, error) {
+	if advertise == "" {
+		advertise = ln.Addr().String()
+	}
 	coord, err := net.Dial("tcp", coordAddr)
 	if err != nil {
 		return nil, assignment{}, fmt.Errorf("tcp: dial coordinator: %w", err)
 	}
 	var reg wire.Writer
 	reg.U8(wire.KindRegister)
-	reg.String(ln.Addr().String())
+	reg.String(advertise)
 	if err := wire.WriteFrame(coord, reg.Bytes()); err != nil {
 		coord.Close()
 		return nil, assignment{}, fmt.Errorf("tcp: register: %w", err)
@@ -178,7 +183,7 @@ func RunNode(coordAddr, meshAddr string, prog kmachine.Program) (Metrics, error)
 	}
 	defer ln.Close()
 
-	coord, a, err := join(coordAddr, ln)
+	coord, a, err := join(coordAddr, ln, "")
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -37,10 +37,10 @@ type SessionInfo struct {
 	PointTag uint8
 }
 
-// EpochResult is one node's local outcome of a query epoch. Winners is this
-// node's share of the global answer; the remaining fields are only read from
-// the leader node's result.
-type EpochResult struct {
+// QueryResult is one node's local outcome for one query of a batched
+// epoch. Winners is this node's share of that query's global answer; the
+// remaining fields are only read from the leader node's result.
+type QueryResult struct {
 	Winners    []points.Item
 	Boundary   keys.Key
 	Survivors  int64
@@ -50,32 +50,45 @@ type EpochResult struct {
 }
 
 // Handler is the per-node protocol logic a resident node runs: one Setup
-// epoch at session start (leader election, shard discovery), then one Query
-// epoch per dispatched client query. Both run inside a BSP epoch on the
-// standing mesh, so they may freely use the full kmachine.Env protocol
-// surface. A Handler instance belongs to one node; it may keep state (the
-// shard, the elected leader) across calls.
+// epoch at session start (leader election, shard discovery), then — per
+// dispatched batch — one Query call per point of the batch, all inside a
+// single BSP epoch. Both calls run on the standing mesh and may freely use
+// the full kmachine.Env protocol surface.
+//
+// For a batch of size > 1 the per-point Query calls execute concurrently
+// as lockstep sub-programs of the shared epoch (each on its own Env; see
+// batch.go), so implementations must be safe for concurrent Query calls on
+// the same receiver: keep per-call state local, and treat state written in
+// Setup (the shard, the elected leader) as read-only during queries. A
+// Handler instance belongs to one node.
 type Handler interface {
 	Setup(m kmachine.Env) (SessionInfo, error)
-	Query(m kmachine.Env, q wire.Query) (EpochResult, error)
+	Query(m kmachine.Env, q wire.Query, qi int) (QueryResult, error)
 }
 
 // ServeNode joins the serving cluster at the frontend's address and stays
 // resident: it meshes up once, runs h.Setup as the setup epoch, reports
-// readiness, and then executes one BSP epoch per dispatched query until the
-// frontend shuts the session down (clean return) or the mesh breaks.
+// readiness, and then executes one BSP epoch per dispatched query batch
+// until the frontend shuts the session down (clean return) or the mesh
+// breaks.
+//
+// meshAddr is the address the node's mesh listener binds; advertise is the
+// address peers are told to dial, for deployments where the bind address is
+// not reachable from other hosts (e.g. bind "0.0.0.0:7101", advertise
+// "10.0.0.5:7101"). An empty advertise falls back to the listener's own
+// address, which is right for single-host and loopback deployments.
 //
 // A query epoch whose program fails (including a program failure on a peer)
 // is reported to the frontend and serving continues; only transport-level
 // failures end the session with an error.
-func ServeNode(coordAddr, meshAddr string, h Handler) error {
+func ServeNode(coordAddr, meshAddr, advertise string, h Handler) error {
 	ln, err := net.Listen("tcp", meshAddr)
 	if err != nil {
 		return fmt.Errorf("tcp: node mesh listen: %w", err)
 	}
 	defer ln.Close()
 
-	coord, a, err := join(coordAddr, ln)
+	coord, a, err := join(coordAddr, ln, advertise)
 	if err != nil {
 		return err
 	}
@@ -129,12 +142,30 @@ func ServeNode(coordAddr, meshAddr string, h Handler) error {
 			if err != nil {
 				return fmt.Errorf("tcp: node %d bad dispatch: %w", a.id, err)
 			}
-			var res EpochResult
-			met, err := node.runEpoch(epoch, xrand.DeriveSeed(a.seed, epoch), func(m kmachine.Env) error {
-				var err error
-				res, err = h.Query(m, q)
-				return err
-			})
+			res := make([]QueryResult, len(q.Points))
+			epochSeed := xrand.DeriveSeed(a.seed, epoch)
+			var met Metrics
+			if len(q.Points) == 1 {
+				// A batch of one runs as a plain solo epoch, preserving
+				// the exact per-query seed schedule of the in-process
+				// Cluster (bit-identical single-query replays).
+				met, err = node.runEpoch(epoch, epochSeed, func(m kmachine.Env) error {
+					var qerr error
+					res[0], qerr = h.Query(m, q, 0)
+					return qerr
+				})
+			} else {
+				progs := make([]kmachine.Program, len(q.Points))
+				for qi := range progs {
+					qi := qi
+					progs[qi] = func(m kmachine.Env) error {
+						var qerr error
+						res[qi], qerr = h.Query(m, q, qi)
+						return qerr
+					}
+				}
+				met, err = node.runEpochBatch(epoch, epochSeed, progs)
+			}
 			if err != nil {
 				if werr := writeNodeError(coord, epoch, err); werr != nil {
 					return fmt.Errorf("tcp: node %d report error: %w", a.id, werr)
@@ -151,19 +182,23 @@ func ServeNode(coordAddr, meshAddr string, h Handler) error {
 				Messages: met.Messages,
 				Bytes:    met.Bytes,
 				IsLeader: a.id == info.Leader,
+				Queries:  make([]wire.NodeQueryResult, len(res)),
 			}
-			// The winner share only travels for KNN queries; Classify and
-			// Regress replies carry the aggregate value, so shipping (and
-			// the frontend merging) up to ℓ items would be wasted work.
-			if q.Op == wire.OpKNN {
-				nr.Winners = res.Winners
-			}
-			if nr.IsLeader {
-				nr.Boundary = res.Boundary
-				nr.Survivors = res.Survivors
-				nr.FellBack = res.FellBack
-				nr.Iterations = res.Iterations
-				nr.Value = res.Value
+			for qi, qr := range res {
+				// The winner share only travels for KNN queries; Classify
+				// and Regress replies carry the aggregate value, so shipping
+				// (and the frontend merging) up to ℓ items per query would
+				// be wasted work.
+				if q.Op == wire.OpKNN {
+					nr.Queries[qi].Winners = qr.Winners
+				}
+				if nr.IsLeader {
+					nr.Queries[qi].Boundary = qr.Boundary
+					nr.Queries[qi].Survivors = qr.Survivors
+					nr.Queries[qi].FellBack = qr.FellBack
+					nr.Queries[qi].Iterations = qr.Iterations
+					nr.Queries[qi].Value = qr.Value
+				}
 			}
 			if err := wire.WriteFrame(coord, wire.EncodeNodeResult(nr)); err != nil {
 				return fmt.Errorf("tcp: node %d report result: %w", a.id, err)
@@ -488,8 +523,8 @@ func (f *Frontend) serveClient(conn net.Conn, first []byte) {
 	}
 }
 
-// query runs one query epoch across the resident nodes and merges the
-// result. It holds the epoch lock for the whole round trip.
+// query runs one batched query epoch across the resident nodes and merges
+// the per-query results. It holds the epoch lock for the whole round trip.
 func (f *Frontend) query(q wire.Query) wire.Reply {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -508,6 +543,9 @@ func (f *Frontend) query(q wire.Query) wire.Reply {
 	if q.L < 1 || int64(q.L) > f.total {
 		return wire.Reply{Err: fmt.Sprintf("l=%d out of range [1, %d]", q.L, f.total)}
 	}
+	if len(q.Points) < 1 || len(q.Points) > wire.MaxBatch {
+		return wire.Reply{Err: fmt.Sprintf("batch of %d out of range [1, %d]", len(q.Points), wire.MaxBatch)}
+	}
 
 	f.epoch++
 	dispatch := wire.EncodeDispatch(f.epoch, q)
@@ -518,7 +556,7 @@ func (f *Frontend) query(q wire.Query) wire.Reply {
 		}
 	}
 
-	var rep wire.Reply
+	rep := wire.Reply{Results: make([]wire.QueryReply, len(q.Points))}
 	var epochErr string
 	epochErrOrigin := false
 	for id, conn := range f.nodes {
@@ -543,7 +581,7 @@ func (f *Frontend) query(q wire.Query) wire.Reply {
 			}
 		case wire.KindResult:
 			nr, err := wire.DecodeNodeResult(r)
-			if err != nil || nr.Epoch != f.epoch || nr.Node != id {
+			if err != nil || nr.Epoch != f.epoch || nr.Node != id || len(nr.Queries) != len(q.Points) {
 				f.broken = fmt.Errorf("node %d sent malformed or stale result (%v)", id, err)
 				return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
 			}
@@ -552,13 +590,11 @@ func (f *Frontend) query(q wire.Query) wire.Reply {
 			}
 			rep.Messages += nr.Messages
 			rep.Bytes += nr.Bytes
-			rep.Items = append(rep.Items, nr.Winners...)
-			if nr.IsLeader {
-				rep.Boundary = nr.Boundary
-				rep.Survivors = nr.Survivors
-				rep.FellBack = nr.FellBack
-				rep.Iterations = nr.Iterations
-				rep.Value = nr.Value
+			for qi, qr := range nr.Queries {
+				rep.Results[qi].Items = append(rep.Results[qi].Items, qr.Winners...)
+				if nr.IsLeader {
+					rep.Results[qi].QueryOutcome = qr.QueryOutcome
+				}
 			}
 		default:
 			f.broken = fmt.Errorf("node %d sent unexpected kind %d", id, kind)
@@ -569,9 +605,11 @@ func (f *Frontend) query(q wire.Query) wire.Reply {
 		return wire.Reply{Err: fmt.Sprintf("query failed: %s", epochErr)}
 	}
 	rep.Leader = f.leader
-	points.SortItems(rep.Items)
-	if q.Op != wire.OpKNN {
-		rep.Items = nil
+	for qi := range rep.Results {
+		points.SortItems(rep.Results[qi].Items)
+		if q.Op != wire.OpKNN {
+			rep.Results[qi].Items = nil
+		}
 	}
 	return rep
 }
@@ -651,7 +689,7 @@ func ServeLocal(k int, seed uint64, newHandler func() Handler) (*LocalCluster, e
 		lc.wg.Add(1)
 		go func() {
 			defer lc.wg.Done()
-			if err := ServeNode(fe.Addr(), "127.0.0.1:0", newHandler()); err != nil {
+			if err := ServeNode(fe.Addr(), "127.0.0.1:0", "", newHandler()); err != nil {
 				lc.mu.Lock()
 				lc.nodeErrs = append(lc.nodeErrs, err)
 				lc.mu.Unlock()

@@ -14,10 +14,11 @@ import (
 )
 
 // echoHandler is a minimal serving protocol for transport tests: the setup
-// epoch elects a min-GUID leader; each query epoch broadcasts the node's id,
-// gathers the peers', and returns one synthetic "winner" per node so the
-// frontend's merge path is exercised. A query for the magic value 1313 fails
-// on node 1, exercising epoch-failure recovery.
+// epoch elects a min-GUID leader; each query runs one broadcast/gather
+// round and returns one synthetic "winner" per node, so the frontend's
+// per-query merge path and the lockstep batch path are both exercised. A
+// query for the magic value 1313 fails on node 1, exercising epoch-failure
+// recovery.
 type echoHandler struct {
 	leader int
 }
@@ -31,28 +32,36 @@ func (h *echoHandler) Setup(m kmachine.Env) (SessionInfo, error) {
 	return SessionInfo{Leader: leader, ShardLen: 10, PointTag: wire.PointScalar}, nil
 }
 
-func (h *echoHandler) Query(m kmachine.Env, q wire.Query) (EpochResult, error) {
-	v, err := wire.DecodeScalarPoint(q.Point)
+func (h *echoHandler) Query(m kmachine.Env, q wire.Query, qi int) (QueryResult, error) {
+	v, err := wire.DecodeScalarPoint(q.Points[qi])
 	if err != nil {
-		return EpochResult{}, err
+		return QueryResult{}, err
 	}
 	if v == 1313 && m.ID() == 1 {
-		return EpochResult{}, fmt.Errorf("unlucky query")
+		return QueryResult{}, fmt.Errorf("unlucky query")
 	}
-	// One real BSP round so epochs exercise the mesh.
+	// One real BSP round so every query exercises the mesh.
 	m.Broadcast([]byte{byte(m.ID())})
 	m.EndRound()
 	if got := len(m.Gather(m.K() - 1)); got != m.K()-1 {
-		return EpochResult{}, fmt.Errorf("gathered %d of %d", got, m.K()-1)
+		return QueryResult{}, fmt.Errorf("gathered %d of %d", got, m.K()-1)
 	}
-	res := EpochResult{
+	out := QueryResult{
 		Winners: []points.Item{{Key: keys.Key{Dist: v*10 + uint64(m.ID()), ID: uint64(m.ID()) + 1}}},
 	}
 	if m.ID() == h.leader {
-		res.Boundary = keys.Key{Dist: v}
-		res.Value = float64(v)
+		out.Boundary = keys.Key{Dist: v}
+		out.Value = float64(v)
 	}
-	return res, nil
+	return out, nil
+}
+
+func scalarQuery(op uint8, l int, vs ...uint64) wire.Query {
+	pts := make([][]byte, len(vs))
+	for i, v := range vs {
+		pts[i] = wire.EncodeScalarPoint(v)
+	}
+	return wire.Query{Op: op, L: l, Tag: wire.PointScalar, Points: pts}
 }
 
 func startEchoCluster(t *testing.T, k int, seed uint64) (*LocalCluster, *Client) {
@@ -82,23 +91,25 @@ func TestServeManyEpochsOverOneMesh(t *testing.T) {
 		t.Fatalf("leader = %d", l)
 	}
 	for v := uint64(1); v <= 50; v++ {
-		rep, err := client.Do(wire.Query{
-			Op: wire.OpKNN, L: 1, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(v),
-		})
+		rep, err := client.Do(scalarQuery(wire.OpKNN, 1, v))
 		if err != nil {
 			t.Fatalf("query %d: %v", v, err)
 		}
-		if len(rep.Items) != k {
-			t.Fatalf("query %d: %d items, want %d", v, len(rep.Items), k)
+		if len(rep.Results) != 1 {
+			t.Fatalf("query %d: %d results, want 1", v, len(rep.Results))
 		}
-		for id, it := range rep.Items {
+		res := rep.Results[0]
+		if len(res.Items) != k {
+			t.Fatalf("query %d: %d items, want %d", v, len(res.Items), k)
+		}
+		for id, it := range res.Items {
 			want := keys.Key{Dist: v*10 + uint64(id), ID: uint64(id) + 1}
 			if it.Key != want {
 				t.Fatalf("query %d item %d = %v, want %v", v, id, it.Key, want)
 			}
 		}
-		if rep.Boundary.Dist != v || rep.Leader != lc.Leader() {
-			t.Fatalf("query %d: boundary %v leader %d", v, rep.Boundary, rep.Leader)
+		if res.Boundary.Dist != v || rep.Leader != lc.Leader() {
+			t.Fatalf("query %d: boundary %v leader %d", v, res.Boundary, rep.Leader)
 		}
 		if rep.Rounds < 1 || rep.Messages < int64(k*(k-1)) {
 			t.Fatalf("query %d: implausible cost rounds=%d msgs=%d", v, rep.Rounds, rep.Messages)
@@ -106,23 +117,74 @@ func TestServeManyEpochsOverOneMesh(t *testing.T) {
 	}
 }
 
+// TestServeBatchedEpoch drives a whole batch through one dispatch and
+// checks per-query merge order and the single shared epoch cost.
+func TestServeBatchedEpoch(t *testing.T) {
+	k := 3
+	lc, client := startEchoCluster(t, k, 11)
+	vs := []uint64{4, 9, 2, 7}
+	rep, err := client.Do(scalarQuery(wire.OpKNN, 1, vs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(vs) {
+		t.Fatalf("%d results, want %d", len(rep.Results), len(vs))
+	}
+	for qi, v := range vs {
+		res := rep.Results[qi]
+		if len(res.Items) != k {
+			t.Fatalf("query %d: %d items, want %d", qi, len(res.Items), k)
+		}
+		for id, it := range res.Items {
+			want := keys.Key{Dist: v*10 + uint64(id), ID: uint64(id) + 1}
+			if it.Key != want {
+				t.Fatalf("query %d item %d = %v, want %v", qi, id, it.Key, want)
+			}
+		}
+		if res.Boundary.Dist != v || res.Value != float64(v) {
+			t.Fatalf("query %d: outcome %+v", qi, res.QueryOutcome)
+		}
+	}
+	if rep.Leader != lc.Leader() {
+		t.Fatalf("leader %d, want %d", rep.Leader, lc.Leader())
+	}
+	// The whole batch runs in lockstep on one epoch: its round count must
+	// match a single query's (every sub-query broadcasts in the same
+	// shared physical round), while messages scale with the batch size.
+	single, err := client.Do(scalarQuery(wire.OpKNN, 1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != single.Rounds {
+		t.Fatalf("batch rounds=%d, single rounds=%d — lockstep batch should share physical rounds",
+			rep.Rounds, single.Rounds)
+	}
+	if rep.Messages != int64(len(vs))*single.Messages {
+		t.Fatalf("batch messages=%d, want %d× single %d", rep.Messages, len(vs), single.Messages)
+	}
+}
+
 func TestServeEpochFailureKeepsSessionAlive(t *testing.T) {
 	_, client := startEchoCluster(t, 3, 8)
 	ok := func(v uint64) wire.Reply {
 		t.Helper()
-		rep, err := client.Do(wire.Query{Op: wire.OpKNN, L: 1, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(v)})
+		rep, err := client.Do(scalarQuery(wire.OpKNN, 1, v))
 		if err != nil {
 			t.Fatalf("query %d: %v", v, err)
 		}
 		return rep
 	}
 	ok(5)
-	if _, err := client.Do(wire.Query{Op: wire.OpKNN, L: 1, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(1313)}); err == nil {
+	if _, err := client.Do(scalarQuery(wire.OpKNN, 1, 1313)); err == nil {
 		t.Fatal("magic query should fail")
 	} else if !strings.Contains(err.Error(), "unlucky") {
 		t.Fatalf("unexpected error: %v", err)
 	}
-	// The session must survive a failed epoch.
+	// A failing query inside a batch fails the whole batch (one epoch).
+	if _, err := client.Do(scalarQuery(wire.OpKNN, 1, 4, 1313, 6)); err == nil {
+		t.Fatal("batch containing the magic query should fail")
+	}
+	// The session must survive failed epochs.
 	for v := uint64(20); v < 30; v++ {
 		ok(v)
 	}
@@ -130,14 +192,17 @@ func TestServeEpochFailureKeepsSessionAlive(t *testing.T) {
 
 func TestFrontendValidatesQueries(t *testing.T) {
 	_, client := startEchoCluster(t, 2, 9)
+	badTag := scalarQuery(wire.OpKNN, 1, 1)
+	badTag.Tag = wire.PointVector
 	cases := []struct {
 		name string
 		q    wire.Query
 	}{
-		{"bad op", wire.Query{Op: 99, L: 1, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(1)}},
-		{"bad tag", wire.Query{Op: wire.OpKNN, L: 1, Tag: wire.PointVector, Point: wire.EncodeScalarPoint(1)}},
-		{"l too small", wire.Query{Op: wire.OpKNN, L: 0, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(1)}},
-		{"l too large", wire.Query{Op: wire.OpKNN, L: 21, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(1)}},
+		{"bad op", scalarQuery(99, 1, 1)},
+		{"bad tag", badTag},
+		{"l too small", scalarQuery(wire.OpKNN, 0, 1)},
+		{"l too large", scalarQuery(wire.OpKNN, 21, 1)},
+		{"empty batch", scalarQuery(wire.OpKNN, 1)},
 	}
 	for _, tc := range cases {
 		if _, err := client.Do(tc.q); err == nil {
@@ -146,7 +211,7 @@ func TestFrontendValidatesQueries(t *testing.T) {
 	}
 	// Validation failures must not have consumed an epoch or broken the
 	// session.
-	if _, err := client.Do(wire.Query{Op: wire.OpKNN, L: 1, Tag: wire.PointScalar, Point: wire.EncodeScalarPoint(4)}); err != nil {
+	if _, err := client.Do(scalarQuery(wire.OpKNN, 1, 4)); err != nil {
 		t.Fatalf("valid query after rejections: %v", err)
 	}
 }

@@ -333,13 +333,14 @@ func (n *Node) runProgram(prog kmachine.Program) (Metrics, error) {
 	return n.metrics, err
 }
 
-// runEpoch executes prog as one isolated BSP epoch on the standing mesh:
-// round numbering restarts at zero, every peer is live again, and the node's
-// GUID and private random stream are re-derived from the epoch's seed —
-// exactly how a kmachine.Runtime seeds each ExecuteSeeded run. The epoch
-// ordinal must be strictly greater than the previous one (the frame filter
-// relies on it); epochSeed is derived by the caller from the session seed.
-func (n *Node) runEpoch(epoch, epochSeed uint64, prog kmachine.Program) (Metrics, error) {
+// resetEpoch prepares the node for one isolated BSP epoch on the standing
+// mesh: round numbering restarts at zero, every peer is live again, and the
+// node's GUID and private random stream are re-derived from the epoch's
+// seed — exactly how a kmachine.Runtime seeds each ExecuteSeeded run. The
+// epoch ordinal must be strictly greater than the previous one (the frame
+// filter relies on it); epochSeed is derived by the caller from the
+// session seed.
+func (n *Node) resetEpoch(epoch, epochSeed uint64) {
 	n.epoch = epoch
 	n.guid = xrand.DeriveSeed(epochSeed, uint64(n.id)+(1<<32))
 	n.rng = xrand.NewStream(epochSeed, uint64(n.id))
@@ -354,6 +355,13 @@ func (n *Node) runEpoch(epoch, epochSeed uint64, prog kmachine.Program) (Metrics
 			p.halted = false
 		}
 	}
+}
+
+// runEpoch executes prog as one isolated BSP epoch on the standing mesh;
+// see resetEpoch for the seed schedule. Batched dispatches run through
+// runEpochBatch (batch.go) instead.
+func (n *Node) runEpoch(epoch, epochSeed uint64, prog kmachine.Program) (Metrics, error) {
+	n.resetEpoch(epoch, epochSeed)
 	err := n.execute(prog)
 	return n.metrics, err
 }

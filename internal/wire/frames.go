@@ -22,8 +22,8 @@ const (
 	// has completed. Body: Varint id, Varint leader, Varint shard size,
 	// U8 point tag.
 	KindReady = 3
-	// KindDispatch: frontend → node, one query epoch. Body: Varint epoch,
-	// then a Query body.
+	// KindDispatch: frontend → node, one query epoch answering a whole
+	// batch. Body: Varint epoch, then a Query body.
 	KindDispatch = 4
 	// KindResult: node → frontend, one epoch's outcome. Body: NodeResult.
 	KindResult = 5
@@ -63,43 +63,36 @@ const (
 	// PointScalar is a one-dimensional integer point: U64 value.
 	PointScalar = 1
 	// PointVector is a d-dimensional point: Varint dim, then dim × F64.
-	// Reserved: the serving path does not ship vector shards yet.
 	PointVector = 2
 )
 
+// MaxBatch bounds the number of points one Query may carry. It keeps a
+// malformed (or greedy) client from pinning the whole cluster in one
+// arbitrarily long epoch; decoders and the frontend both enforce it.
+const MaxBatch = 4096
+
 // Query is one client request: which operation to run, how many neighbors,
-// and the query point in its tagged encoding. It is the body of a KindQuery
-// frame and the tail of a KindDispatch frame.
+// and a batch of one or more query points in their tagged encoding. The
+// batch is the wire-native query shape — a single query is a batch of one —
+// and the whole batch is answered in a single BSP epoch on the serving
+// mesh, the socket analogue of the in-process KNNBatch. It is the body of a
+// KindQuery frame and the tail of a KindDispatch frame.
 type Query struct {
-	Op    uint8
-	L     int
-	Tag   uint8
-	Point []byte // tag-specific encoding, length-prefixed on the wire
-}
-
-// EncodeScalarPoint encodes a scalar query point for Query.Point.
-func EncodeScalarPoint(v uint64) []byte {
-	var w Writer
-	w.U64(v)
-	return w.Bytes()
-}
-
-// DecodeScalarPoint decodes a PointScalar payload.
-func DecodeScalarPoint(p []byte) (uint64, error) {
-	r := NewReader(p)
-	v := r.U64()
-	if err := r.Err(); err != nil {
-		return 0, err
-	}
-	return v, nil
+	Op     uint8
+	L      int
+	Tag    uint8
+	Points [][]byte // tag-specific encodings, each length-prefixed on the wire
 }
 
 func (q Query) append(w *Writer) {
 	w.U8(q.Op)
 	w.Varint(uint64(q.L))
 	w.U8(q.Tag)
-	w.Varint(uint64(len(q.Point)))
-	w.Raw(q.Point)
+	w.Varint(uint64(len(q.Points)))
+	for _, p := range q.Points {
+		w.Varint(uint64(len(p)))
+		w.Raw(p)
+	}
 }
 
 // EncodeQuery builds a KindQuery frame payload.
@@ -122,34 +115,58 @@ func EncodeDispatch(epoch uint64, q Query) []byte {
 // DecodeQuery reads a Query body; the kind byte must already be consumed.
 func DecodeQuery(r *Reader) (Query, error) {
 	q := Query{Op: r.U8(), L: int(r.Varint()), Tag: r.U8()}
-	n := r.Varint()
-	if r.Err() == nil && n > uint64(r.Remaining()) {
-		return Query{}, fmt.Errorf("wire: query point length %d exceeds payload", n)
+	count := r.Varint()
+	if r.Err() == nil && count > MaxBatch {
+		return Query{}, fmt.Errorf("wire: query batch of %d exceeds limit %d", count, MaxBatch)
 	}
-	q.Point = r.Raw(int(n))
+	if r.Err() == nil && count > uint64(r.Remaining()) {
+		return Query{}, fmt.Errorf("wire: query batch count %d exceeds payload", count)
+	}
+	q.Points = make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n := r.Varint()
+		if r.Err() == nil && n > uint64(r.Remaining()) {
+			return Query{}, fmt.Errorf("wire: query point length %d exceeds payload", n)
+		}
+		q.Points = append(q.Points, r.Raw(int(n)))
+	}
 	if err := r.Err(); err != nil {
 		return Query{}, err
 	}
 	return q, nil
 }
 
-// NodeResult is one resident node's report for one query epoch: its local
-// share of the winning points, its local view of the epoch's cost, and — on
-// the leader only — the result metadata and aggregate value.
+// QueryOutcome is one query's slice of an epoch outcome. Inside a
+// NodeResult, Winners is the reporting node's local share of that query's
+// answer and the remaining fields are meaningful on the leader only; inside
+// a Reply, Items is the full merged answer and the leader fields are
+// authoritative.
+type QueryOutcome struct {
+	Boundary   keys.Key
+	Survivors  int64
+	FellBack   bool
+	Iterations int
+	Value      float64 // classification label or regression mean
+}
+
+// NodeQueryResult is one node's per-query share of an epoch result.
+type NodeQueryResult struct {
+	Winners []points.Item
+	QueryOutcome
+}
+
+// NodeResult is one resident node's report for one query epoch: per batched
+// query its local share of the winning points, plus its local view of the
+// whole epoch's cost, and — on the leader only — each query's result
+// metadata and aggregate value.
 type NodeResult struct {
 	Epoch    uint64
 	Node     int
 	Rounds   int
 	Messages int64
 	Bytes    int64
-	Winners  []points.Item
-
-	IsLeader   bool
-	Boundary   keys.Key
-	Survivors  int64
-	FellBack   bool
-	Iterations int
-	Value      float64 // classification label or regression mean
+	IsLeader bool
+	Queries  []NodeQueryResult
 }
 
 // EncodeNodeResult builds a KindResult frame payload.
@@ -161,14 +178,17 @@ func EncodeNodeResult(nr NodeResult) []byte {
 	w.Varint(uint64(nr.Rounds))
 	w.Varint(uint64(nr.Messages))
 	w.Varint(uint64(nr.Bytes))
-	w.Items(nr.Winners)
 	w.U8(b2u(nr.IsLeader))
-	if nr.IsLeader {
-		w.Key(nr.Boundary)
-		w.Varint(uint64(nr.Survivors))
-		w.U8(b2u(nr.FellBack))
-		w.Varint(uint64(nr.Iterations))
-		w.F64(nr.Value)
+	w.Varint(uint64(len(nr.Queries)))
+	for _, qr := range nr.Queries {
+		w.Items(qr.Winners)
+		if nr.IsLeader {
+			w.Key(qr.Boundary)
+			w.Varint(uint64(qr.Survivors))
+			w.U8(b2u(qr.FellBack))
+			w.Varint(uint64(qr.Iterations))
+			w.F64(qr.Value)
+		}
 	}
 	return w.Bytes()
 }
@@ -182,15 +202,27 @@ func DecodeNodeResult(r *Reader) (NodeResult, error) {
 		Rounds:   int(r.Varint()),
 		Messages: int64(r.Varint()),
 		Bytes:    int64(r.Varint()),
-		Winners:  r.Items(),
 		IsLeader: r.U8() == 1,
 	}
-	if nr.IsLeader {
-		nr.Boundary = r.Key()
-		nr.Survivors = int64(r.Varint())
-		nr.FellBack = r.U8() == 1
-		nr.Iterations = int(r.Varint())
-		nr.Value = r.F64()
+	count := r.Varint()
+	if r.Err() == nil && count > MaxBatch {
+		return NodeResult{}, fmt.Errorf("wire: node result batch of %d exceeds limit %d", count, MaxBatch)
+	}
+	if r.Err() == nil && count > uint64(r.Remaining()) {
+		return NodeResult{}, fmt.Errorf("wire: node result count %d exceeds payload", count)
+	}
+	nr.Queries = make([]NodeQueryResult, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var qr NodeQueryResult
+		qr.Winners = r.Items()
+		if nr.IsLeader {
+			qr.Boundary = r.Key()
+			qr.Survivors = int64(r.Varint())
+			qr.FellBack = r.U8() == 1
+			qr.Iterations = int(r.Varint())
+			qr.Value = r.F64()
+		}
+		nr.Queries = append(nr.Queries, qr)
 	}
 	if err := r.Err(); err != nil {
 		return NodeResult{}, err
@@ -198,21 +230,25 @@ func DecodeNodeResult(r *Reader) (NodeResult, error) {
 	return nr, nil
 }
 
-// Reply is the frontend's answer to one client query: either an error
-// message or the merged result with its aggregated distributed cost.
-type Reply struct {
-	Err string // non-empty means the query failed
+// QueryReply is the merged answer to one query of a batch: the result
+// metadata observed by the leader and — for OpKNN — the full merged
+// neighbor list in ascending key order.
+type QueryReply struct {
+	QueryOutcome
+	Items []points.Item
+}
 
-	Rounds     int
-	Messages   int64
-	Bytes      int64
-	Leader     int
-	Boundary   keys.Key
-	Survivors  int64
-	FellBack   bool
-	Iterations int
-	Value      float64       // OpClassify / OpRegress result
-	Items      []points.Item // OpKNN result, ascending key order
+// Reply is the frontend's answer to one client query batch: either an error
+// message (the whole batch shares one epoch, so it fails as a unit) or the
+// per-query merged results with the epoch's aggregated distributed cost.
+type Reply struct {
+	Err string // non-empty means the batch failed
+
+	Rounds   int
+	Messages int64
+	Bytes    int64
+	Leader   int
+	Results  []QueryReply // one per query, in batch order
 }
 
 // EncodeReply builds a KindReply frame payload.
@@ -229,12 +265,15 @@ func EncodeReply(rep Reply) []byte {
 	w.Varint(uint64(rep.Messages))
 	w.Varint(uint64(rep.Bytes))
 	w.Varint(uint64(rep.Leader))
-	w.Key(rep.Boundary)
-	w.Varint(uint64(rep.Survivors))
-	w.U8(b2u(rep.FellBack))
-	w.Varint(uint64(rep.Iterations))
-	w.F64(rep.Value)
-	w.Items(rep.Items)
+	w.Varint(uint64(len(rep.Results)))
+	for _, qr := range rep.Results {
+		w.Key(qr.Boundary)
+		w.Varint(uint64(qr.Survivors))
+		w.U8(b2u(qr.FellBack))
+		w.Varint(uint64(qr.Iterations))
+		w.F64(qr.Value)
+		w.Items(qr.Items)
+	}
 	return w.Bytes()
 }
 
@@ -255,13 +294,25 @@ func DecodeReply(r *Reader) (Reply, error) {
 		Messages: int64(r.Varint()),
 		Bytes:    int64(r.Varint()),
 		Leader:   int(r.Varint()),
-		Boundary: r.Key(),
 	}
-	rep.Survivors = int64(r.Varint())
-	rep.FellBack = r.U8() == 1
-	rep.Iterations = int(r.Varint())
-	rep.Value = r.F64()
-	rep.Items = r.Items()
+	count := r.Varint()
+	if r.Err() == nil && count > MaxBatch {
+		return Reply{}, fmt.Errorf("wire: reply batch of %d exceeds limit %d", count, MaxBatch)
+	}
+	if r.Err() == nil && count > uint64(r.Remaining()) {
+		return Reply{}, fmt.Errorf("wire: reply count %d exceeds payload", count)
+	}
+	rep.Results = make([]QueryReply, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var qr QueryReply
+		qr.Boundary = r.Key()
+		qr.Survivors = int64(r.Varint())
+		qr.FellBack = r.U8() == 1
+		qr.Iterations = int(r.Varint())
+		qr.Value = r.F64()
+		qr.Items = r.Items()
+		rep.Results = append(rep.Results, qr)
+	}
 	if err := r.Err(); err != nil {
 		return Reply{}, err
 	}

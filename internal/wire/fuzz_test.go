@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"distknn/internal/keys"
+	"distknn/internal/points"
+)
+
+// The fuzz harnesses below check two properties on arbitrary bytes:
+// decoders never panic or over-read, and anything that decodes re-encodes
+// canonically (encode(decode(b)) is a fixed point). The f.Add seeds are
+// valid frames, so a plain `go test` run (and CI) exercises the corpus as
+// ordinary unit tests; `go test -fuzz` explores from there.
+
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add(EncodeQuery(Query{Op: OpKNN, L: 10, Tag: PointScalar, Points: [][]byte{EncodeScalarPoint(12345)}})[1:])
+	f.Add(EncodeQuery(Query{Op: OpClassify, L: 3, Tag: PointVector, Points: [][]byte{
+		EncodeVectorPoint(points.Vector{1, 2}), EncodeVectorPoint(points.Vector{-0.5}),
+	}})[1:])
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 1, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeQuery(NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(q.Points) > MaxBatch {
+			t.Fatalf("decoded batch of %d beyond MaxBatch", len(q.Points))
+		}
+		enc := EncodeQuery(q)
+		q2, err := DecodeQuery(skipKind(t, enc, KindQuery))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeQuery(q2), enc) {
+			t.Fatalf("query is not a re-encoding fixed point")
+		}
+	})
+}
+
+func FuzzDecodeNodeResult(f *testing.F) {
+	f.Add(EncodeNodeResult(NodeResult{
+		Epoch: 1, Node: 0, Rounds: 26, Messages: 44, Bytes: 745, IsLeader: true,
+		Queries: []NodeQueryResult{{
+			Winners:      []points.Item{{Key: keys.Key{Dist: 3, ID: 1}, Label: 2}},
+			QueryOutcome: QueryOutcome{Boundary: keys.Key{Dist: 5, ID: 2}, Survivors: 20, Iterations: 4, Value: 2},
+		}},
+	})[1:])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nr, err := DecodeNodeResult(NewReader(data))
+		if err != nil {
+			return
+		}
+		enc := EncodeNodeResult(nr)
+		nr2, err := DecodeNodeResult(skipKind(t, enc, KindResult))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeNodeResult(nr2), enc) {
+			t.Fatalf("node result is not a re-encoding fixed point")
+		}
+	})
+}
+
+func FuzzDecodeReply(f *testing.F) {
+	f.Add(EncodeReply(Reply{
+		Rounds: 26, Messages: 44, Bytes: 745, Leader: 0,
+		Results: []QueryReply{{
+			QueryOutcome: QueryOutcome{Boundary: keys.Key{Dist: 5, ID: 2}, Survivors: 20, Iterations: 4},
+			Items:        []points.Item{{Key: keys.Key{Dist: 3, ID: 1}, Label: 2}},
+		}},
+	})[1:])
+	f.Add(EncodeReply(Reply{Err: "nope"})[1:])
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReply(NewReader(data))
+		if err != nil {
+			return
+		}
+		enc := EncodeReply(rep)
+		rep2, err := DecodeReply(skipKind(t, enc, KindReply))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeReply(rep2), enc) {
+			t.Fatalf("reply is not a re-encoding fixed point")
+		}
+	})
+}
+
+func FuzzPointCodecs(f *testing.F) {
+	f.Add(EncodeScalarPoint(12345))
+	f.Add(EncodeVectorPoint(points.Vector{0.5, 1.5}))
+	f.Add(EncodeVectorPoint(nil))
+	f.Add([]byte{2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, err := DecodeScalarPoint(data); err == nil {
+			if !bytes.Equal(EncodeScalarPoint(v), data) {
+				t.Fatalf("scalar point is not a re-encoding fixed point")
+			}
+		}
+		if v, err := DecodeVectorPoint(data); err == nil {
+			enc := EncodeVectorPoint(v)
+			v2, err := DecodeVectorPoint(enc)
+			if err != nil {
+				t.Fatalf("vector re-decode failed: %v", err)
+			}
+			// Byte-level comparison keeps NaN coordinates comparable.
+			if !bytes.Equal(EncodeVectorPoint(v2), enc) {
+				t.Fatalf("vector point is not a re-encoding fixed point")
+			}
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	var framed bytes.Buffer
+	_ = WriteFrame(&framed, []byte("abc"))
+	f.Add(framed.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatalf("re-framing failed: %v", err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("frame round trip: %v", err)
+		}
+	})
+}
+
+// skipKind wraps an encoded frame in a Reader positioned after its kind
+// byte, asserting the kind on the way.
+func skipKind(t *testing.T, frame []byte, kind uint8) *Reader {
+	t.Helper()
+	r := NewReader(frame)
+	if got := r.U8(); got != kind {
+		t.Fatalf("kind %d, want %d", got, kind)
+	}
+	return r
+}

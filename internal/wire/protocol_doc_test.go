@@ -11,42 +11,17 @@ import (
 	"distknn/internal/points"
 )
 
-// TestProtocolDocExamples pins docs/PROTOCOL.md to the shipped codec: every
-// example frame below is re-encoded and its hex must appear verbatim in the
-// document (ignoring line breaks). Changing an encoding without updating
-// the spec — or vice versa — fails this test.
-func TestProtocolDocExamples(t *testing.T) {
-	raw, err := os.ReadFile("../../docs/PROTOCOL.md")
-	if err != nil {
-		t.Fatalf("protocol spec missing: %v", err)
-	}
-	// Normalize all whitespace so examples may wrap in the document.
-	doc := regexp.MustCompile(`\s+`).ReplaceAllString(string(raw), " ")
-
-	hex := func(b []byte) string {
-		parts := make([]string, len(b))
-		for i, c := range b {
-			parts[i] = fmt.Sprintf("%02x", c)
-		}
-		return strings.Join(parts, " ")
-	}
-	check := func(name string, frame []byte) {
-		t.Helper()
-		if !strings.Contains(doc, hex(frame)) {
-			t.Errorf("PROTOCOL.md is missing the current bytes of the %s example:\n%s", name, hex(frame))
-		}
-	}
-
-	// Stream framing: payload "abc" with its U32 length prefix.
-	check("stream framing", []byte{3, 0, 0, 0, 'a', 'b', 'c'})
-
-	// Register: mesh address 127.0.0.1:9000.
+// docExamples are the frames whose bytes docs/PROTOCOL.md quotes. Both the
+// pinning test and any tooling that regenerates the spec derive the hex
+// from here, so the document can never drift from the codec.
+func docExamples() []struct {
+	Name  string
+	Bytes []byte
+} {
 	var reg Writer
 	reg.U8(KindRegister)
 	reg.String("127.0.0.1:9000")
-	check("register", reg.Bytes())
 
-	// Assign: serve mode, id=1, k=2, seed=7, two-entry address book.
 	var asg Writer
 	asg.U8(KindAssign)
 	asg.U8(ModeServe)
@@ -55,14 +30,10 @@ func TestProtocolDocExamples(t *testing.T) {
 	asg.U64(7)
 	asg.String("127.0.0.1:9000")
 	asg.String("127.0.0.1:9001")
-	check("assign", asg.Bytes())
 
-	// Mesh hello from node 1.
 	var hello Writer
 	hello.Varint(1)
-	check("mesh hello", hello.Bytes())
 
-	// Mesh round frame: flag=data, epoch=1, round=2, messages ["hi", ""].
 	var mesh Writer
 	mesh.U8(0)
 	mesh.Varint(1)
@@ -71,56 +42,104 @@ func TestProtocolDocExamples(t *testing.T) {
 	mesh.Varint(2)
 	mesh.Raw([]byte("hi"))
 	mesh.Varint(0)
-	check("mesh round frame", mesh.Bytes())
 
-	// Query: KNN, l=10, scalar point 12345 — and its epoch-1 dispatch.
-	q := Query{Op: OpKNN, L: 10, Tag: PointScalar, Point: EncodeScalarPoint(12345)}
-	check("query", EncodeQuery(q))
-	check("dispatch", EncodeDispatch(1, q))
+	// Single-query (batch of one) scalar KNN, and its epoch-1 dispatch.
+	q := Query{Op: OpKNN, L: 10, Tag: PointScalar, Points: [][]byte{EncodeScalarPoint(12345)}}
 
-	// Ready: node 1, leader 0, 5000-point scalar shard.
+	// A batch of two 2-dimensional vector queries.
+	vq := Query{Op: OpKNN, L: 10, Tag: PointVector, Points: [][]byte{
+		EncodeVectorPoint(points.Vector{0.5, 1.5}),
+		EncodeVectorPoint(points.Vector{2, -1}),
+	}}
+
 	var rdy Writer
 	rdy.U8(KindReady)
 	rdy.Varint(1)
 	rdy.Varint(0)
 	rdy.Varint(5000)
 	rdy.U8(PointScalar)
-	check("ready", rdy.Bytes())
 
-	// Result: leader node 0's report for epoch 1.
-	check("result", EncodeNodeResult(NodeResult{
-		Epoch: 1, Node: 0, Rounds: 26, Messages: 44, Bytes: 745,
-		Winners:  []points.Item{{Key: keys.Key{Dist: 3, ID: 1}, Label: 2}},
-		IsLeader: true, Boundary: keys.Key{Dist: 5, ID: 2}, Survivors: 20,
-		Iterations: 4, Value: 2,
-	}))
-
-	// Error: epoch 1, originated locally, message "boom".
 	var ne Writer
 	ne.U8(KindError)
 	ne.Varint(1)
 	ne.U8(1)
 	ne.String("boom")
-	check("node error", ne.Bytes())
 
-	// Shutdown: kind byte only.
-	check("shutdown", []byte{KindShutdown})
+	return []struct {
+		Name  string
+		Bytes []byte
+	}{
+		{"stream framing", []byte{3, 0, 0, 0, 'a', 'b', 'c'}},
+		{"register", reg.Bytes()},
+		{"assign", asg.Bytes()},
+		{"mesh hello", hello.Bytes()},
+		{"mesh round frame", mesh.Bytes()},
+		{"vector point", EncodeVectorPoint(points.Vector{0.5, 1.5})},
+		{"query", EncodeQuery(q)},
+		{"vector batch query", EncodeQuery(vq)},
+		{"dispatch", EncodeDispatch(1, q)},
+		{"ready", rdy.Bytes()},
+		{"result", EncodeNodeResult(NodeResult{
+			Epoch: 1, Node: 0, Rounds: 26, Messages: 44, Bytes: 745,
+			IsLeader: true,
+			Queries: []NodeQueryResult{{
+				Winners: []points.Item{{Key: keys.Key{Dist: 3, ID: 1}, Label: 2}},
+				QueryOutcome: QueryOutcome{
+					Boundary: keys.Key{Dist: 5, ID: 2}, Survivors: 20,
+					Iterations: 4, Value: 2,
+				},
+			}},
+		})},
+		{"node error", ne.Bytes()},
+		{"shutdown", []byte{KindShutdown}},
+		{"reply", EncodeReply(Reply{
+			Rounds: 26, Messages: 44, Bytes: 745, Leader: 0,
+			Results: []QueryReply{{
+				QueryOutcome: QueryOutcome{
+					Boundary: keys.Key{Dist: 5, ID: 2}, Survivors: 20, Iterations: 4,
+				},
+				Items: []points.Item{{Key: keys.Key{Dist: 3, ID: 1}, Label: 2}},
+			}},
+		})},
+		{"error reply", EncodeReply(Reply{Err: "l=0 out of range [1, 10000]"})},
+	}
+}
 
-	// Reply, success: the merged epoch-1 answer.
-	check("reply", EncodeReply(Reply{
-		Rounds: 26, Messages: 44, Bytes: 745, Leader: 0,
-		Boundary: keys.Key{Dist: 5, ID: 2}, Survivors: 20, Iterations: 4,
-		Items: []points.Item{{Key: keys.Key{Dist: 3, ID: 1}, Label: 2}},
-	}))
+// TestProtocolDocExamples pins docs/PROTOCOL.md to the shipped codec: every
+// example frame is re-encoded and its hex must appear verbatim in the
+// document (ignoring line breaks). Changing an encoding without updating
+// the spec — or vice versa — fails this test. Run with -v to print the
+// expected hex of a failing example.
+func TestProtocolDocExamples(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("protocol spec missing: %v", err)
+	}
+	// Normalize all whitespace so examples may wrap in the document.
+	doc := regexp.MustCompile(`\s+`).ReplaceAllString(string(raw), " ")
 
-	// Reply, error.
-	check("error reply", EncodeReply(Reply{Err: "l=0 out of range [1, 10000]"}))
+	for _, ex := range docExamples() {
+		if !strings.Contains(doc, hexBytes(ex.Bytes)) {
+			t.Errorf("PROTOCOL.md is missing the current bytes of the %s example:\n%s", ex.Name, hexBytes(ex.Bytes))
+		}
+	}
+}
+
+func hexBytes(b []byte) string {
+	parts := make([]string, len(b))
+	for i, c := range b {
+		parts[i] = fmt.Sprintf("%02x", c)
+	}
+	return strings.Join(parts, " ")
 }
 
 // TestFrameRoundTrips checks that every composite frame decodes back to
 // what was encoded.
 func TestFrameRoundTrips(t *testing.T) {
-	q := Query{Op: OpClassify, L: 42, Tag: PointScalar, Point: EncodeScalarPoint(987654321)}
+	q := Query{Op: OpClassify, L: 42, Tag: PointScalar, Points: [][]byte{
+		EncodeScalarPoint(987654321),
+		EncodeScalarPoint(5),
+	}}
 	{
 		r := NewReader(EncodeQuery(q))
 		if kind := r.U8(); kind != KindQuery {
@@ -130,12 +149,30 @@ func TestFrameRoundTrips(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.Op != q.Op || got.L != q.L || got.Tag != q.Tag {
+		if got.Op != q.Op || got.L != q.L || got.Tag != q.Tag || len(got.Points) != 2 {
 			t.Fatalf("query round trip: %+v", got)
 		}
-		v, err := DecodeScalarPoint(got.Point)
+		v, err := DecodeScalarPoint(got.Points[0])
 		if err != nil || v != 987654321 {
 			t.Fatalf("point round trip: %d %v", v, err)
+		}
+		if v, err := DecodeScalarPoint(got.Points[1]); err != nil || v != 5 {
+			t.Fatalf("point round trip: %d %v", v, err)
+		}
+	}
+	{
+		vq := Query{Op: OpKNN, L: 3, Tag: PointVector, Points: [][]byte{
+			EncodeVectorPoint(points.Vector{1.5, -2.25, 0}),
+		}}
+		r := NewReader(EncodeQuery(vq))
+		r.U8()
+		got, err := DecodeQuery(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec, err := DecodeVectorPoint(got.Points[0])
+		if err != nil || len(vec) != 3 || vec[0] != 1.5 || vec[1] != -2.25 || vec[2] != 0 {
+			t.Fatalf("vector round trip: %v %v", vec, err)
 		}
 	}
 	{
@@ -153,9 +190,23 @@ func TestFrameRoundTrips(t *testing.T) {
 	{
 		nr := NodeResult{
 			Epoch: 3, Node: 2, Rounds: 7, Messages: 11, Bytes: 400,
-			Winners:  []points.Item{{Key: keys.Key{Dist: 9, ID: 4}, Label: 1.5}},
-			IsLeader: true, Boundary: keys.Key{Dist: 10, ID: 6}, Survivors: 33,
-			FellBack: true, Iterations: 5, Value: -2.5,
+			IsLeader: true,
+			Queries: []NodeQueryResult{
+				{
+					Winners: []points.Item{{Key: keys.Key{Dist: 9, ID: 4}, Label: 1.5}},
+					QueryOutcome: QueryOutcome{
+						Boundary: keys.Key{Dist: 10, ID: 6}, Survivors: 33,
+						FellBack: true, Iterations: 5, Value: -2.5,
+					},
+				},
+				{
+					Winners: nil,
+					QueryOutcome: QueryOutcome{
+						Boundary: keys.Key{Dist: 11, ID: 7}, Survivors: 1,
+						Iterations: 2, Value: 4,
+					},
+				},
+			},
 		}
 		r := NewReader(EncodeNodeResult(nr))
 		if kind := r.U8(); kind != KindResult {
@@ -166,19 +217,53 @@ func TestFrameRoundTrips(t *testing.T) {
 			t.Fatal(err)
 		}
 		if got.Epoch != nr.Epoch || got.Node != nr.Node || got.Rounds != nr.Rounds ||
-			got.Messages != nr.Messages || got.Bytes != nr.Bytes ||
-			len(got.Winners) != 1 || got.Winners[0] != nr.Winners[0] ||
-			!got.IsLeader || got.Boundary != nr.Boundary || got.Survivors != nr.Survivors ||
-			!got.FellBack || got.Iterations != nr.Iterations || got.Value != nr.Value {
+			got.Messages != nr.Messages || got.Bytes != nr.Bytes || !got.IsLeader ||
+			len(got.Queries) != 2 {
 			t.Fatalf("node result round trip: %+v", got)
+		}
+		if len(got.Queries[0].Winners) != 1 || got.Queries[0].Winners[0] != nr.Queries[0].Winners[0] ||
+			got.Queries[0].QueryOutcome != nr.Queries[0].QueryOutcome {
+			t.Fatalf("node result query 0: %+v", got.Queries[0])
+		}
+		if len(got.Queries[1].Winners) != 0 || got.Queries[1].QueryOutcome != nr.Queries[1].QueryOutcome {
+			t.Fatalf("node result query 1: %+v", got.Queries[1])
+		}
+	}
+	{
+		// A follower (non-leader) result omits the per-query leader fields.
+		nr := NodeResult{
+			Epoch: 4, Node: 1, Rounds: 3, Messages: 6, Bytes: 128,
+			Queries: []NodeQueryResult{
+				{Winners: []points.Item{{Key: keys.Key{Dist: 2, ID: 9}, Label: 1}}},
+				{},
+			},
+		}
+		r := NewReader(EncodeNodeResult(nr))
+		r.U8()
+		got, err := DecodeNodeResult(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.IsLeader || len(got.Queries) != 2 || len(got.Queries[0].Winners) != 1 ||
+			got.Queries[0].Winners[0] != nr.Queries[0].Winners[0] {
+			t.Fatalf("follower result round trip: %+v", got)
 		}
 	}
 	{
 		rep := Reply{
 			Rounds: 6, Messages: 13, Bytes: 512, Leader: 1,
-			Boundary: keys.Key{Dist: 77, ID: 8}, Survivors: 40, FellBack: true,
-			Iterations: 2, Value: 3.25,
-			Items:      []points.Item{{Key: keys.Key{Dist: 1, ID: 2}, Label: 0}},
+			Results: []QueryReply{
+				{
+					QueryOutcome: QueryOutcome{
+						Boundary: keys.Key{Dist: 77, ID: 8}, Survivors: 40, FellBack: true,
+						Iterations: 2, Value: 3.25,
+					},
+					Items: []points.Item{{Key: keys.Key{Dist: 1, ID: 2}, Label: 0}},
+				},
+				{
+					QueryOutcome: QueryOutcome{Boundary: keys.Key{Dist: 80, ID: 9}, Iterations: 1},
+				},
+			},
 		}
 		r := NewReader(EncodeReply(rep))
 		if kind := r.U8(); kind != KindReply {
@@ -188,9 +273,15 @@ func TestFrameRoundTrips(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.Rounds != rep.Rounds || got.Leader != rep.Leader || got.Boundary != rep.Boundary ||
-			!got.FellBack || got.Value != rep.Value || len(got.Items) != 1 || got.Items[0] != rep.Items[0] {
+		if got.Rounds != rep.Rounds || got.Leader != rep.Leader || len(got.Results) != 2 {
 			t.Fatalf("reply round trip: %+v", got)
+		}
+		if got.Results[0].QueryOutcome != rep.Results[0].QueryOutcome ||
+			len(got.Results[0].Items) != 1 || got.Results[0].Items[0] != rep.Results[0].Items[0] {
+			t.Fatalf("reply query 0: %+v", got.Results[0])
+		}
+		if got.Results[1].QueryOutcome != rep.Results[1].QueryOutcome || len(got.Results[1].Items) != 0 {
+			t.Fatalf("reply query 1: %+v", got.Results[1])
 		}
 	}
 	{
@@ -200,5 +291,18 @@ func TestFrameRoundTrips(t *testing.T) {
 		if err != nil || got.Err != "nope" {
 			t.Fatalf("error reply round trip: %+v %v", got, err)
 		}
+	}
+}
+
+// TestDecodeQueryLimits rejects oversized batch declarations outright
+// instead of attempting a huge allocation.
+func TestDecodeQueryLimits(t *testing.T) {
+	var w Writer
+	w.U8(OpKNN)
+	w.Varint(1)
+	w.U8(PointScalar)
+	w.Varint(MaxBatch + 1)
+	if _, err := DecodeQuery(NewReader(w.Bytes())); err == nil {
+		t.Fatal("batch beyond MaxBatch must be rejected")
 	}
 }

@@ -239,17 +239,17 @@ func (r *Reader) Items() []points.Item {
 // arbitrarily large allocation.
 const MaxFrame = 64 << 20
 
-// WriteFrame writes a length-prefixed payload to w.
+// WriteFrame writes a length-prefixed payload to w. Header and payload go
+// out in a single Write, so a frame over a socket costs one syscall (and
+// cannot be torn between header and body by a concurrent writer).
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	buf := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"distknn/internal/core"
 	"distknn/internal/election"
+	"distknn/internal/kdtree"
 	"distknn/internal/kmachine"
 	"distknn/internal/points"
 	"distknn/internal/transport/tcp"
@@ -14,15 +15,24 @@ import (
 )
 
 // This file is the real-socket counterpart of the in-process Cluster: a
-// serving deployment over TCP. The cluster side is a Frontend (rendezvous +
-// client-facing query endpoint) plus k resident nodes (ServeScalarNode),
-// each holding one shard; the client side is a RemoteCluster, which offers
-// the same KNN/Classify/Regress surface as Cluster but executes every query
-// as one BSP epoch on the remote mesh. ServeLocal wires a whole loopback
+// serving deployment over TCP, generic over the point type. The cluster
+// side is a Frontend (rendezvous + client-facing query endpoint) plus k
+// resident nodes (ServeTypedNode and its scalar/vector conveniences), each
+// holding one shard; the client side is a RemoteCluster, which offers the
+// same KNN/Classify/Regress/KNNBatch surface as Cluster but executes every
+// call as one BSP epoch on the remote mesh — a whole KNNBatch travels as a
+// single batched dispatch. ServeTypedLocal wires a whole loopback
 // deployment together in one process for tests, benchmarks and demos.
+//
+// What a point type needs to cross this stack is bundled in a PointType:
+// the wire codec (tag + encode/decode), the distance metric, and the local
+// index the nodes answer their top-ℓ step from. ScalarPoints and
+// VectorPoints are the two shipped instances; the transport below never
+// learns what a point is.
 
-// NodeOptions configures a resident serving node. All nodes of a cluster
-// must be configured identically (the protocols assume symmetric machines).
+// NodeOptions configures a resident serving node. Except for Advertise,
+// all nodes of a cluster must be configured identically (the protocols
+// assume symmetric machines).
 type NodeOptions struct {
 	// Algorithm selects the query strategy (default Alg2).
 	Algorithm Algorithm
@@ -32,16 +42,22 @@ type NodeOptions struct {
 	// SampleFactor and CutFactor override Algorithm 2's Lemma 2.3
 	// constants (defaults 12 and 21).
 	SampleFactor, CutFactor int
+	// Advertise is the mesh address peers are told to dial, for multi-host
+	// deployments where the mesh bind address is not reachable as-is
+	// (e.g. bind "0.0.0.0:7101", advertise "10.0.0.5:7101"). Empty means
+	// the bind address itself. This field is per-node; every other option
+	// must match across the cluster.
+	Advertise string
 }
 
-// ScalarShard is the slice of the global dataset one serving node holds.
-type ScalarShard struct {
-	// Values are the node's points.
-	Values []uint64
-	// Labels carries one label per value; nil means all zero.
+// Shard is the slice of the global dataset one serving node holds.
+type Shard[P any] struct {
+	// Points are the node's points.
+	Points []P
+	// Labels carries one label per point; nil means all zero.
 	Labels []float64
 	// FirstID is the node's first point ID; the shard occupies the ID
-	// block [FirstID, FirstID+len(Values)). Blocks must not overlap
+	// block [FirstID, FirstID+len(Points)). Blocks must not overlap
 	// across nodes — IDs are the global tie-breaker, so a collision
 	// silently merges two points.
 	FirstID uint64
@@ -51,7 +67,54 @@ type ScalarShard struct {
 // after the coordinator assigns its identity — the serving analogue of
 // "each machine holds its part of the data" — so a provider typically
 // generates or loads data keyed by id.
-type ShardProvider func(id, k int) (ScalarShard, error)
+type ShardProvider[P any] func(id, k int) (Shard[P], error)
+
+// PointType bundles everything the serving stack needs to handle one point
+// type: the wire codec, the distance metric, and the local top-ℓ index the
+// nodes answer from. The two shipped instances are ScalarPoints and
+// VectorPoints; the TCP transport itself never learns what a point is, so
+// supporting a new point type means writing a wire.PointCodec and a
+// PointType — no transport changes.
+type PointType[P any] struct {
+	codec  wire.PointCodec[P]
+	metric points.Metric[P]
+	// index builds the local top-ℓ accelerator for a shard; nil selects
+	// the streaming O(n log ℓ) scan.
+	index func(set *points.Set[P]) (func(q P, l int) []Item, error)
+	// check validates a decoded query point against the shard (e.g. the
+	// vector dimension); nil means no validation.
+	check func(set *points.Set[P], q P) error
+}
+
+// ScalarPoints is the paper's workload: one-dimensional integer points
+// under |a−b| distance, answered from a streaming scan.
+func ScalarPoints() PointType[Scalar] {
+	return PointType[Scalar]{codec: wire.ScalarCodec, metric: points.ScalarMetric}
+}
+
+// VectorPoints is the d-dimensional Euclidean workload: every node indexes
+// its shard with a k-d tree, so the local top-ℓ step costs O(ℓ·log(n/k))
+// expected instead of a linear scan — bit-identical keys to the scan, so
+// served results match the in-process NewVectorCluster exactly.
+func VectorPoints() PointType[Vector] {
+	return PointType[Vector]{
+		codec:  wire.VectorCodec,
+		metric: points.L2,
+		index: func(set *points.Set[Vector]) (func(q Vector, l int) []Item, error) {
+			tree, err := kdtree.Build(set)
+			if err != nil {
+				return nil, err
+			}
+			return tree.KNN, nil
+		},
+		check: func(set *points.Set[Vector], q Vector) error {
+			if set.Len() > 0 && len(q) != len(set.Pts[0]) {
+				return fmt.Errorf("query dimension %d, shard dimension %d", len(q), len(set.Pts[0]))
+			}
+			return nil
+		},
+	}
+}
 
 // PaperShards is the ShardProvider for the paper's synthetic workload,
 // generated exactly as cmd/knnnode's one-shot program and the bench
@@ -60,43 +123,64 @@ type ShardProvider func(id, k int) (ScalarShard, error)
 // (so regression has a meaningful target), and the node owns the ID block
 // [id·perNode+1, (id+1)·perNode]. One-shot and serving deployments built
 // from the same seed therefore hold — and answer over — identical data.
-func PaperShards(seed uint64, perNode int) ShardProvider {
-	return func(id, k int) (ScalarShard, error) {
+func PaperShards(seed uint64, perNode int) ShardProvider[Scalar] {
+	return func(id, k int) (Shard[Scalar], error) {
 		set := points.GenUniformScalars(xrand.NewStream(seed, uint64(id)), perNode, points.PaperDomain)
-		values := make([]uint64, set.Len())
-		for j, p := range set.Pts {
-			values[j] = uint64(p)
-		}
-		return ScalarShard{
-			Values:  values,
+		return Shard[Scalar]{
+			Points:  set.Pts,
 			Labels:  set.Labels,
 			FirstID: uint64(id)*uint64(perNode) + 1,
 		}, nil
 	}
 }
 
-// scalarHandler adapts a shard + options to the transport's per-epoch
-// Handler interface.
-type scalarHandler struct {
-	shards ShardProvider
+// UniformVectorShards is the vector counterpart of PaperShards: node id
+// draws perNode points uniform in [0,1)^dim from stream id of seed, labels
+// cycle 0..3 by global index (so classification has a target), and the node
+// owns the ID block [id·perNode+1, (id+1)·perNode].
+func UniformVectorShards(seed uint64, perNode, dim int) ShardProvider[Vector] {
+	return func(id, k int) (Shard[Vector], error) {
+		set := points.GenUniformVectors(xrand.NewStream(seed, uint64(id)), perNode, dim)
+		labels := make([]float64, perNode)
+		for j := range labels {
+			labels[j] = float64((id*perNode + j) % 4)
+		}
+		return Shard[Vector]{
+			Points:  set.Pts,
+			Labels:  labels,
+			FirstID: uint64(id)*uint64(perNode) + 1,
+		}, nil
+	}
+}
+
+// typedHandler adapts a PointType + ShardProvider + options to the
+// transport's per-epoch Handler interface.
+type typedHandler[P any] struct {
+	pt     PointType[P]
+	shards ShardProvider[P]
 	opts   NodeOptions
 
-	set    *points.Set[Scalar]
+	set    *points.Set[P]
+	topL   func(q P, l int) []Item
 	leader int
 }
 
-func (h *scalarHandler) Setup(m kmachine.Env) (tcp.SessionInfo, error) {
+func (h *typedHandler[P]) Setup(m kmachine.Env) (tcp.SessionInfo, error) {
 	shard, err := h.shards(m.ID(), m.K())
 	if err != nil {
 		return tcp.SessionInfo{}, fmt.Errorf("distknn: shard for node %d: %w", m.ID(), err)
 	}
-	pts := make([]Scalar, len(shard.Values))
-	for i, v := range shard.Values {
-		pts[i] = Scalar(v)
-	}
-	h.set, err = points.NewSet(pts, shard.Labels, points.ScalarMetric, shard.FirstID)
+	h.set, err = points.NewSet(shard.Points, shard.Labels, h.pt.metric, shard.FirstID)
 	if err != nil {
 		return tcp.SessionInfo{}, fmt.Errorf("distknn: %w", err)
+	}
+	if h.pt.index != nil {
+		h.topL, err = h.pt.index(h.set)
+		if err != nil {
+			return tcp.SessionInfo{}, fmt.Errorf("distknn: indexing node %d: %w", m.ID(), err)
+		}
+	} else {
+		h.topL = h.set.TopLItems
 	}
 	h.leader, err = election.Elect(m, election.OnceOptions{
 		Sublinear:      h.opts.SublinearElection,
@@ -105,26 +189,34 @@ func (h *scalarHandler) Setup(m kmachine.Env) (tcp.SessionInfo, error) {
 	if err != nil {
 		return tcp.SessionInfo{}, err
 	}
-	return tcp.SessionInfo{Leader: h.leader, ShardLen: h.set.Len(), PointTag: wire.PointScalar}, nil
+	return tcp.SessionInfo{Leader: h.leader, ShardLen: h.set.Len(), PointTag: h.pt.codec.Tag}, nil
 }
 
-func (h *scalarHandler) Query(m kmachine.Env, q wire.Query) (tcp.EpochResult, error) {
-	v, err := wire.DecodeScalarPoint(q.Point)
+// Query answers one point of the dispatched batch. Calls for different
+// points of the same batch run concurrently (lockstep sub-programs of one
+// epoch); everything mutable here is call-local, and the Setup-written
+// shard, index and leader are only read.
+func (h *typedHandler[P]) Query(m kmachine.Env, q wire.Query, qi int) (tcp.QueryResult, error) {
+	qp, err := h.pt.codec.Decode(q.Points[qi])
 	if err != nil {
-		return tcp.EpochResult{}, err
+		return tcp.QueryResult{}, fmt.Errorf("query %d: %w", qi, err)
 	}
-	qp := Scalar(v)
+	if h.pt.check != nil {
+		if err := h.pt.check(h.set, qp); err != nil {
+			return tcp.QueryResult{}, fmt.Errorf("query %d: %w", qi, err)
+		}
+	}
 	cfg := core.Config{
 		Leader:       h.leader,
 		L:            q.L,
 		SampleFactor: h.opts.SampleFactor,
 		CutFactor:    h.opts.CutFactor,
 	}
-	res, err := algorithmFn(h.opts.Algorithm)(m, cfg, h.set.TopLItems(qp, q.L))
+	res, err := algorithmFn(h.opts.Algorithm)(m, cfg, h.topL(qp, q.L))
 	if err != nil {
-		return tcp.EpochResult{}, err
+		return tcp.QueryResult{}, fmt.Errorf("query %d: %w", qi, err)
 	}
-	out := tcp.EpochResult{
+	out := tcp.QueryResult{
 		Winners:    res.Winners,
 		Boundary:   res.Boundary,
 		Survivors:  res.Survivors,
@@ -138,28 +230,45 @@ func (h *scalarHandler) Query(m kmachine.Env, q wire.Query) (tcp.EpochResult, er
 		out.Value, err = core.Regress(m, h.leader, res.Winners)
 	}
 	if err != nil {
-		return tcp.EpochResult{}, err
+		return tcp.QueryResult{}, fmt.Errorf("query %d: %w", qi, err)
 	}
 	return out, nil
 }
 
-// ServeScalarNode runs one resident serving node: it joins the frontend at
-// coordAddr, receives its machine identity, builds its shard via shards,
-// meshes with its peers, takes part in the setup election, and then answers
-// query epochs until the frontend shuts the session down. It blocks for the
-// lifetime of the session; a nil return means a clean shutdown.
+// ServeTypedNode runs one resident serving node for any served point type:
+// it joins the frontend at coordAddr, receives its machine identity, builds
+// its shard via shards, meshes with its peers, takes part in the setup
+// election, and then answers batched query epochs until the frontend shuts
+// the session down. It blocks for the lifetime of the session; a nil return
+// means a clean shutdown.
 //
 // meshAddr is the address to listen on for peer connections
-// ("127.0.0.1:0" picks a free loopback port; use a host-reachable address
-// for multi-host deployments).
-func ServeScalarNode(coordAddr, meshAddr string, shards ShardProvider, opts NodeOptions) error {
-	return tcp.ServeNode(coordAddr, meshAddr, &scalarHandler{shards: shards, opts: opts})
+// ("127.0.0.1:0" picks a free loopback port); opts.Advertise overrides the
+// address peers dial when the bind address is not reachable across hosts.
+func ServeTypedNode[P any](pt PointType[P], coordAddr, meshAddr string, shards ShardProvider[P], opts NodeOptions) error {
+	return tcp.ServeNode(coordAddr, meshAddr, opts.Advertise, &typedHandler[P]{pt: pt, shards: shards, opts: opts})
+}
+
+// ServeScalarNode runs one resident scalar serving node.
+//
+// Deprecated: it is a thin wrapper over
+// ServeTypedNode(ScalarPoints(), …), kept for the pre-generic API.
+func ServeScalarNode(coordAddr, meshAddr string, shards ShardProvider[Scalar], opts NodeOptions) error {
+	return ServeTypedNode(ScalarPoints(), coordAddr, meshAddr, shards, opts)
+}
+
+// ServeVectorNode runs one resident vector serving node with a
+// k-d-tree-indexed shard.
+func ServeVectorNode(coordAddr, meshAddr string, shards ShardProvider[Vector], opts NodeOptions) error {
+	return ServeTypedNode(VectorPoints(), coordAddr, meshAddr, shards, opts)
 }
 
 // Frontend is the client-facing endpoint of a TCP serving cluster: it
 // performs rendezvous for the k resident nodes and then serves remote
-// clients, one BSP epoch per query. Nodes and clients dial the same
-// address; a connection's first frame decides its role.
+// clients, one BSP epoch per query batch. Nodes and clients dial the same
+// address; a connection's first frame decides its role. The frontend is
+// point-type agnostic — it learns the cluster's wire tag from the nodes'
+// ready reports and rejects mismatched queries.
 type Frontend struct {
 	fe *tcp.Frontend
 }
@@ -176,8 +285,8 @@ func NewFrontend(addr string, k int, seed uint64) (*Frontend, error) {
 	return &Frontend{fe: fe}, nil
 }
 
-// Addr returns the dialable address for nodes (ServeScalarNode) and clients
-// (DialCluster).
+// Addr returns the dialable address for nodes (ServeTypedNode) and clients
+// (DialScalarCluster / DialVectorCluster).
 func (f *Frontend) Addr() string { return f.fe.Addr() }
 
 // Serve runs the session until Close: rendezvous, setup epoch, then client
@@ -192,8 +301,11 @@ func (f *Frontend) Close() error { return f.fe.Close() }
 
 // RemoteCluster is a client handle on a TCP serving cluster. It satisfies
 // the same query surface as the in-process Cluster — KNN, Classify, Regress
-// with identical signatures and exact results — but every call travels to
-// the cluster's frontend and runs as one BSP epoch on the resident mesh.
+// and KNNBatch with identical signatures and exact results — but every call
+// travels to the cluster's frontend and runs as one BSP epoch on the
+// resident mesh; a KNNBatch ships its whole batch in one dispatch, so the
+// per-query frame, syscall and epoch overhead is amortized across the
+// batch.
 //
 // A RemoteCluster is safe for concurrent use; queries on one connection are
 // serialized, and the frontend serializes epochs across all clients anyway.
@@ -202,75 +314,128 @@ func (f *Frontend) Close() error { return f.fe.Close() }
 // paid once, in the setup epoch).
 type RemoteCluster[P any] struct {
 	client *tcp.Client
-	tag    uint8
-	encode func(q P) []byte
+	codec  wire.PointCodec[P]
 	leader atomic.Int64
 }
 
-// DialCluster connects to a scalar serving cluster's frontend.
-func DialCluster(addr string) (*RemoteCluster[Scalar], error) {
+// DialTypedCluster connects to a serving cluster's frontend that serves
+// pt's point type.
+func DialTypedCluster[P any](pt PointType[P], addr string) (*RemoteCluster[P], error) {
 	c, err := tcp.DialFrontend(addr)
 	if err != nil {
 		return nil, err
 	}
-	rc := &RemoteCluster[Scalar]{
-		client: c,
-		tag:    wire.PointScalar,
-		encode: func(q Scalar) []byte { return wire.EncodeScalarPoint(uint64(q)) },
-	}
+	rc := &RemoteCluster[P]{client: c, codec: pt.codec}
 	rc.leader.Store(-1)
 	return rc, nil
 }
 
-func (rc *RemoteCluster[P]) do(op uint8, q P, l int) (wire.Reply, error) {
-	rep, err := rc.client.Do(wire.Query{Op: op, L: l, Tag: rc.tag, Point: rc.encode(q)})
+// DialScalarCluster connects to a scalar serving cluster's frontend.
+func DialScalarCluster(addr string) (*RemoteCluster[Scalar], error) {
+	return DialTypedCluster(ScalarPoints(), addr)
+}
+
+// DialVectorCluster connects to a vector serving cluster's frontend.
+func DialVectorCluster(addr string) (*RemoteCluster[Vector], error) {
+	return DialTypedCluster(VectorPoints(), addr)
+}
+
+// DialCluster connects to a scalar serving cluster's frontend.
+//
+// Deprecated: it is DialScalarCluster under the pre-generic name.
+func DialCluster(addr string) (*RemoteCluster[Scalar], error) {
+	return DialScalarCluster(addr)
+}
+
+// do ships one batch and returns the validated reply.
+func (rc *RemoteCluster[P]) do(op uint8, qs []P, l int) (wire.Reply, error) {
+	pts := make([][]byte, len(qs))
+	for i, q := range qs {
+		pts[i] = rc.codec.Encode(q)
+	}
+	rep, err := rc.client.Do(wire.Query{Op: op, L: l, Tag: rc.codec.Tag, Points: pts})
 	if err != nil {
 		return wire.Reply{}, fmt.Errorf("distknn: %w", err)
+	}
+	if len(rep.Results) != len(qs) {
+		return wire.Reply{}, fmt.Errorf("distknn: %d results for %d queries", len(rep.Results), len(qs))
 	}
 	rc.leader.Store(int64(rep.Leader))
 	return rep, nil
 }
 
-func remoteStats(rep wire.Reply) *QueryStats {
+// remoteStats folds the epoch-wide costs and one query's outcome into the
+// QueryStats shape the in-process Cluster reports.
+func remoteStats(rep wire.Reply, qr wire.QueryReply) *QueryStats {
 	return &QueryStats{
 		Rounds:     rep.Rounds,
 		Messages:   rep.Messages,
 		Bytes:      rep.Bytes,
 		Leader:     rep.Leader,
-		Boundary:   rep.Boundary,
-		Survivors:  rep.Survivors,
-		FellBack:   rep.FellBack,
-		Iterations: rep.Iterations,
+		Boundary:   qr.Boundary,
+		Survivors:  qr.Survivors,
+		FellBack:   qr.FellBack,
+		Iterations: qr.Iterations,
 	}
 }
 
 // KNN returns the exact ℓ nearest neighbors of q in ascending distance
 // order, together with the query's distributed cost on the remote mesh.
 func (rc *RemoteCluster[P]) KNN(q P, l int) ([]Item, *QueryStats, error) {
-	rep, err := rc.do(wire.OpKNN, q, l)
+	rep, err := rc.do(wire.OpKNN, []P{q}, l)
 	if err != nil {
 		return nil, nil, err
 	}
-	return rep.Items, remoteStats(rep), nil
+	return rep.Results[0].Items, remoteStats(rep, rep.Results[0]), nil
 }
 
 // Classify returns the majority label among the ℓ nearest neighbors of q
 // (ties broken toward the smallest label).
 func (rc *RemoteCluster[P]) Classify(q P, l int) (float64, *QueryStats, error) {
-	rep, err := rc.do(wire.OpClassify, q, l)
+	rep, err := rc.do(wire.OpClassify, []P{q}, l)
 	if err != nil {
 		return 0, nil, err
 	}
-	return rep.Value, remoteStats(rep), nil
+	return rep.Results[0].Value, remoteStats(rep, rep.Results[0]), nil
 }
 
 // Regress returns the mean label of the ℓ nearest neighbors of q.
 func (rc *RemoteCluster[P]) Regress(q P, l int) (float64, *QueryStats, error) {
-	rep, err := rc.do(wire.OpRegress, q, l)
+	rep, err := rc.do(wire.OpRegress, []P{q}, l)
 	if err != nil {
 		return 0, nil, err
 	}
-	return rep.Value, remoteStats(rep), nil
+	return rep.Results[0].Value, remoteStats(rep, rep.Results[0]), nil
+}
+
+// KNNBatch answers many queries with as few BSP epochs as possible: the
+// whole batch travels in one dispatch (chunked at wire.MaxBatch) and every
+// node answers all of it back to back on one epoch — the socket analogue of
+// the in-process KNNBatch, amortizing frames, syscalls and epochs across
+// the batch. Per-query results are exact and identical to individual KNN
+// calls; the returned QueryStats aggregates the whole batch.
+func (rc *RemoteCluster[P]) KNNBatch(queries []P, l int) ([]BatchResult, *QueryStats, error) {
+	out := make([]BatchResult, 0, len(queries))
+	stats := &QueryStats{Leader: rc.Leader()}
+	for len(queries) > 0 {
+		chunk := queries
+		if len(chunk) > wire.MaxBatch {
+			chunk = chunk[:wire.MaxBatch]
+		}
+		queries = queries[len(chunk):]
+		rep, err := rc.do(wire.OpKNN, chunk, l)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, qr := range rep.Results {
+			out = append(out, BatchResult{Neighbors: qr.Items, Boundary: qr.Boundary})
+		}
+		stats.Rounds += rep.Rounds
+		stats.Messages += rep.Messages
+		stats.Bytes += rep.Bytes
+		stats.Leader = rep.Leader
+	}
+	return out, stats, nil
 }
 
 // Leader returns the remote cluster's leader as last reported by a query
@@ -282,23 +447,38 @@ func (rc *RemoteCluster[P]) Leader() int { return int(rc.leader.Load()) }
 func (rc *RemoteCluster[P]) Close() error { return rc.client.Close() }
 
 // LocalServer is a whole loopback serving deployment running in one
-// process: a Frontend plus k resident scalar nodes. Dial it with
-// DialCluster(s.Addr()).
+// process: a Frontend plus k resident nodes. Dial it with
+// DialScalarCluster / DialVectorCluster on s.Addr().
 type LocalServer struct {
 	lc *tcp.LocalCluster
 }
 
-// ServeLocal starts a loopback TCP serving cluster: a frontend and k
-// resident nodes, each holding the shard that shards(id, k) builds. It
-// returns once the cluster is meshed, elected and ready to serve.
-func ServeLocal(k int, seed uint64, shards ShardProvider, opts NodeOptions) (*LocalServer, error) {
+// ServeTypedLocal starts a loopback TCP serving cluster for any served
+// point type: a frontend and k resident nodes, each holding the shard that
+// shards(id, k) builds. It returns once the cluster is meshed, elected and
+// ready to serve.
+func ServeTypedLocal[P any](pt PointType[P], k int, seed uint64, shards ShardProvider[P], opts NodeOptions) (*LocalServer, error) {
 	lc, err := tcp.ServeLocal(k, seed, func() tcp.Handler {
-		return &scalarHandler{shards: shards, opts: opts}
+		return &typedHandler[P]{pt: pt, shards: shards, opts: opts}
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &LocalServer{lc: lc}, nil
+}
+
+// ServeLocal starts a loopback scalar TCP serving cluster.
+//
+// Deprecated: it is a thin wrapper over
+// ServeTypedLocal(ScalarPoints(), …), kept for the pre-generic API.
+func ServeLocal(k int, seed uint64, shards ShardProvider[Scalar], opts NodeOptions) (*LocalServer, error) {
+	return ServeTypedLocal(ScalarPoints(), k, seed, shards, opts)
+}
+
+// ServeVectorLocal starts a loopback vector TCP serving cluster with
+// k-d-tree-indexed shards.
+func ServeVectorLocal(k int, seed uint64, shards ShardProvider[Vector], opts NodeOptions) (*LocalServer, error) {
+	return ServeTypedLocal(VectorPoints(), k, seed, shards, opts)
 }
 
 // Addr returns the frontend address clients should dial.

@@ -14,17 +14,17 @@ import (
 // remote-serving tests: node id holds perNode uniform scalars drawn from
 // stream id of the seed, labels cycling 0..3 by global index, and the ID
 // block [id·perNode+1, (id+1)·perNode].
-func remoteShards(seed uint64, perNode int) distknn.ShardProvider {
-	return func(id, k int) (distknn.ScalarShard, error) {
+func remoteShards(seed uint64, perNode int) distknn.ShardProvider[distknn.Scalar] {
+	return func(id, k int) (distknn.Shard[distknn.Scalar], error) {
 		rng := xrand.NewStream(seed, uint64(id))
-		values := make([]uint64, perNode)
+		values := make([]distknn.Scalar, perNode)
 		labels := make([]float64, perNode)
 		for j := range values {
-			values[j] = rng.Uint64N(points.PaperDomain)
+			values[j] = distknn.Scalar(rng.Uint64N(points.PaperDomain))
 			labels[j] = float64((id*perNode + j) % 4)
 		}
-		return distknn.ScalarShard{
-			Values:  values,
+		return distknn.Shard[distknn.Scalar]{
+			Points:  values,
 			Labels:  labels,
 			FirstID: uint64(id)*uint64(perNode) + 1,
 		}, nil
@@ -39,7 +39,9 @@ func mergedData(seed uint64, k, perNode int) ([]uint64, []float64) {
 	var labels []float64
 	for id := 0; id < k; id++ {
 		s, _ := shards(id, k)
-		values = append(values, s.Values...)
+		for _, p := range s.Points {
+			values = append(values, uint64(p))
+		}
 		labels = append(labels, s.Labels...)
 	}
 	return values, labels
