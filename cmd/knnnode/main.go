@@ -18,6 +18,14 @@
 // reachable address with -advertise (e.g. -mesh 0.0.0.0:7101 -advertise
 // 10.0.0.5:7101); see docs/ARCHITECTURE.md for the port scheme.
 //
+// A serving cluster survives node churn: if a resident node dies, queries
+// fail fast with a retryable "cluster degraded" error until a node takes
+// the empty seat back — either a freshly started `knnnode -serve -join`
+// (no extra flags; the frontend hands it the absent seat and it rebuilds
+// the same shard from the shared seed) or the evicted process itself when
+// started with -rejoin, which re-joins automatically whenever its session
+// is lost. See the "Failure handling" section of docs/ARCHITECTURE.md.
+//
 // One-shot demo (three terminals):
 //
 //	knnnode -coordinator -addr 127.0.0.1:7100 -k 2 -seed 1
@@ -46,9 +54,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"time"
 
 	"distknn"
 	"distknn/internal/core"
@@ -77,6 +88,7 @@ func main() {
 		batch       = flag.Int("batch", 1, "queries per dispatched batch in the -serve -local demo")
 		meshAddr    = flag.String("mesh", "127.0.0.1:0", "node mesh listen address")
 		advertise   = flag.String("advertise", "", "reachable mesh address announced to peers (default: the -mesh listener's own address)")
+		rejoin      = flag.Bool("rejoin", false, "with -serve -join: re-join the session automatically whenever it is lost (eviction, frontend restart)")
 	)
 	flag.Parse()
 
@@ -97,16 +109,35 @@ func main() {
 			fatalf("%v", err)
 		}
 	case *serve && *join != "":
-		if *dim > 0 {
-			fmt.Printf("resident vector node joining %s (%d %d-dim points/node)\n", *join, *perNode, *dim)
-			if err := distknn.ServeVectorNode(*join, *meshAddr, distknn.UniformVectorShards(*seed, *perNode, *dim), opts); err != nil {
-				fatalf("%v", err)
+		serveSession := func() error {
+			if *dim > 0 {
+				fmt.Printf("resident vector node joining %s (%d %d-dim points/node)\n", *join, *perNode, *dim)
+				return distknn.ServeVectorNode(*join, *meshAddr, distknn.UniformVectorShards(*seed, *perNode, *dim), opts)
 			}
-		} else {
 			fmt.Printf("resident node joining %s (%d points/node)\n", *join, *perNode)
-			if err := distknn.ServeScalarNode(*join, *meshAddr, distknn.PaperShards(*seed, *perNode), opts); err != nil {
+			return distknn.ServeScalarNode(*join, *meshAddr, distknn.PaperShards(*seed, *perNode), opts)
+		}
+		for attempt := 0; ; attempt++ {
+			err := serveSession()
+			if err == nil {
+				break
+			}
+			recoverable := errors.Is(err, distknn.ErrSessionLost)
+			if !recoverable && attempt > 0 {
+				// Once a session has been held and lost, a network failure
+				// while re-joining usually means the frontend is restarting
+				// too — keep trying. A first-attempt dial failure is still
+				// fatal, so a bad -join address surfaces immediately.
+				var nerr net.Error
+				recoverable = errors.As(err, &nerr)
+			}
+			if !*rejoin || !recoverable {
 				fatalf("%v", err)
 			}
+			// The seat is recoverable: a fresh registration lands in the
+			// absent slot and the session resumes where it is.
+			fmt.Printf("session lost (%v); re-joining\n", err)
+			time.Sleep(500 * time.Millisecond)
 		}
 		fmt.Println("node shut down cleanly")
 	case *serve && *local:

@@ -69,6 +69,7 @@ func main() {
 		queries   = flag.Int("queries", 2000, "total queries in -serve and -batch modes")
 		batchSize = flag.Int("batch", 1, "queries per KNNBatch dispatch (>1 switches to serial batched mode)")
 		connect   = flag.String("connect", "", "frontend address of a remote TCP serving cluster (see knnnode -serve); query it instead of building a local one")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline against a remote cluster (0 = none); churn-degraded queries are retried for up to 500ms either way")
 	)
 	flag.Parse()
 
@@ -102,9 +103,10 @@ func main() {
 		if *compare {
 			fatalf("-compare needs a local cluster; it cannot be combined with -connect")
 		}
+		copts := distknn.ClientOptions{QueryTimeout: *timeout}
 		switch *metric {
 		case "scalar":
-			rc, err := distknn.DialScalarCluster(*connect)
+			rc, err := distknn.DialTypedClusterOptions(distknn.ScalarPoints(), *connect, copts)
 			if err != nil {
 				fatalf("%v", err)
 			}
@@ -112,7 +114,7 @@ func main() {
 			fmt.Printf("remote scalar cluster at %s; l=%d\n\n", *connect, *l)
 			drive(rc, genScalar, scalarDist, *l, *queries, *workers, *batchSize, *serve, *show, *seed, rng)
 		case "vector":
-			rc, err := distknn.DialVectorCluster(*connect)
+			rc, err := distknn.DialTypedClusterOptions(distknn.VectorPoints(), *connect, copts)
 			if err != nil {
 				fatalf("%v", err)
 			}

@@ -129,7 +129,7 @@ func (r *batchRun) roundLocked() {
 		qi := int(rd.Varint())
 		payload := rd.Raw(rd.Remaining())
 		if rd.Err() != nil || qi < 0 || qi >= len(r.subInbox) {
-			panic(transportError{fmt.Errorf("tcp: node %d got mis-tagged batch message from %d", r.n.id, msg.From)})
+			panic(transportFault(msg.From, fmt.Errorf("tcp: node %d got mis-tagged batch message from %d", r.n.id, msg.From)))
 		}
 		r.subInbox[qi] = append(r.subInbox[qi], kmachine.Message{From: msg.From, To: msg.To, Payload: payload})
 	}

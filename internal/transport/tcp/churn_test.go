@@ -1,0 +1,554 @@
+package tcp
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distknn/internal/keys"
+	"distknn/internal/kmachine"
+	"distknn/internal/wire"
+)
+
+// blockingHandler is an echoHandler whose node 1 parks inside the epoch for
+// the magic query 4242 until released — the window a churn test needs to
+// kill the node mid-query.
+type blockingHandler struct {
+	echoHandler
+	entered chan<- struct{}
+	release <-chan struct{}
+}
+
+func (h *blockingHandler) Query(m kmachine.Env, q wire.Query, qi int) (QueryResult, error) {
+	if v, _ := wire.DecodeScalarPoint(q.Points[qi]); v == 4242 && m.ID() == 1 {
+		h.entered <- struct{}{}
+		<-h.release
+	}
+	return h.echoHandler.Query(m, q, qi)
+}
+
+// churnCluster is a hand-rolled serving deployment whose node sessions are
+// killable: frontend plus node goroutines started through the test hook.
+type churnCluster struct {
+	t  *testing.T
+	fe *Frontend
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[int]*nodeSession
+	exitErrs []error
+}
+
+func startChurnCluster(t *testing.T, k int, seed uint64, newHandler func() Handler) *churnCluster {
+	t.Helper()
+	fe, err := NewFrontend("127.0.0.1:0", k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- fe.Serve() }()
+	c := &churnCluster{t: t, fe: fe, sessions: make(map[int]*nodeSession)}
+	t.Cleanup(func() {
+		fe.Close()
+		if err := <-serveDone; err != nil {
+			t.Errorf("frontend: %v", err)
+		}
+		c.wg.Wait()
+	})
+	for i := 0; i < k; i++ {
+		c.startNode(newHandler(), -1)
+	}
+	<-fe.ready
+	if fe.readyErr != nil {
+		t.Fatal(fe.readyErr)
+	}
+	return c
+}
+
+// startNode launches one node session (a fresh registration, or an explicit
+// re-join when rejoinID >= 0) and records its session handle by machine id.
+func (c *churnCluster) startNode(h Handler, rejoinID int) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		err := serveNode(c.fe.Addr(), "127.0.0.1:0", "", rejoinID, h, func(s *nodeSession) {
+			c.mu.Lock()
+			c.sessions[s.node.id] = s
+			c.mu.Unlock()
+		})
+		c.mu.Lock()
+		c.exitErrs = append(c.exitErrs, err)
+		c.mu.Unlock()
+	}()
+}
+
+func (c *churnCluster) session(id int) *nodeSession {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessions[id]
+}
+
+// waitHealthy polls until a query succeeds again (the re-joined node is
+// seated) and returns the successful reply.
+func waitHealthy(t *testing.T, client *Client, q wire.Query) wire.Reply {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		rep, err := client.Do(q)
+		if err == nil {
+			return rep
+		}
+		if !errors.Is(err, ErrDegraded) {
+			t.Fatalf("waiting for recovery: non-degraded failure: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not recover: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// checkEcho asserts the deterministic echoHandler answer for value v on a
+// k-node cluster — the per-node shares and leader metadata a correctly
+// re-meshed, re-seated cluster must keep producing bit-identically.
+func checkEcho(t *testing.T, rep wire.Reply, k int, v uint64, leader int) {
+	t.Helper()
+	if len(rep.Results) != 1 {
+		t.Fatalf("value %d: %d results", v, len(rep.Results))
+	}
+	res := rep.Results[0]
+	if len(res.Items) != k {
+		t.Fatalf("value %d: %d items, want %d", v, len(res.Items), k)
+	}
+	for id, it := range res.Items {
+		want := keys.Key{Dist: v*10 + uint64(id), ID: uint64(id) + 1}
+		if it.Key != want {
+			t.Fatalf("value %d item %d = %v, want %v", v, id, it.Key, want)
+		}
+	}
+	if res.Boundary.Dist != v || rep.Leader != leader {
+		t.Fatalf("value %d: boundary %v leader %d, want leader %d", v, res.Boundary, rep.Leader, leader)
+	}
+}
+
+// TestChurnKillMidQueryDegradesThenHeals is the headline churn walk: a node
+// dies inside a dispatched epoch; the in-flight query fails with a
+// retryable degraded error, later queries fail fast the same way, and a
+// replacement registration re-seats the node and restores bit-identical
+// service.
+func TestChurnKillMidQueryDegradesThenHeals(t *testing.T) {
+	k := 3
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	c := startChurnCluster(t, k, 21, func() Handler {
+		return &blockingHandler{entered: entered, release: release}
+	})
+	leader := c.fe.Leader()
+
+	client, err := DialFrontendOptions(c.fe.Addr(), ClientOptions{NoRetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for v := uint64(1); v <= 5; v++ {
+		rep, err := client.Do(scalarQuery(wire.OpKNN, 1, v))
+		if err != nil {
+			t.Fatalf("pre-churn query %d: %v", v, err)
+		}
+		checkEcho(t, rep, k, v, leader)
+	}
+
+	// Dispatch the magic query; node 1 parks inside the epoch, and we kill
+	// it there — sockets closed mid-flight, no goodbye, like a crashed
+	// process.
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := client.Do(scalarQuery(wire.OpKNN, 1, 4242))
+		errCh <- err
+	}()
+	<-entered
+	c.session(1).kill()
+	close(release)
+	if err := <-errCh; err == nil || !errors.Is(err, ErrDegraded) {
+		t.Fatalf("in-flight query across the kill: got %v, want a degraded error", err)
+	}
+
+	// Degraded window: queries fail fast with the retryable error, naming
+	// the absent seat, and never with a permanent "cluster broken".
+	for v := uint64(50); v < 53; v++ {
+		_, err := client.Do(scalarQuery(wire.OpKNN, 1, v))
+		if err == nil || !errors.Is(err, ErrDegraded) {
+			t.Fatalf("degraded window query %d: got %v, want a degraded error", v, err)
+		}
+		if !strings.Contains(err.Error(), "cluster degraded (2 of 3 nodes)") {
+			t.Fatalf("degraded window query %d: unhelpful error %v", v, err)
+		}
+	}
+
+	// Heal: a plain late registration lands in the absent seat.
+	c.startNode(&blockingHandler{entered: entered, release: release}, -1)
+	waitHealthy(t, client, scalarQuery(wire.OpKNN, 1, 60))
+	for v := uint64(61); v <= 70; v++ {
+		rep, err := client.Do(scalarQuery(wire.OpKNN, 1, v))
+		if err != nil {
+			t.Fatalf("post-rejoin query %d: %v", v, err)
+		}
+		checkEcho(t, rep, k, v, leader)
+	}
+
+	// The killed session must have exited as a recoverable loss.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, err := range c.exitErrs {
+		if err != nil && !errors.Is(err, ErrSessionLost) {
+			t.Fatalf("killed node exited with %v, want ErrSessionLost", err)
+		}
+	}
+}
+
+// TestChurnEvictAndExplicitRejoin covers the operator path: EvictNode
+// retires a healthy idle node (which observes ErrSessionLost), and
+// RejoinNode claims the seat back by machine index.
+func TestChurnEvictAndExplicitRejoin(t *testing.T) {
+	k := 2
+	c := startChurnCluster(t, k, 31, func() Handler { return &echoHandler{} })
+	leader := c.fe.Leader()
+	client, err := DialFrontendOptions(c.fe.Addr(), ClientOptions{NoRetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	checkEcho(t, waitHealthy(t, client, scalarQuery(wire.OpKNN, 1, 3)), k, 3, leader)
+
+	if err := c.fe.EvictNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Do(scalarQuery(wire.OpKNN, 1, 4)); err == nil || !errors.Is(err, ErrDegraded) {
+		t.Fatalf("query after evict: got %v, want a degraded error", err)
+	}
+	// A seat that is held cannot be re-joined; the absent one can.
+	if err := RejoinNode(c.fe.Addr(), "127.0.0.1:0", "", 0, &echoHandler{}); err == nil || !strings.Contains(err.Error(), "join rejected") {
+		t.Fatalf("rejoin of a held seat: got %v, want a rejection", err)
+	}
+	c.startNode(&echoHandler{}, 1)
+	checkEcho(t, waitHealthy(t, client, scalarQuery(wire.OpKNN, 1, 5)), k, 5, leader)
+	checkEcho(t, waitHealthy(t, client, scalarQuery(wire.OpKNN, 1, 6)), k, 6, leader)
+}
+
+// TestChurnIdleKillIsNoticedWithoutAQuery pins the control-pump behavior:
+// a node dying between queries is marked absent by its pump, so the next
+// query degrades (transient dispatch races included) rather than bricking
+// the session.
+func TestChurnIdleKillIsNoticedWithoutAQuery(t *testing.T) {
+	k := 2
+	c := startChurnCluster(t, k, 41, func() Handler { return &echoHandler{} })
+	client, err := DialFrontendOptions(c.fe.Addr(), ClientOptions{NoRetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Do(scalarQuery(wire.OpKNN, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.session(1).kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := client.Do(scalarQuery(wire.OpKNN, 1, 9))
+		if err != nil {
+			if !errors.Is(err, ErrDegraded) {
+				t.Fatalf("query after idle kill: got %v, want a degraded error", err)
+			}
+			break
+		}
+		// The dispatch can race the pump's death notice once; it must not
+		// keep winning.
+		if time.Now().After(deadline) {
+			t.Fatal("idle kill never degraded the cluster")
+		}
+	}
+	// And it stays degraded, not broken.
+	if _, err := client.Do(scalarQuery(wire.OpKNN, 1, 10)); err == nil || !errors.Is(err, ErrDegraded) {
+		t.Fatalf("second query after idle kill: got %v, want a degraded error", err)
+	}
+}
+
+// TestChurnBrokenLinkEvictsOneEndpoint pins single-fault eviction: when
+// one mesh link breaks (both processes stay alive), both endpoints report
+// a fatal error blaming each other, but the frontend must retire exactly
+// one seat — acting on the echoed report too would evict both nodes for
+// one fault, doubling the outage.
+func TestChurnBrokenLinkEvictsOneEndpoint(t *testing.T) {
+	k := 2
+	c := startChurnCluster(t, k, 51, func() Handler { return &echoHandler{} })
+	leader := c.fe.Leader()
+	client, err := DialFrontendOptions(c.fe.Addr(), ClientOptions{NoRetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	checkEcho(t, waitHealthy(t, client, scalarQuery(wire.OpKNN, 1, 2)), k, 2, leader)
+
+	// Sever the 0–1 mesh link only; both node sessions keep running.
+	s := c.session(0)
+	s.node.peersMu.Lock()
+	link := s.node.peers[1].conn
+	s.node.peersMu.Unlock()
+	link.Close()
+
+	// The next epoch hits the dead link on both endpoints and fails the
+	// in-flight query; exactly one seat must fall.
+	if _, err := client.Do(scalarQuery(wire.OpKNN, 1, 3)); err == nil || !errors.Is(err, ErrDegraded) {
+		t.Fatalf("query across the severed link: got %v, want a degraded error", err)
+	}
+	_, err = client.Do(scalarQuery(wire.OpKNN, 1, 4))
+	if err == nil || !errors.Is(err, ErrDegraded) {
+		t.Fatalf("query after the severed link: got %v, want a degraded error", err)
+	}
+	if !strings.Contains(err.Error(), "cluster degraded (1 of 2 nodes)") {
+		t.Fatalf("one broken link must cost exactly one seat: %v", err)
+	}
+
+	// One replacement registration heals the cluster.
+	c.startNode(&echoHandler{}, -1)
+	checkEcho(t, waitHealthy(t, client, scalarQuery(wire.OpKNN, 1, 5)), k, 5, leader)
+}
+
+// TestChurnDoubleRejoinRestoresFullMesh loses two of three seats and
+// re-joins both concurrently. Handshakes are serialized, so the second
+// re-joiner's grant must list the first among the peers to dial — without
+// that, the two replacements never link to each other and every later
+// epoch dies on the hole in the mesh.
+func TestChurnDoubleRejoinRestoresFullMesh(t *testing.T) {
+	k := 3
+	c := startChurnCluster(t, k, 61, func() Handler { return &echoHandler{} })
+	leader := c.fe.Leader()
+	client, err := DialFrontendOptions(c.fe.Addr(), ClientOptions{NoRetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	checkEcho(t, waitHealthy(t, client, scalarQuery(wire.OpKNN, 1, 2)), k, 2, leader)
+
+	c.session(1).kill()
+	c.session(2).kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := client.Do(scalarQuery(wire.OpKNN, 1, 3))
+		if err != nil && strings.Contains(err.Error(), "(1 of 3 nodes)") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("both kills never degraded the cluster: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	c.startNode(&echoHandler{}, -1)
+	c.startNode(&echoHandler{}, -1)
+	checkEcho(t, waitHealthy(t, client, scalarQuery(wire.OpKNN, 1, 7)), k, 7, leader)
+	for v := uint64(8); v <= 12; v++ {
+		rep, err := client.Do(scalarQuery(wire.OpKNN, 1, v))
+		if err != nil {
+			t.Fatalf("query %d after double re-join: %v", v, err)
+		}
+		checkEcho(t, rep, k, v, leader)
+	}
+}
+
+// TestLocalClusterCloseIdempotent is the regression test for the seed bug
+// where a second Close blocked forever on the drained serveErr channel.
+func TestLocalClusterCloseIdempotent(t *testing.T) {
+	lc, err := ServeLocal(2, 5, func() Handler { return &echoHandler{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := lc.Close(); err != nil {
+			t.Errorf("first close: %v", err)
+		}
+		if err := lc.Close(); err != nil {
+			t.Errorf("second close: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("double Close deadlocked")
+	}
+}
+
+// stubFrontend is a minimal fake serving endpoint for client unit tests:
+// each accepted connection is handled by the next script entry.
+func stubFrontend(t *testing.T, scripts ...func(conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for _, script := range scripts {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go script(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// readQuery consumes one query frame off the stub's connection.
+func readQuery(t *testing.T, conn net.Conn) bool {
+	_, err := wire.ReadFrame(conn)
+	return err == nil
+}
+
+func okReply() []byte {
+	return wire.EncodeReply(wire.Reply{Rounds: 1, Results: []wire.QueryReply{{}}})
+}
+
+// TestClientPoisonsDesyncedConnection is the regression test for the seed
+// bug where a framing error left the connection mid-stream but reusable:
+// the next Do misparsed garbage. Now the connection is poisoned and the
+// next attempt runs on a fresh one.
+func TestClientPoisonsDesyncedConnection(t *testing.T) {
+	addr := stubFrontend(t,
+		func(conn net.Conn) {
+			defer conn.Close()
+			if !readQuery(t, conn) {
+				return
+			}
+			// A non-reply frame, with trailing garbage that a desynced
+			// client would misparse as the next reply.
+			var w wire.Writer
+			w.U8(wire.KindDispatch)
+			w.Raw([]byte{0xde, 0xad, 0xbe, 0xef})
+			_ = wire.WriteFrame(conn, w.Bytes())
+			_ = wire.WriteFrame(conn, []byte{0xff, 0xff})
+			time.Sleep(50 * time.Millisecond)
+		},
+		func(conn net.Conn) {
+			defer conn.Close()
+			if !readQuery(t, conn) {
+				return
+			}
+			_ = wire.WriteFrame(conn, okReply())
+		},
+	)
+	client, err := DialFrontendOptions(addr, ClientOptions{NoRetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	q := scalarQuery(wire.OpKNN, 1, 7)
+	if _, err := client.Do(q); err == nil || !strings.Contains(err.Error(), "expected reply") {
+		t.Fatalf("first Do: got %v, want a framing error", err)
+	}
+	// The poisoned connection must not be reused: the second Do reconnects
+	// and succeeds instead of reading the stub's garbage.
+	rep, err := client.Do(q)
+	if err != nil {
+		t.Fatalf("second Do after poisoning: %v", err)
+	}
+	if rep.Rounds != 1 {
+		t.Fatalf("second Do reply: %+v", rep)
+	}
+}
+
+// TestClientRetriesTransportFailureTransparently checks the default mode:
+// one Do call survives a connection that dies mid-exchange by reconnecting
+// and retrying once.
+func TestClientRetriesTransportFailureTransparently(t *testing.T) {
+	addr := stubFrontend(t,
+		func(conn net.Conn) {
+			readQuery(t, conn)
+			conn.Close() // die before replying
+		},
+		func(conn net.Conn) {
+			defer conn.Close()
+			if !readQuery(t, conn) {
+				return
+			}
+			_ = wire.WriteFrame(conn, okReply())
+		},
+	)
+	client, err := DialFrontend(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rep, err := client.Do(scalarQuery(wire.OpKNN, 1, 7))
+	if err != nil {
+		t.Fatalf("Do across a dropped connection: %v", err)
+	}
+	if rep.Rounds != 1 {
+		t.Fatalf("reply: %+v", rep)
+	}
+}
+
+// TestClientRetriesDegradedReply checks the churn retry: a degraded reply
+// does not poison the connection, and the single retry rides out the
+// outage on the same stream.
+func TestClientRetriesDegradedReply(t *testing.T) {
+	queries := make(chan struct{}, 4)
+	addr := stubFrontend(t, func(conn net.Conn) {
+		defer conn.Close()
+		if !readQuery(t, conn) {
+			return
+		}
+		queries <- struct{}{}
+		_ = wire.WriteFrame(conn, wire.EncodeReply(wire.Reply{
+			Err: "cluster degraded (1 of 2 nodes): waiting for node(s) [1]", Degraded: true,
+		}))
+		if !readQuery(t, conn) {
+			return
+		}
+		queries <- struct{}{}
+		_ = wire.WriteFrame(conn, okReply())
+	})
+	client, err := DialFrontendOptions(addr, ClientOptions{RetryWait: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rep, err := client.Do(scalarQuery(wire.OpKNN, 1, 7))
+	if err != nil {
+		t.Fatalf("Do across a degraded window: %v", err)
+	}
+	if rep.Rounds != 1 || len(queries) != 2 {
+		t.Fatalf("reply %+v after %d queries, want 2 on one connection", rep, len(queries))
+	}
+}
+
+// TestClientDeadline bounds a hung frontend with the per-call timeout.
+func TestClientDeadline(t *testing.T) {
+	addr := stubFrontend(t, func(conn net.Conn) {
+		defer conn.Close()
+		readQuery(t, conn)
+		time.Sleep(5 * time.Second) // never reply
+	}, func(conn net.Conn) {
+		defer conn.Close()
+		readQuery(t, conn)
+		time.Sleep(5 * time.Second)
+	})
+	client, err := DialFrontendOptions(addr, ClientOptions{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	_, err = client.Do(scalarQuery(wire.OpKNN, 1, 7))
+	var nerr net.Error
+	if err == nil || !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("Do against a hung frontend: got %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the call: %v", elapsed)
+	}
+}

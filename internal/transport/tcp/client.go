@@ -1,0 +1,299 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"distknn/internal/wire"
+)
+
+// defaultRetryWait is the degraded-retry budget when
+// ClientOptions.RetryWait is zero.
+const defaultRetryWait = 500 * time.Millisecond
+
+// degradedRetryInterval spaces the probes of a degraded-retry budget. The
+// frontend answers degraded probes immediately (no epoch runs), so polling
+// is cheap and the call returns as soon as the lost node re-joins.
+const degradedRetryInterval = 100 * time.Millisecond
+
+// ClientOptions tunes a Client's deadlines and failure handling.
+type ClientOptions struct {
+	// Timeout bounds each attempt's network activity — dial, query write
+	// and reply read — so a hung frontend fails the call instead of
+	// blocking it forever. Zero means no deadline.
+	Timeout time.Duration
+	// RetryWait is the budget for riding out a degraded cluster: Do keeps
+	// retrying a degraded failure at short intervals until it succeeds or
+	// RetryWait has elapsed, returning as soon as the lost node re-joins.
+	// Zero means the default (500ms); negative means a single immediate
+	// retry.
+	RetryWait time.Duration
+	// NoRetry disables the automatic retry entirely: the first failure of
+	// any kind is returned to the caller.
+	NoRetry bool
+}
+
+// Client is a remote handle on a serving cluster: it speaks the
+// query/reply half of the protocol over one connection. Queries on one
+// Client are serialized (the frontend serializes epochs globally anyway);
+// it is safe for concurrent use.
+//
+// The client survives churn on both sides of its connection. A transport or
+// framing failure poisons the connection — it is closed and never reused
+// mid-stream, so a desynchronized reply can't be misparsed as the next
+// one — and Do reconnects and retries the query once (every query op is an
+// idempotent read, so a retry is safe even if the first attempt executed).
+// A degraded reply (the cluster lost a node; errors.Is(err, ErrDegraded))
+// is retried within the RetryWait budget, riding out a quick re-join.
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+// DialFrontend connects to a serving frontend with default options.
+func DialFrontend(addr string) (*Client, error) {
+	return DialFrontendOptions(addr, ClientOptions{})
+}
+
+// DialFrontendOptions connects to a serving frontend.
+func DialFrontendOptions(addr string, opts ClientOptions) (*Client, error) {
+	c := &Client{addr: addr, opts: opts}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connectLocked() error {
+	d := net.Dialer{Timeout: c.opts.Timeout}
+	conn, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("tcp: dial frontend: %w", err)
+	}
+	c.conn = conn
+	return nil
+}
+
+// poisonLocked discards the connection after a transport or framing
+// failure: the stream may be mid-frame, so reusing it would misparse
+// garbage. The next attempt reconnects.
+func (c *Client) poisonLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Do sends one query and waits for the reply. A Reply with a non-empty Err
+// is returned as a Go error; degraded-cluster errors match
+// errors.Is(err, ErrDegraded). See Client for the retry semantics.
+func (c *Client) Do(q wire.Query) (wire.Reply, error) {
+	rep, transport, err := c.attempt(q)
+	if err == nil || c.opts.NoRetry {
+		return rep, err
+	}
+	if !errors.Is(err, ErrDegraded) {
+		if !transport {
+			// A remote validation or program error — deterministic, not
+			// worth a retry. (Or the client is closed.)
+			return wire.Reply{}, err
+		}
+		// Poisoned or never connected: the next attempt reconnects. A
+		// degraded reply on the fresh connection still gets the full
+		// RetryWait ride-out below — a frontend restart surfaces as a
+		// transport failure followed by a degraded window.
+		if rep, _, err = c.attempt(q); err == nil || !errors.Is(err, ErrDegraded) {
+			return rep, err
+		}
+	}
+	budget := c.opts.RetryWait
+	if budget == 0 {
+		budget = defaultRetryWait
+	}
+	if budget < 0 {
+		rep, _, err = c.attempt(q)
+		return rep, err
+	}
+	deadline := time.Now().Add(budget)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return wire.Reply{}, err
+		}
+		wait := degradedRetryInterval
+		if wait > remaining {
+			wait = remaining
+		}
+		// The sleep runs outside the client lock: concurrent queries (and
+		// Close) are not queued behind one caller's ride-out budget.
+		time.Sleep(wait)
+		rep, _, rerr := c.attempt(q)
+		if rerr == nil {
+			return rep, nil
+		}
+		if !errors.Is(rerr, ErrDegraded) {
+			return wire.Reply{}, rerr
+		}
+		err = rerr
+	}
+}
+
+// attempt runs one locked query round trip. transport reports whether the
+// failure poisoned the connection (a dial, I/O or framing fault — worth a
+// reconnect retry), as opposed to a deterministic remote error or a closed
+// client.
+func (c *Client) attempt(q wire.Query) (rep wire.Reply, transport bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, err = c.attemptLocked(q)
+	return rep, err != nil && !c.closed && c.conn == nil, err
+}
+
+// attemptLocked runs one query round trip, reconnecting first if the
+// previous attempt poisoned the connection.
+func (c *Client) attemptLocked(q wire.Query) (wire.Reply, error) {
+	if c.closed {
+		return wire.Reply{}, fmt.Errorf("tcp: client is closed")
+	}
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			return wire.Reply{}, err
+		}
+	}
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	}
+	if err := wire.WriteFrame(c.conn, wire.EncodeQuery(q)); err != nil {
+		c.poisonLocked()
+		return wire.Reply{}, fmt.Errorf("tcp: send query: %w", err)
+	}
+	payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		c.poisonLocked()
+		return wire.Reply{}, fmt.Errorf("tcp: read reply: %w", err)
+	}
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
+	r := wire.NewReader(payload)
+	if kind := r.U8(); kind != wire.KindReply {
+		c.poisonLocked()
+		return wire.Reply{}, fmt.Errorf("tcp: expected reply, got kind %d", kind)
+	}
+	rep, err := wire.DecodeReply(r)
+	if err != nil {
+		c.poisonLocked()
+		return wire.Reply{}, fmt.Errorf("tcp: bad reply: %w", err)
+	}
+	if rep.Err != "" {
+		if rep.Degraded {
+			return wire.Reply{}, fmt.Errorf("tcp: remote: %s: %w", rep.Err, ErrDegraded)
+		}
+		return wire.Reply{}, fmt.Errorf("tcp: remote: %s", rep.Err)
+	}
+	return rep, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// LocalCluster is an in-process serving deployment over loopback sockets:
+// one frontend plus k resident nodes, each on its own goroutine. It exists
+// for tests, benchmarks and single-binary demos of the serving path.
+type LocalCluster struct {
+	fe       *Frontend
+	serveErr chan error
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	nodeErrs []error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// ServeLocal starts a loopback serving cluster. newHandler builds one
+// Handler per node (each node needs its own instance, since a Handler keeps
+// per-node state); node identities are assigned at join time, so handlers
+// must discover their shard through the Env they are given. The cluster is
+// ready to serve (and Addr dialable by clients) when ServeLocal returns.
+func ServeLocal(k int, seed uint64, newHandler func() Handler) (*LocalCluster, error) {
+	fe, err := NewFrontend("127.0.0.1:0", k, seed)
+	if err != nil {
+		return nil, err
+	}
+	lc := &LocalCluster{fe: fe, serveErr: make(chan error, 1)}
+	go func() { lc.serveErr <- fe.Serve() }()
+	for i := 0; i < k; i++ {
+		lc.wg.Add(1)
+		go func() {
+			defer lc.wg.Done()
+			// A lost session (the node was evicted, or the frontend died
+			// first) is expected churn, not a cluster failure: the caller
+			// that evicted the node re-joins it — or meant to drop it.
+			if err := ServeNode(fe.Addr(), "127.0.0.1:0", "", newHandler()); err != nil && !errors.Is(err, ErrSessionLost) {
+				lc.mu.Lock()
+				lc.nodeErrs = append(lc.nodeErrs, err)
+				lc.mu.Unlock()
+			}
+		}()
+	}
+	// Wait until the session is ready (or failed) before handing it out.
+	<-fe.ready
+	if fe.readyErr != nil {
+		err := fe.readyErr
+		lc.Close()
+		return nil, err
+	}
+	return lc, nil
+}
+
+// Addr returns the frontend address clients should dial.
+func (lc *LocalCluster) Addr() string { return lc.fe.Addr() }
+
+// Leader returns the elected leader machine.
+func (lc *LocalCluster) Leader() int { return lc.fe.Leader() }
+
+// EvictNode forcibly retires node id (see Frontend.EvictNode); re-join it
+// with a fresh ServeNode against Addr.
+func (lc *LocalCluster) EvictNode(id int) error { return lc.fe.EvictNode(id) }
+
+// Close shuts the cluster down and reports the first failure observed by
+// the frontend or any node. It is idempotent: every call returns the same
+// result, and none of them blocks on work a previous call already drained.
+func (lc *LocalCluster) Close() error {
+	lc.closeOnce.Do(func() {
+		lc.fe.Close()
+		err := <-lc.serveErr
+		lc.wg.Wait()
+		lc.mu.Lock()
+		defer lc.mu.Unlock()
+		if err != nil {
+			lc.closeErr = err
+			return
+		}
+		if len(lc.nodeErrs) > 0 {
+			lc.closeErr = lc.nodeErrs[0]
+		}
+	})
+	return lc.closeErr
+}

@@ -1,0 +1,752 @@
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distknn/internal/points"
+	"distknn/internal/wire"
+)
+
+// Frontend is the client-facing side of a serving cluster. It performs
+// rendezvous exactly like a Coordinator, but then stays resident: it keeps
+// the control connection to every node, dispatches one BSP epoch per client
+// query, merges the nodes' winner shares, and answers the client. Protocol
+// traffic between nodes still flows over the mesh only; the frontend
+// carries queries in and merged results out.
+//
+// Query epochs are serialized: one query is in flight at a time, and
+// concurrent clients are queued in arrival order. Epoch ordinals (and with
+// them the per-epoch seeds) therefore follow the global query arrival
+// order, mirroring the in-process Cluster's atomic query counter.
+//
+// Node churn degrades the cluster instead of breaking it. A reader pump per
+// control connection notices a dead node the moment its connection drops —
+// even between queries — and marks its seat absent; a node reporting a
+// fatal (mesh-level) epoch failure gets the implicated peer evicted the
+// same way. While any seat is absent, queries fail fast with a retryable
+// "cluster degraded" error (wire.Reply.Degraded); the failed in-flight
+// query reports the same way. The seat heals when a node re-registers: the
+// frontend grants it the absent slot, the node rebuilds its shard and
+// splices replacement mesh links into the resident peers, and the session
+// resumes at the current epoch ordinal — determinism per (seed, query
+// stream) is preserved because per-epoch seeds derive from the ordinal.
+type Frontend struct {
+	ln   net.Listener
+	k    int
+	seed uint64
+
+	ready    chan struct{} // closed once serving (or failed); see readyErr
+	readyErr error         // written before ready closes on failure
+	done     chan struct{} // closed by Close; releases pump goroutines
+
+	// rejoinMu serializes re-join handshakes: a later grant must see an
+	// earlier sealed seat in its Present list, or two concurrent
+	// re-joiners would never learn to dial each other and leave a hole in
+	// the mesh. It is never held together with work on mu's critical
+	// paths: queries, Close and evictions stay responsive during a slow
+	// handshake.
+	rejoinMu sync.Mutex
+
+	// mu serializes query epochs, seat transitions (eviction, re-join) and
+	// the address book. Control pumps deliver their frames before taking
+	// it, so an in-flight epoch collection is never deadlocked by a pump.
+	mu        sync.Mutex
+	slots     []*feSlot // one per machine id; nil until the session is ready
+	addrs     []string  // mesh address book, updated on re-join
+	leader    int
+	total     int64   // global point count (sum of shard sizes)
+	tag       uint8   // point encoding the nodes serve
+	shardLens []int64 // per-node shard sizes, pinned at setup to vet re-joins
+	epoch     uint64
+
+	clientsMu sync.Mutex
+	clients   map[net.Conn]struct{} // live client connections, for Close
+
+	closed atomic.Bool
+}
+
+// feSlot is one machine's seat at the frontend: its control connection, the
+// channel its pump delivers control frames on, and whether the node is
+// present. gen distinguishes connection incarnations across re-joins, so a
+// stale pump (or a stale in-flight collection) can never evict a freshly
+// re-joined node.
+type feSlot struct {
+	id       int
+	gen      uint64
+	conn     net.Conn
+	ctrl     chan ctrlFrame
+	present  bool
+	lastLoss error // why the seat is absent, for degraded replies
+}
+
+// ctrlFrame is one pump delivery: a control frame, or the read error that
+// ended the connection.
+type ctrlFrame struct {
+	payload []byte
+	err     error
+}
+
+// NewFrontend starts the serving listener on addr for a k-node cluster with
+// the given session seed. Call Serve to run the session.
+func NewFrontend(addr string, k int, seed uint64) (*Frontend, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("tcp: frontend needs k >= 1, got %d", k)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: frontend listen: %w", err)
+	}
+	return &Frontend{
+		ln: ln, k: k, seed: seed,
+		ready:   make(chan struct{}),
+		done:    make(chan struct{}),
+		leader:  -1,
+		clients: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// trackClient registers a live client connection; it refuses (and the
+// caller must drop the connection) once the frontend is closed.
+func (f *Frontend) trackClient(conn net.Conn) bool {
+	f.clientsMu.Lock()
+	defer f.clientsMu.Unlock()
+	if f.closed.Load() {
+		return false
+	}
+	f.clients[conn] = struct{}{}
+	return true
+}
+
+func (f *Frontend) untrackClient(conn net.Conn) {
+	f.clientsMu.Lock()
+	defer f.clientsMu.Unlock()
+	delete(f.clients, conn)
+}
+
+// Addr returns the frontend's dialable address (nodes and clients share it).
+func (f *Frontend) Addr() string { return f.ln.Addr().String() }
+
+// Serve runs the session: it accepts the k node registrations, configures
+// the mesh, waits for every node's ready report, and then answers client
+// queries until Close. A connection's first frame decides its role —
+// KindRegister makes it a node control connection, KindQuery a client, and
+// KindRejoin (or a late KindRegister once the session is running) a node
+// re-joining after churn.
+func (f *Frontend) Serve() error {
+	type reg struct {
+		conn net.Conn
+		addr string
+	}
+	regCh := make(chan reg)
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			conn, err := f.ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				payload, err := wire.ReadFrame(conn)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				r := wire.NewReader(payload)
+				switch kind := r.U8(); kind {
+				case wire.KindRegister:
+					addr := r.String()
+					if r.Err() != nil {
+						conn.Close()
+						return
+					}
+					select {
+					case regCh <- reg{conn, addr}:
+					case <-f.ready:
+						// Late registration: the cluster is already
+						// running, so offer the newcomer an absent seat.
+						f.handleRejoin(conn, -1, addr)
+					}
+				case wire.KindRejoin:
+					id, addr, err := wire.DecodeRejoin(r)
+					if err != nil {
+						conn.Close()
+						return
+					}
+					<-f.ready
+					f.handleRejoin(conn, id, addr)
+				case wire.KindQuery:
+					f.serveClient(conn, payload)
+				default:
+					conn.Close()
+				}
+			}()
+		}
+	}()
+
+	// Rendezvous: collect k registrations, assign ids in arrival order.
+	conns := make([]net.Conn, 0, f.k)
+	addrs := make([]string, 0, f.k)
+
+	fail := func(err error) error {
+		// Release every registered node — a resident node blocked on its
+		// control connection (ready wait or dispatch loop) exits cleanly
+		// on EOF — and the listener, so a failed session neither strands
+		// the cluster nor keeps the port bound after Serve returns.
+		for _, conn := range conns {
+			conn.Close()
+		}
+		f.ln.Close()
+		f.readyErr = err
+		close(f.ready)
+		if f.closed.Load() {
+			return nil
+		}
+		return err
+	}
+	for len(conns) < f.k {
+		select {
+		case r := <-regCh:
+			conns = append(conns, r.conn)
+			addrs = append(addrs, r.addr)
+		case <-acceptDone:
+			return fail(fmt.Errorf("tcp: frontend closed with %d of %d nodes registered", len(conns), f.k))
+		}
+	}
+	for id, conn := range conns {
+		if err := writeAssign(conn, wire.ModeServe, id, f.k, f.seed, addrs); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Wait for every node's post-setup report and verify agreement. All k
+	// frames are drained before failing so that a setup error surfaces
+	// the originating node's message (origin=1) instead of whichever
+	// peer-abort echo happens to arrive on the lowest id.
+	leader, tag := -1, uint8(0)
+	var total int64
+	shardLens := make([]int64, f.k)
+	haveFirst := false
+	var setupErr error
+	setupOrigin := false
+	record := func(origin bool, err error) {
+		if setupErr == nil || (origin && !setupOrigin) {
+			setupErr, setupOrigin = err, origin
+		}
+	}
+	for id, conn := range conns {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			record(false, fmt.Errorf("tcp: frontend read ready from node %d: %w", id, err))
+			continue
+		}
+		r := wire.NewReader(payload)
+		switch kind := r.U8(); kind {
+		case wire.KindError:
+			ne, err := wire.DecodeNodeError(r)
+			if err != nil {
+				record(false, fmt.Errorf("tcp: bad setup error from node %d", id))
+				continue
+			}
+			record(ne.Origin, fmt.Errorf("tcp: node %d failed setup: %s", id, ne.Msg))
+		case wire.KindReady:
+			nid := int(r.Varint())
+			nodeLeader := int(r.Varint())
+			shardLen := int64(r.Varint())
+			nodeTag := r.U8()
+			if err := r.Err(); err != nil {
+				record(false, fmt.Errorf("tcp: bad ready from node %d: %w", id, err))
+				continue
+			}
+			if nid != id {
+				record(false, fmt.Errorf("tcp: node %d reported ready as %d", id, nid))
+				continue
+			}
+			if !haveFirst {
+				leader, tag, haveFirst = nodeLeader, nodeTag, true
+			} else if nodeLeader != leader {
+				record(true, fmt.Errorf("tcp: node %d elected %d, an earlier node elected %d", id, nodeLeader, leader))
+			} else if nodeTag != tag {
+				record(true, fmt.Errorf("tcp: node %d serves point tag %d, an earlier node serves %d", id, nodeTag, tag))
+			}
+			shardLens[id] = shardLen
+			total += shardLen
+		default:
+			record(false, fmt.Errorf("tcp: expected ready from node %d, got kind %d", id, kind))
+		}
+	}
+	if setupErr != nil {
+		return fail(setupErr)
+	}
+
+	f.mu.Lock()
+	f.slots = make([]*feSlot, f.k)
+	for id, conn := range conns {
+		s := &feSlot{id: id, conn: conn, ctrl: make(chan ctrlFrame, 4), present: true}
+		f.slots[id] = s
+		go f.pump(s, s.gen, conn, s.ctrl)
+	}
+	f.addrs = append([]string(nil), addrs...)
+	f.leader = leader
+	f.total = total
+	f.tag = tag
+	f.shardLens = shardLens
+	f.mu.Unlock()
+	close(f.ready)
+
+	<-acceptDone
+	return nil
+}
+
+// pump reads one node's control frames for one connection incarnation and
+// delivers them for epoch collection. A read failure is the immediate death
+// signal: the error frame unblocks any in-flight collection, and the seat
+// is marked absent the moment the epoch lock frees up — so a node dying
+// between queries is noticed before the next dispatch, not by it.
+func (f *Frontend) pump(s *feSlot, gen uint64, conn net.Conn, ctrl chan ctrlFrame) {
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			// Prefer delivering the death notice even when f.done is also
+			// ready: an in-flight collection blocks on this channel while
+			// holding the epoch lock, and Close waits for that lock — so
+			// dropping the error here could deadlock both.
+			select {
+			case ctrl <- ctrlFrame{err: err}:
+			default:
+				select {
+				case ctrl <- ctrlFrame{err: err}:
+				case <-f.done:
+					return
+				}
+			}
+			f.markAbsent(s, gen, fmt.Errorf("lost node %d: %v", s.id, err))
+			return
+		}
+		// Same bias for results: dropping one would strand the collection
+		// the same way.
+		select {
+		case ctrl <- ctrlFrame{payload: payload}:
+		default:
+			select {
+			case ctrl <- ctrlFrame{payload: payload}:
+			case <-f.done:
+				return
+			}
+		}
+	}
+}
+
+func (f *Frontend) markAbsent(s *feSlot, gen uint64, cause error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.markAbsentLocked(s, gen, cause)
+}
+
+// markAbsentLocked retires one connection incarnation of a seat. A stale
+// gen (the seat was already re-granted to a re-joined node) is a no-op.
+func (f *Frontend) markAbsentLocked(s *feSlot, gen uint64, cause error) {
+	if s.gen != gen || !s.present {
+		return
+	}
+	s.present = false
+	s.lastLoss = cause
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// EvictNode forcibly retires node id's seat and closes its control
+// connection: the node's ServeNode returns ErrSessionLost, and the seat
+// becomes re-joinable. Queries fail with a degraded error until a node
+// takes the seat back. It exists for operators (kick a wedged or
+// partitioned node so it re-joins with fresh links) and for churn tests; if
+// a query epoch is in flight it completes first.
+func (f *Frontend) EvictNode(id int) error {
+	<-f.ready
+	if f.readyErr != nil {
+		return f.readyErr
+	}
+	if id < 0 || id >= f.k {
+		return fmt.Errorf("tcp: evict: no node %d in a %d-node cluster", id, f.k)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.slots[id]
+	if !s.present {
+		return fmt.Errorf("tcp: evict: node %d is not present", id)
+	}
+	f.markAbsentLocked(s, s.gen, fmt.Errorf("node %d evicted", id))
+	return nil
+}
+
+// handleRejoin runs the re-join handshake for one connection: grant an
+// absent seat (the requested one, or the lowest), send the assignment, and
+// wait for the node's ready report. Handshakes are serialized with each
+// other (rejoinMu), but the epoch lock is held only to grant and later to
+// seal the seat — never across the handshake's network I/O, so a slow (or
+// hostile) re-joiner cannot stall degraded replies, Close, or evictions.
+// No query epoch can race the mesh-link splicing: the granted seat stays
+// absent until the seal, and an absent seat gates all dispatches.
+// wantID < 0 lets the frontend pick.
+func (f *Frontend) handleRejoin(conn net.Conn, wantID int, addr string) {
+	deny := func(msg string) {
+		_ = wire.WriteFrame(conn, wire.EncodeNodeError(wire.NodeError{LostPeer: -1, Msg: msg}))
+		conn.Close()
+	}
+	if f.readyErr != nil {
+		deny(fmt.Sprintf("session failed: %v", f.readyErr))
+		return
+	}
+	f.rejoinMu.Lock()
+	defer f.rejoinMu.Unlock()
+	f.mu.Lock()
+	if f.closed.Load() {
+		f.mu.Unlock()
+		conn.Close()
+		return
+	}
+	var slot *feSlot
+	if wantID >= 0 {
+		if wantID >= f.k {
+			f.mu.Unlock()
+			deny(fmt.Sprintf("no machine %d in a %d-node cluster", wantID, f.k))
+			return
+		}
+		if s := f.slots[wantID]; !s.present {
+			slot = s
+		}
+	} else {
+		for _, s := range f.slots {
+			if !s.present {
+				slot = s
+				break
+			}
+		}
+	}
+	if slot == nil {
+		f.mu.Unlock()
+		deny("no absent seat to re-join (cluster is full)")
+		return
+	}
+	f.addrs[slot.id] = addr
+	// The epoch snapshot stays valid for the whole handshake: the granted
+	// seat is absent until the seal, and queries cannot consume epochs
+	// while any seat is absent. Leader, shard sizes and the point tag are
+	// immutable after setup.
+	ra := wire.RejoinAssign{
+		ID: slot.id, K: f.k, Seed: f.seed,
+		Leader: f.leader, Epoch: f.epoch,
+		Addrs: append([]string(nil), f.addrs...),
+	}
+	for _, s := range f.slots {
+		if s.present {
+			ra.Present = append(ra.Present, s.id)
+		}
+	}
+	f.mu.Unlock()
+
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := wire.WriteFrame(conn, wire.EncodeRejoinAssign(ra)); err != nil {
+		conn.Close()
+		return
+	}
+	// The node now rebuilds its shard and dials the present peers; its
+	// ready report seals the seat.
+	payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	r := wire.NewReader(payload)
+	if kind := r.U8(); kind != wire.KindReady {
+		deny(fmt.Sprintf("expected ready, got kind %d", kind))
+		return
+	}
+	nid := int(r.Varint())
+	nodeLeader := int(r.Varint())
+	shardLen := int64(r.Varint())
+	nodeTag := r.U8()
+	switch {
+	case r.Err() != nil:
+		deny("bad ready frame")
+		return
+	case nid != slot.id:
+		deny(fmt.Sprintf("ready for seat %d, granted %d", nid, slot.id))
+		return
+	case nodeLeader != f.leader:
+		deny(fmt.Sprintf("ready reports leader %d, session elected %d", nodeLeader, f.leader))
+		return
+	case shardLen != f.shardLens[slot.id]:
+		deny(fmt.Sprintf("shard of %d points, seat %d held %d — rebuilt data must match", shardLen, slot.id, f.shardLens[slot.id]))
+		return
+	case nodeTag != f.tag:
+		deny(fmt.Sprintf("point tag %d, cluster serves %d", nodeTag, f.tag))
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed.Load() {
+		conn.Close()
+		return
+	}
+	slot.gen++
+	slot.conn = conn
+	slot.ctrl = make(chan ctrlFrame, 4)
+	slot.present = true
+	slot.lastLoss = nil
+	go f.pump(slot, slot.gen, conn, slot.ctrl)
+}
+
+// Leader returns the cluster's elected leader (-1 before the session is
+// ready).
+func (f *Frontend) Leader() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leader
+}
+
+// Close ends the session: it stops accepting connections, asks every node
+// to shut down, and releases the control and client connections. In-flight
+// queries complete first. Safe to call more than once.
+func (f *Frontend) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := f.ln.Close()
+	close(f.done)
+	f.mu.Lock()
+	for _, s := range f.slots {
+		if s.conn != nil {
+			var w wire.Writer
+			w.U8(wire.KindShutdown)
+			_ = wire.WriteFrame(s.conn, w.Bytes())
+			s.conn.Close()
+			s.conn = nil
+		}
+	}
+	f.mu.Unlock()
+	// Unblock serveClient goroutines parked in ReadFrame so a long-lived
+	// process reclaims their goroutines and sockets.
+	f.clientsMu.Lock()
+	defer f.clientsMu.Unlock()
+	for conn := range f.clients {
+		conn.Close()
+	}
+	f.clients = nil
+	return err
+}
+
+// serveClient answers one client connection's query stream; first is the
+// already-read first frame.
+func (f *Frontend) serveClient(conn net.Conn, first []byte) {
+	defer conn.Close()
+	if !f.trackClient(conn) {
+		return
+	}
+	defer f.untrackClient(conn)
+	<-f.ready
+	payload := first
+	for {
+		var rep wire.Reply
+		if f.readyErr != nil {
+			rep = wire.Reply{Err: fmt.Sprintf("cluster unavailable: %v", f.readyErr)}
+		} else {
+			r := wire.NewReader(payload)
+			if kind := r.U8(); kind != wire.KindQuery {
+				return
+			}
+			q, err := wire.DecodeQuery(r)
+			if err != nil {
+				rep = wire.Reply{Err: fmt.Sprintf("bad query: %v", err)}
+			} else {
+				rep = f.query(q)
+			}
+		}
+		if err := wire.WriteFrame(conn, wire.EncodeReply(rep)); err != nil {
+			return
+		}
+		var err error
+		if payload, err = wire.ReadFrame(conn); err != nil {
+			return
+		}
+	}
+}
+
+// degradedLocked builds the retryable degraded reply naming the absent
+// seats, or returns ok=true when every seat is filled.
+func (f *Frontend) degradedLocked(verb string) (wire.Reply, bool) {
+	var absent []int
+	var cause error
+	for _, s := range f.slots {
+		if !s.present {
+			absent = append(absent, s.id)
+			if cause == nil {
+				cause = s.lastLoss
+			}
+		}
+	}
+	if len(absent) == 0 {
+		return wire.Reply{}, true
+	}
+	msg := fmt.Sprintf("cluster degraded (%d of %d nodes): %s node(s) %v", f.k-len(absent), f.k, verb, absent)
+	if cause != nil {
+		msg += fmt.Sprintf(" (%v)", cause)
+	}
+	return wire.Reply{Err: msg, Degraded: true}, false
+}
+
+// query runs one batched query epoch across the resident nodes and merges
+// the per-query results. It holds the epoch lock for the whole round trip.
+func (f *Frontend) query(q wire.Query) wire.Reply {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.slots == nil || f.closed.Load() {
+		return wire.Reply{Err: "cluster unavailable"}
+	}
+	if q.Op < wire.OpKNN || q.Op > wire.OpRegress {
+		return wire.Reply{Err: fmt.Sprintf("unknown op %d", q.Op)}
+	}
+	if q.Tag != f.tag {
+		return wire.Reply{Err: fmt.Sprintf("cluster serves point tag %d, query uses %d", f.tag, q.Tag)}
+	}
+	if q.L < 1 || int64(q.L) > f.total {
+		return wire.Reply{Err: fmt.Sprintf("l=%d out of range [1, %d]", q.L, f.total)}
+	}
+	if len(q.Points) < 1 || len(q.Points) > wire.MaxBatch {
+		return wire.Reply{Err: fmt.Sprintf("batch of %d out of range [1, %d]", len(q.Points), wire.MaxBatch)}
+	}
+	if rep, ok := f.degradedLocked("waiting for"); !ok {
+		// No epoch is consumed: the query never ran, so the seed schedule
+		// of the successful query stream is unchanged by the outage.
+		return rep
+	}
+
+	f.epoch++
+	dispatch := wire.EncodeDispatch(f.epoch, q)
+	type target struct {
+		s    *feSlot
+		gen  uint64
+		ctrl chan ctrlFrame
+	}
+	targets := make([]target, 0, f.k)
+	for _, s := range f.slots {
+		if err := wire.WriteFrame(s.conn, dispatch); err != nil {
+			f.markAbsentLocked(s, s.gen, fmt.Errorf("dispatch to node %d: %v", s.id, err))
+			continue
+		}
+		targets = append(targets, target{s, s.gen, s.ctrl})
+	}
+
+	rep := wire.Reply{Results: make([]wire.QueryReply, len(q.Points))}
+	var epochErr string
+	epochErrOrigin := false
+	for _, t := range targets {
+		payload, err := collectFrame(t.ctrl, f.epoch)
+		if err != nil {
+			f.markAbsentLocked(t.s, t.gen, fmt.Errorf("lost node %d mid-query: %v", t.s.id, err))
+			continue
+		}
+		r := wire.NewReader(payload)
+		switch kind := r.U8(); kind {
+		case wire.KindError:
+			ne, derr := wire.DecodeNodeError(r)
+			if derr != nil || ne.Epoch != f.epoch {
+				f.markAbsentLocked(t.s, t.gen, fmt.Errorf("node %d sent a malformed or stale error", t.s.id))
+				continue
+			}
+			if epochErr == "" || (ne.Origin && !epochErrOrigin) {
+				epochErr = fmt.Sprintf("node %d: %s", t.s.id, ne.Msg)
+				epochErrOrigin = ne.Origin
+			}
+			if ne.Fatal && t.s.present {
+				// A dead mesh, not a failed program: retire the implicated
+				// seat immediately — its holder (if alive at all) must
+				// re-join with fresh links before the cluster serves again.
+				// A report from a seat already retired this epoch is the
+				// echo of the same fault from the link's other endpoint
+				// (both ends blame each other when one link breaks); acting
+				// on it would evict both nodes for one fault.
+				evict := t.s
+				cause := fmt.Errorf("node %d reported a fatal mesh failure: %s", t.s.id, ne.Msg)
+				if ne.LostPeer >= 0 && ne.LostPeer < f.k && ne.LostPeer != t.s.id {
+					evict = f.slots[ne.LostPeer]
+					cause = fmt.Errorf("node %d lost its link to node %d: %s", t.s.id, ne.LostPeer, ne.Msg)
+				}
+				f.markAbsentLocked(evict, evict.gen, cause)
+			}
+		case wire.KindResult:
+			nr, derr := wire.DecodeNodeResult(r)
+			if derr != nil || nr.Epoch != f.epoch || nr.Node != t.s.id || len(nr.Queries) != len(q.Points) {
+				f.markAbsentLocked(t.s, t.gen, fmt.Errorf("node %d sent a malformed or stale result (%v)", t.s.id, derr))
+				continue
+			}
+			if nr.Rounds > rep.Rounds {
+				rep.Rounds = nr.Rounds
+			}
+			rep.Messages += nr.Messages
+			rep.Bytes += nr.Bytes
+			for qi, qr := range nr.Queries {
+				rep.Results[qi].Items = append(rep.Results[qi].Items, qr.Winners...)
+				if nr.IsLeader {
+					rep.Results[qi].QueryOutcome = qr.QueryOutcome
+				}
+			}
+		default:
+			f.markAbsentLocked(t.s, t.gen, fmt.Errorf("node %d sent unexpected kind %d", t.s.id, kind))
+		}
+	}
+	if drep, ok := f.degradedLocked("lost"); !ok {
+		// The epoch was consumed but the batch failed as a unit; the
+		// client may retry it (idempotent reads) once the seat heals.
+		return drep
+	}
+	if epochErr != "" {
+		return wire.Reply{Err: fmt.Sprintf("query failed: %s", epochErr)}
+	}
+	rep.Leader = f.leader
+	for qi := range rep.Results {
+		points.SortItems(rep.Results[qi].Items)
+		if q.Op != wire.OpKNN {
+			rep.Results[qi].Items = nil
+		}
+	}
+	return rep
+}
+
+// collectFrame returns the node's control frame for the given epoch,
+// skipping leftovers of earlier aborted epochs (a result or error the
+// previous collection abandoned when the epoch failed early).
+func collectFrame(ctrl chan ctrlFrame, epoch uint64) ([]byte, error) {
+	for {
+		cf := <-ctrl
+		if cf.err != nil {
+			return nil, cf.err
+		}
+		e, err := ctrlEpoch(cf.payload)
+		if err != nil {
+			return nil, err
+		}
+		if e < epoch {
+			continue
+		}
+		return cf.payload, nil
+	}
+}
+
+// ctrlEpoch extracts the epoch ordinal of a node's control frame.
+func ctrlEpoch(payload []byte) (uint64, error) {
+	r := wire.NewReader(payload)
+	kind := r.U8()
+	if kind != wire.KindResult && kind != wire.KindError {
+		return 0, fmt.Errorf("unexpected control kind %d", kind)
+	}
+	e := r.Varint()
+	return e, r.Err()
+}

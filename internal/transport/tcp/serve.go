@@ -5,8 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sync"
-	"sync/atomic"
+	"time"
 
 	"distknn/internal/keys"
 	"distknn/internal/kmachine"
@@ -22,6 +21,25 @@ import (
 // election randomness. Query epochs use the small positive ordinals
 // 1, 2, 3, …, which never collide with it.
 const SetupSeedStream = ^uint64(0)
+
+// handshakeTimeout bounds the blocking network steps of the mesh hello/ack
+// handshake and the re-join handshake, so a wedged counterparty cannot pin
+// a mesh accept goroutine — or the frontend's epoch lock — forever.
+var handshakeTimeout = 30 * time.Second
+
+// ErrSessionLost marks a resident node's exit because its serving session
+// died under it — the frontend closed (or evicted) its control connection
+// without a clean shutdown frame. The node's seat is recoverable: re-join
+// by calling ServeNode (the frontend hands a late registration an absent
+// slot) or RejoinNode, as cmd/knnnode's -rejoin loop does. Matched with
+// errors.Is.
+var ErrSessionLost = errors.New("tcp: serving session lost")
+
+// ErrDegraded marks a query refused (or failed in flight) because the
+// serving cluster is missing nodes. The failure is transient and safe to
+// retry — every query op is an idempotent read — and the cluster answers
+// again once the absent node re-joins. Matched with errors.Is.
+var ErrDegraded = errors.New("cluster degraded")
 
 // SessionInfo is what a node's Handler learns during the setup epoch and
 // reports to the frontend in its KindReady frame.
@@ -50,27 +68,37 @@ type QueryResult struct {
 }
 
 // Handler is the per-node protocol logic a resident node runs: one Setup
-// epoch at session start (leader election, shard discovery), then — per
-// dispatched batch — one Query call per point of the batch, all inside a
-// single BSP epoch. Both calls run on the standing mesh and may freely use
-// the full kmachine.Env protocol surface.
+// epoch at session start (leader election, shard discovery) — or one Rejoin
+// call when the node re-joins a running session — then, per dispatched
+// batch, one Query call per point of the batch, all inside a single BSP
+// epoch. Setup and Query run on the standing mesh and may freely use the
+// full kmachine.Env protocol surface; Rejoin is local (the leader is
+// already elected and handed down by the frontend), so it only rebuilds the
+// node's shard and index.
 //
 // For a batch of size > 1 the per-point Query calls execute concurrently
 // as lockstep sub-programs of the shared epoch (each on its own Env; see
 // batch.go), so implementations must be safe for concurrent Query calls on
 // the same receiver: keep per-call state local, and treat state written in
-// Setup (the shard, the elected leader) as read-only during queries. A
+// Setup/Rejoin (the shard, the leader) as read-only during queries. A
 // Handler instance belongs to one node.
 type Handler interface {
 	Setup(m kmachine.Env) (SessionInfo, error)
+	Rejoin(id, k, leader int) (SessionInfo, error)
 	Query(m kmachine.Env, q wire.Query, qi int) (QueryResult, error)
 }
 
 // ServeNode joins the serving cluster at the frontend's address and stays
 // resident: it meshes up once, runs h.Setup as the setup epoch, reports
 // readiness, and then executes one BSP epoch per dispatched query batch
-// until the frontend shuts the session down (clean return) or the mesh
-// breaks.
+// until the frontend shuts the session down (clean return).
+//
+// If the frontend is already past rendezvous and a cluster seat is absent
+// (its node died or was evicted), the registration is answered with a
+// re-join grant instead: the node takes over the absent seat, rebuilds its
+// shard via h.Rejoin, splices replacement mesh links into the resident
+// peers, and resumes serving at the session's current epoch ordinal — so a
+// freshly started process heals a degraded cluster with no extra flags.
 //
 // meshAddr is the address the node's mesh listener binds; advertise is the
 // address peers are told to dial, for deployments where the bind address is
@@ -78,42 +106,99 @@ type Handler interface {
 // "10.0.0.5:7101"). An empty advertise falls back to the listener's own
 // address, which is right for single-host and loopback deployments.
 //
-// A query epoch whose program fails (including a program failure on a peer)
-// is reported to the frontend and serving continues; only transport-level
-// failures end the session with an error.
+// Failure handling: a query epoch whose program fails (including a program
+// failure on a peer) is reported to the frontend and serving continues. A
+// broken mesh link is reported with the fatal bit and the node keeps its
+// seat, waiting for the lost peer to re-join; only the loss of the control
+// connection itself ends the session, with an error matching ErrSessionLost
+// so callers can re-join (see cmd/knnnode -rejoin).
 func ServeNode(coordAddr, meshAddr, advertise string, h Handler) error {
+	return serveNode(coordAddr, meshAddr, advertise, -1, h, nil)
+}
+
+// RejoinNode re-joins a running serving session claiming a specific machine
+// index, which must be absent (its previous node dead or evicted). Use it
+// when the caller knows which seat it held — e.g. a supervisor restarting a
+// known shard; a plain ServeNode registration lets the frontend pick any
+// absent seat instead.
+func RejoinNode(coordAddr, meshAddr, advertise string, id int, h Handler) error {
+	if id < 0 {
+		return fmt.Errorf("tcp: rejoin needs a machine index, got %d", id)
+	}
+	return serveNode(coordAddr, meshAddr, advertise, id, h, nil)
+}
+
+// nodeSession aggregates one resident node's sockets so in-package tests
+// can simulate an abrupt crash: kill closes everything mid-flight, with no
+// shutdown frames or halt flags, exactly like a killed process.
+type nodeSession struct {
+	coord net.Conn
+	node  *Node
+	ln    net.Listener
+}
+
+func (s *nodeSession) kill() {
+	s.coord.Close()
+	s.ln.Close()
+	s.node.closePeers()
+}
+
+func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, hook func(*nodeSession)) error {
 	ln, err := net.Listen("tcp", meshAddr)
 	if err != nil {
 		return fmt.Errorf("tcp: node mesh listen: %w", err)
 	}
 	defer ln.Close()
 
-	coord, a, err := join(coordAddr, ln, advertise)
+	coord, a, err := joinServe(coordAddr, ln, advertise, rejoinID)
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
-	if a.mode != wire.ModeServe {
-		return fmt.Errorf("tcp: coordinator runs mode %d, ServeNode requires serving; use RunNode", a.mode)
-	}
 
-	conns, err := buildMesh(ln, a.id, a.k, a.addrs)
-	if err != nil {
-		return err
-	}
-	node := newNode(a.id, a.k, a.seed, conns)
+	node := newNode(a.id, a.k, a.seed, nil)
 	defer node.closePeers()
-
-	// Setup epoch (ordinal 0): elect the leader exactly once per session.
-	var info SessionInfo
-	if _, err := node.runEpoch(0, xrand.DeriveSeed(a.seed, SetupSeedStream), func(m kmachine.Env) error {
-		var err error
-		info, err = h.Setup(m)
-		return err
-	}); err != nil {
-		_ = writeNodeError(coord, 0, err)
-		return fmt.Errorf("tcp: node %d setup: %w", a.id, err)
+	// The accept loop runs for the whole session: it seats the initial
+	// higher-id dialers and, later, replacement links from re-joining
+	// peers.
+	go meshAcceptLoop(node, ln)
+	if hook != nil {
+		hook(&nodeSession{coord: coord, node: node, ln: ln})
 	}
+
+	var info SessionInfo
+	if a.rejoin {
+		// Resume mid-session: no setup epoch — the leader is handed down —
+		// and the epoch ordinal continues where the session already is.
+		node.epoch = a.epoch
+		for _, j := range a.present {
+			if j == a.id || j < 0 || j >= a.k {
+				continue
+			}
+			if err := dialPeer(node, j, a.addrs[j]); err != nil {
+				return err
+			}
+		}
+		if info, err = h.Rejoin(a.id, a.k, a.leader); err != nil {
+			_ = writeNodeError(coord, a.epoch, err)
+			return fmt.Errorf("tcp: node %d rejoin: %w", a.id, err)
+		}
+	} else {
+		if err := buildServeMesh(node, a.addrs); err != nil {
+			return err
+		}
+		// Setup epoch (ordinal 0): elect the leader exactly once per
+		// session.
+		if _, err := node.runEpoch(0, xrand.DeriveSeed(a.seed, SetupSeedStream), func(m kmachine.Env) error {
+			var err error
+			info, err = h.Setup(m)
+			return err
+		}); err != nil {
+			_ = writeNodeError(coord, 0, err)
+			return fmt.Errorf("tcp: node %d setup: %w", a.id, err)
+		}
+	}
+
 	var ready wire.Writer
 	ready.U8(wire.KindReady)
 	ready.Varint(uint64(a.id))
@@ -121,16 +206,18 @@ func ServeNode(coordAddr, meshAddr, advertise string, h Handler) error {
 	ready.Varint(uint64(info.ShardLen))
 	ready.U8(info.PointTag)
 	if err := wire.WriteFrame(coord, ready.Bytes()); err != nil {
-		return fmt.Errorf("tcp: node %d ready: %w", a.id, err)
+		return fmt.Errorf("tcp: node %d ready: %w (%v)", a.id, ErrSessionLost, err)
 	}
 
 	for {
 		payload, err := wire.ReadFrame(coord)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				return nil // frontend closed the session
+				// No shutdown frame came first: the frontend died, or this
+				// node was evicted. Either way the seat is re-joinable.
+				return fmt.Errorf("tcp: node %d control connection closed: %w", a.id, ErrSessionLost)
 			}
-			return fmt.Errorf("tcp: node %d read dispatch: %w", a.id, err)
+			return fmt.Errorf("tcp: node %d read dispatch: %v: %w", a.id, err, ErrSessionLost)
 		}
 		r := wire.NewReader(payload)
 		switch kind := r.U8(); kind {
@@ -145,7 +232,11 @@ func ServeNode(coordAddr, meshAddr, advertise string, h Handler) error {
 			res := make([]QueryResult, len(q.Points))
 			epochSeed := xrand.DeriveSeed(a.seed, epoch)
 			var met Metrics
-			if len(q.Points) == 1 {
+			if j := node.missingPeer(); j >= 0 {
+				// The frontend should never dispatch onto an incomplete
+				// mesh; refuse loudly rather than hang on a dead link.
+				err = transportFault(j, fmt.Errorf("tcp: node %d mesh link to %d is down", a.id, j))
+			} else if len(q.Points) == 1 {
 				// A batch of one runs as a plain solo epoch, preserving
 				// the exact per-query seed schedule of the in-process
 				// Cluster (bit-identical single-query replays).
@@ -167,13 +258,14 @@ func ServeNode(coordAddr, meshAddr, advertise string, h Handler) error {
 				met, err = node.runEpochBatch(epoch, epochSeed, progs)
 			}
 			if err != nil {
+				// Program failures are recoverable; mesh failures set the
+				// fatal bit and name the lost peer, and the node keeps its
+				// seat — the frontend gates dispatches until the implicated
+				// node re-joins.
 				if werr := writeNodeError(coord, epoch, err); werr != nil {
-					return fmt.Errorf("tcp: node %d report error: %w", a.id, werr)
+					return fmt.Errorf("tcp: node %d report error: %v: %w", a.id, werr, ErrSessionLost)
 				}
-				if IsTransportError(err) {
-					return fmt.Errorf("tcp: node %d epoch %d: %w", a.id, epoch, err)
-				}
-				continue // query failed, session intact
+				continue
 			}
 			nr := wire.NodeResult{
 				Epoch:    epoch,
@@ -201,7 +293,7 @@ func ServeNode(coordAddr, meshAddr, advertise string, h Handler) error {
 				}
 			}
 			if err := wire.WriteFrame(coord, wire.EncodeNodeResult(nr)); err != nil {
-				return fmt.Errorf("tcp: node %d report result: %w", a.id, err)
+				return fmt.Errorf("tcp: node %d report result: %v: %w", a.id, err, ErrSessionLost)
 			}
 		default:
 			return fmt.Errorf("tcp: node %d got unexpected control kind %d", a.id, kind)
@@ -209,522 +301,199 @@ func ServeNode(coordAddr, meshAddr, advertise string, h Handler) error {
 	}
 }
 
-// writeNodeError reports a failed epoch. The origin byte is 1 when the
-// failure originated in this node's own program (as opposed to a peer's
-// error frame or a transport fault), so the frontend can surface the root
-// cause instead of k−1 "aborted by peer" echoes.
-func writeNodeError(coord net.Conn, epoch uint64, err error) error {
-	origin := uint8(0)
-	if !IsTransportError(err) && !errors.Is(err, errPeerAbort) {
-		origin = 1
-	}
-	var w wire.Writer
-	w.U8(wire.KindError)
-	w.Varint(epoch)
-	w.U8(origin)
-	w.String(err.Error())
-	return wire.WriteFrame(coord, w.Bytes())
+// serveAssignment is what a serving node learns at join time: a fresh
+// rendezvous assignment, or a re-join grant into a running session.
+type serveAssignment struct {
+	rejoin  bool
+	id, k   int
+	seed    uint64
+	leader  int    // rejoin only: the already-elected leader
+	epoch   uint64 // rejoin only: the session's current epoch ordinal
+	present []int  // rejoin only: the peers currently serving
+	addrs   []string
 }
 
-// Frontend is the client-facing side of a serving cluster. It performs
-// rendezvous exactly like a Coordinator, but then stays resident: it keeps
-// the control connection to every node, dispatches one BSP epoch per client
-// query, merges the nodes' winner shares, and answers the client. Protocol
-// traffic between nodes still flows over the mesh only; the frontend
-// carries queries in and merged results out.
-//
-// Query epochs are serialized: one query is in flight at a time, and
-// concurrent clients are queued in arrival order. Epoch ordinals (and with
-// them the per-epoch seeds) therefore follow the global query arrival
-// order, mirroring the in-process Cluster's atomic query counter.
-type Frontend struct {
-	ln   net.Listener
-	k    int
-	seed uint64
-
-	ready    chan struct{} // closed once serving (or failed); see readyErr
-	readyErr error         // written before ready closes on failure
-
-	mu     sync.Mutex // guards the fields below and serializes epochs
-	nodes  []net.Conn // control connections, indexed by machine id
-	leader int
-	total  int64 // global point count (sum of shard sizes)
-	tag    uint8 // point encoding the nodes serve
-	epoch  uint64
-	broken error // first session-fatal failure
-
-	clientsMu sync.Mutex
-	clients   map[net.Conn]struct{} // live client connections, for Close
-
-	closed atomic.Bool
-}
-
-// NewFrontend starts the serving listener on addr for a k-node cluster with
-// the given session seed. Call Serve to run the session.
-func NewFrontend(addr string, k int, seed uint64) (*Frontend, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("tcp: frontend needs k >= 1, got %d", k)
+// joinServe registers with the frontend (KindRejoin when the caller claims
+// a specific seat, KindRegister otherwise) and decodes whichever grant
+// comes back.
+func joinServe(coordAddr string, ln net.Listener, advertise string, rejoinID int) (net.Conn, serveAssignment, error) {
+	if advertise == "" {
+		advertise = ln.Addr().String()
 	}
-	ln, err := net.Listen("tcp", addr)
+	coord, err := net.Dial("tcp", coordAddr)
 	if err != nil {
-		return nil, fmt.Errorf("tcp: frontend listen: %w", err)
+		return nil, serveAssignment{}, fmt.Errorf("tcp: dial coordinator: %w", err)
 	}
-	return &Frontend{
-		ln: ln, k: k, seed: seed,
-		ready:   make(chan struct{}),
-		leader:  -1,
-		clients: make(map[net.Conn]struct{}),
-	}, nil
-}
-
-// trackClient registers a live client connection; it refuses (and the
-// caller must drop the connection) once the frontend is closed.
-func (f *Frontend) trackClient(conn net.Conn) bool {
-	f.clientsMu.Lock()
-	defer f.clientsMu.Unlock()
-	if f.closed.Load() {
-		return false
+	fail := func(err error) (net.Conn, serveAssignment, error) {
+		coord.Close()
+		return nil, serveAssignment{}, err
 	}
-	f.clients[conn] = struct{}{}
-	return true
-}
-
-func (f *Frontend) untrackClient(conn net.Conn) {
-	f.clientsMu.Lock()
-	defer f.clientsMu.Unlock()
-	delete(f.clients, conn)
-}
-
-// Addr returns the frontend's dialable address (nodes and clients share it).
-func (f *Frontend) Addr() string { return f.ln.Addr().String() }
-
-// Serve runs the session: it accepts the k node registrations, configures
-// the mesh, waits for every node's ready report, and then answers client
-// queries until Close. A connection's first frame decides its role —
-// KindRegister makes it a node control connection, KindQuery a client.
-func (f *Frontend) Serve() error {
-	type reg struct {
-		conn net.Conn
-		addr string
+	var first []byte
+	if rejoinID >= 0 {
+		first = wire.EncodeRejoin(rejoinID, advertise)
+	} else {
+		var reg wire.Writer
+		reg.U8(wire.KindRegister)
+		reg.String(advertise)
+		first = reg.Bytes()
 	}
-	regCh := make(chan reg)
-	acceptDone := make(chan struct{})
-	go func() {
-		defer close(acceptDone)
-		for {
-			conn, err := f.ln.Accept()
-			if err != nil {
-				return
-			}
-			go func() {
-				payload, err := wire.ReadFrame(conn)
-				if err != nil {
-					conn.Close()
-					return
-				}
-				r := wire.NewReader(payload)
-				switch kind := r.U8(); kind {
-				case wire.KindRegister:
-					addr := r.String()
-					if r.Err() != nil {
-						conn.Close()
-						return
-					}
-					select {
-					case regCh <- reg{conn, addr}:
-					case <-f.ready: // late registration: cluster is full
-						conn.Close()
-					}
-				case wire.KindQuery:
-					f.serveClient(conn, payload)
-				default:
-					conn.Close()
-				}
-			}()
-		}
-	}()
-
-	// Rendezvous: collect k registrations, assign ids in arrival order.
-	conns := make([]net.Conn, 0, f.k)
-	addrs := make([]string, 0, f.k)
-
-	fail := func(err error) error {
-		// Release every registered node — a resident node blocked on its
-		// control connection (ready wait or dispatch loop) exits cleanly
-		// on EOF — and the listener, so a failed session neither strands
-		// the cluster nor keeps the port bound after Serve returns.
-		for _, conn := range conns {
-			conn.Close()
-		}
-		f.ln.Close()
-		f.readyErr = err
-		close(f.ready)
-		if f.closed.Load() {
-			return nil
-		}
-		return err
+	if err := wire.WriteFrame(coord, first); err != nil {
+		return fail(fmt.Errorf("tcp: register: %w", err))
 	}
-	for len(conns) < f.k {
-		select {
-		case r := <-regCh:
-			conns = append(conns, r.conn)
-			addrs = append(addrs, r.addr)
-		case <-acceptDone:
-			return fail(fmt.Errorf("tcp: frontend closed with %d of %d nodes registered", len(conns), f.k))
-		}
-	}
-	for id, conn := range conns {
-		if err := writeAssign(conn, wire.ModeServe, id, f.k, f.seed, addrs); err != nil {
-			return fail(err)
-		}
-	}
-
-	// Wait for every node's post-setup report and verify agreement. All k
-	// frames are drained before failing so that a setup error surfaces
-	// the originating node's message (origin=1) instead of whichever
-	// peer-abort echo happens to arrive on the lowest id.
-	leader, tag := -1, uint8(0)
-	var total int64
-	haveFirst := false
-	var setupErr error
-	setupOrigin := false
-	record := func(origin bool, err error) {
-		if setupErr == nil || (origin && !setupOrigin) {
-			setupErr, setupOrigin = err, origin
-		}
-	}
-	for id, conn := range conns {
-		payload, err := wire.ReadFrame(conn)
-		if err != nil {
-			record(false, fmt.Errorf("tcp: frontend read ready from node %d: %w", id, err))
-			continue
-		}
-		r := wire.NewReader(payload)
-		switch kind := r.U8(); kind {
-		case wire.KindError:
-			r.Varint() // epoch
-			origin := r.U8() == 1
-			msg := r.String()
-			if r.Err() != nil {
-				record(false, fmt.Errorf("tcp: bad setup error from node %d", id))
-				continue
-			}
-			record(origin, fmt.Errorf("tcp: node %d failed setup: %s", id, msg))
-		case wire.KindReady:
-			nid := int(r.Varint())
-			nodeLeader := int(r.Varint())
-			shardLen := int64(r.Varint())
-			nodeTag := r.U8()
-			if err := r.Err(); err != nil {
-				record(false, fmt.Errorf("tcp: bad ready from node %d: %w", id, err))
-				continue
-			}
-			if nid != id {
-				record(false, fmt.Errorf("tcp: node %d reported ready as %d", id, nid))
-				continue
-			}
-			if !haveFirst {
-				leader, tag, haveFirst = nodeLeader, nodeTag, true
-			} else if nodeLeader != leader {
-				record(true, fmt.Errorf("tcp: node %d elected %d, an earlier node elected %d", id, nodeLeader, leader))
-			} else if nodeTag != tag {
-				record(true, fmt.Errorf("tcp: node %d serves point tag %d, an earlier node serves %d", id, nodeTag, tag))
-			}
-			total += shardLen
-		default:
-			record(false, fmt.Errorf("tcp: expected ready from node %d, got kind %d", id, kind))
-		}
-	}
-	if setupErr != nil {
-		return fail(setupErr)
-	}
-
-	f.mu.Lock()
-	f.nodes = conns
-	f.leader = leader
-	f.total = total
-	f.tag = tag
-	f.mu.Unlock()
-	close(f.ready)
-
-	<-acceptDone
-	return nil
-}
-
-// Leader returns the cluster's elected leader (-1 before the session is
-// ready).
-func (f *Frontend) Leader() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.leader
-}
-
-// Close ends the session: it stops accepting connections, asks every node
-// to shut down, and releases the control and client connections. In-flight
-// queries complete first. Safe to call more than once.
-func (f *Frontend) Close() error {
-	if !f.closed.CompareAndSwap(false, true) {
-		return nil
-	}
-	err := f.ln.Close()
-	f.mu.Lock()
-	for _, conn := range f.nodes {
-		var w wire.Writer
-		w.U8(wire.KindShutdown)
-		_ = wire.WriteFrame(conn, w.Bytes())
-		conn.Close()
-	}
-	f.nodes = nil
-	f.mu.Unlock()
-	// Unblock serveClient goroutines parked in ReadFrame so a long-lived
-	// process reclaims their goroutines and sockets.
-	f.clientsMu.Lock()
-	defer f.clientsMu.Unlock()
-	for conn := range f.clients {
-		conn.Close()
-	}
-	f.clients = nil
-	return err
-}
-
-// serveClient answers one client connection's query stream; first is the
-// already-read first frame.
-func (f *Frontend) serveClient(conn net.Conn, first []byte) {
-	defer conn.Close()
-	if !f.trackClient(conn) {
-		return
-	}
-	defer f.untrackClient(conn)
-	<-f.ready
-	payload := first
-	for {
-		var rep wire.Reply
-		if f.readyErr != nil {
-			rep = wire.Reply{Err: fmt.Sprintf("cluster unavailable: %v", f.readyErr)}
-		} else {
-			r := wire.NewReader(payload)
-			if kind := r.U8(); kind != wire.KindQuery {
-				return
-			}
-			q, err := wire.DecodeQuery(r)
-			if err != nil {
-				rep = wire.Reply{Err: fmt.Sprintf("bad query: %v", err)}
-			} else {
-				rep = f.query(q)
-			}
-		}
-		if err := wire.WriteFrame(conn, wire.EncodeReply(rep)); err != nil {
-			return
-		}
-		var err error
-		if payload, err = wire.ReadFrame(conn); err != nil {
-			return
-		}
-	}
-}
-
-// query runs one batched query epoch across the resident nodes and merges
-// the per-query results. It holds the epoch lock for the whole round trip.
-func (f *Frontend) query(q wire.Query) wire.Reply {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.broken != nil {
-		return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
-	}
-	if f.nodes == nil {
-		return wire.Reply{Err: "cluster unavailable"}
-	}
-	if q.Op < wire.OpKNN || q.Op > wire.OpRegress {
-		return wire.Reply{Err: fmt.Sprintf("unknown op %d", q.Op)}
-	}
-	if q.Tag != f.tag {
-		return wire.Reply{Err: fmt.Sprintf("cluster serves point tag %d, query uses %d", f.tag, q.Tag)}
-	}
-	if q.L < 1 || int64(q.L) > f.total {
-		return wire.Reply{Err: fmt.Sprintf("l=%d out of range [1, %d]", q.L, f.total)}
-	}
-	if len(q.Points) < 1 || len(q.Points) > wire.MaxBatch {
-		return wire.Reply{Err: fmt.Sprintf("batch of %d out of range [1, %d]", len(q.Points), wire.MaxBatch)}
-	}
-
-	f.epoch++
-	dispatch := wire.EncodeDispatch(f.epoch, q)
-	for id, conn := range f.nodes {
-		if err := wire.WriteFrame(conn, dispatch); err != nil {
-			f.broken = fmt.Errorf("dispatch to node %d: %w", id, err)
-			return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
-		}
-	}
-
-	rep := wire.Reply{Results: make([]wire.QueryReply, len(q.Points))}
-	var epochErr string
-	epochErrOrigin := false
-	for id, conn := range f.nodes {
-		payload, err := wire.ReadFrame(conn)
-		if err != nil {
-			f.broken = fmt.Errorf("result from node %d: %w", id, err)
-			return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
-		}
-		r := wire.NewReader(payload)
-		switch kind := r.U8(); kind {
-		case wire.KindError:
-			epoch := r.Varint()
-			origin := r.U8() == 1
-			msg := r.String()
-			if r.Err() != nil || epoch != f.epoch {
-				f.broken = fmt.Errorf("node %d sent malformed or stale error", id)
-				return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
-			}
-			if epochErr == "" || (origin && !epochErrOrigin) {
-				epochErr = fmt.Sprintf("node %d: %s", id, msg)
-				epochErrOrigin = origin
-			}
-		case wire.KindResult:
-			nr, err := wire.DecodeNodeResult(r)
-			if err != nil || nr.Epoch != f.epoch || nr.Node != id || len(nr.Queries) != len(q.Points) {
-				f.broken = fmt.Errorf("node %d sent malformed or stale result (%v)", id, err)
-				return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
-			}
-			if nr.Rounds > rep.Rounds {
-				rep.Rounds = nr.Rounds
-			}
-			rep.Messages += nr.Messages
-			rep.Bytes += nr.Bytes
-			for qi, qr := range nr.Queries {
-				rep.Results[qi].Items = append(rep.Results[qi].Items, qr.Winners...)
-				if nr.IsLeader {
-					rep.Results[qi].QueryOutcome = qr.QueryOutcome
-				}
-			}
-		default:
-			f.broken = fmt.Errorf("node %d sent unexpected kind %d", id, kind)
-			return wire.Reply{Err: fmt.Sprintf("cluster broken: %v", f.broken)}
-		}
-	}
-	if epochErr != "" {
-		return wire.Reply{Err: fmt.Sprintf("query failed: %s", epochErr)}
-	}
-	rep.Leader = f.leader
-	for qi := range rep.Results {
-		points.SortItems(rep.Results[qi].Items)
-		if q.Op != wire.OpKNN {
-			rep.Results[qi].Items = nil
-		}
-	}
-	return rep
-}
-
-// Client is a remote handle on a serving cluster: it speaks the
-// query/reply half of the protocol over one connection. Queries on one
-// Client are serialized (the frontend serializes epochs globally anyway);
-// it is safe for concurrent use.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-}
-
-// DialFrontend connects to a serving frontend.
-func DialFrontend(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	payload, err := wire.ReadFrame(coord)
 	if err != nil {
-		return nil, fmt.Errorf("tcp: dial frontend: %w", err)
-	}
-	return &Client{conn: conn}, nil
-}
-
-// Do sends one query and waits for the reply. A Reply with a non-empty Err
-// is returned as a Go error.
-func (c *Client) Do(q wire.Query) (wire.Reply, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := wire.WriteFrame(c.conn, wire.EncodeQuery(q)); err != nil {
-		return wire.Reply{}, fmt.Errorf("tcp: send query: %w", err)
-	}
-	payload, err := wire.ReadFrame(c.conn)
-	if err != nil {
-		return wire.Reply{}, fmt.Errorf("tcp: read reply: %w", err)
+		return fail(fmt.Errorf("tcp: read assignment: %w", err))
 	}
 	r := wire.NewReader(payload)
-	if kind := r.U8(); kind != wire.KindReply {
-		return wire.Reply{}, fmt.Errorf("tcp: expected reply, got kind %d", kind)
+	switch kind := r.U8(); kind {
+	case wire.KindAssign:
+		a := serveAssignment{
+			id: -1,
+		}
+		mode := r.U8()
+		a.id = int(r.Varint())
+		a.k = int(r.Varint())
+		a.seed = r.U64()
+		a.addrs = make([]string, a.k)
+		for i := range a.addrs {
+			a.addrs[i] = r.String()
+		}
+		if err := r.Err(); err != nil {
+			return fail(fmt.Errorf("tcp: bad assignment: %w", err))
+		}
+		if mode != wire.ModeServe {
+			return fail(fmt.Errorf("tcp: coordinator runs mode %d, ServeNode requires serving; use RunNode", mode))
+		}
+		return coord, a, nil
+	case wire.KindRejoinAssign:
+		ra, err := wire.DecodeRejoinAssign(r)
+		if err != nil {
+			return fail(fmt.Errorf("tcp: bad rejoin assignment: %w", err))
+		}
+		return coord, serveAssignment{
+			rejoin: true, id: ra.ID, k: ra.K, seed: ra.Seed,
+			leader: ra.Leader, epoch: ra.Epoch, present: ra.Present, addrs: ra.Addrs,
+		}, nil
+	case wire.KindError:
+		ne, err := wire.DecodeNodeError(r)
+		if err != nil {
+			return fail(fmt.Errorf("tcp: bad join rejection: %w", err))
+		}
+		return fail(fmt.Errorf("tcp: join rejected: %s", ne.Msg))
+	default:
+		return fail(fmt.Errorf("tcp: expected assignment, got kind %d", kind))
 	}
-	rep, err := wire.DecodeReply(r)
-	if err != nil {
-		return wire.Reply{}, fmt.Errorf("tcp: bad reply: %w", err)
-	}
-	if rep.Err != "" {
-		return wire.Reply{}, fmt.Errorf("tcp: remote: %s", rep.Err)
-	}
-	return rep, nil
 }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// LocalCluster is an in-process serving deployment over loopback sockets:
-// one frontend plus k resident nodes, each on its own goroutine. It exists
-// for tests, benchmarks and single-binary demos of the serving path.
-type LocalCluster struct {
-	fe       *Frontend
-	serveErr chan error
-	wg       sync.WaitGroup
-
-	mu       sync.Mutex
-	nodeErrs []error
-}
-
-// ServeLocal starts a loopback serving cluster. newHandler builds one
-// Handler per node (each node needs its own instance, since a Handler keeps
-// per-node state); node identities are assigned at join time, so handlers
-// must discover their shard through the Env they are given. The cluster is
-// ready to serve (and Addr dialable by clients) when ServeLocal returns.
-func ServeLocal(k int, seed uint64, newHandler func() Handler) (*LocalCluster, error) {
-	fe, err := NewFrontend("127.0.0.1:0", k, seed)
-	if err != nil {
-		return nil, err
-	}
-	lc := &LocalCluster{fe: fe, serveErr: make(chan error, 1)}
-	go func() { lc.serveErr <- fe.Serve() }()
-	for i := 0; i < k; i++ {
-		lc.wg.Add(1)
-		go func() {
-			defer lc.wg.Done()
-			if err := ServeNode(fe.Addr(), "127.0.0.1:0", "", newHandler()); err != nil {
-				lc.mu.Lock()
-				lc.nodeErrs = append(lc.nodeErrs, err)
-				lc.mu.Unlock()
+// meshAcceptLoop seats incoming mesh links for the session's lifetime. The
+// dialer identifies itself with a hello frame and gets an empty ack back
+// once the link is installed — so a re-joining peer knows this node will
+// route the next epoch through the replacement link before it reports
+// ready. A hello for a machine index that already has a link replaces it
+// (the old socket is dead or stale by construction; the frontend never
+// lets two nodes hold the same seat).
+func meshAcceptLoop(n *Node, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			n.peersMu.Lock()
+			n.acceptDown = true
+			n.peersCond.Broadcast()
+			n.peersMu.Unlock()
+			return
+		}
+		go func(conn net.Conn) {
+			conn.SetDeadline(time.Now().Add(handshakeTimeout))
+			payload, err := wire.ReadFrame(conn)
+			if err != nil {
+				conn.Close()
+				return
 			}
-		}()
+			r := wire.NewReader(payload)
+			id := int(r.Varint())
+			if r.Err() != nil || id < 0 || id >= n.k || id == n.id {
+				conn.Close()
+				return
+			}
+			conn.SetDeadline(time.Time{})
+			n.installPeer(id, conn)
+			// Ack after the install: the only writer on this socket until
+			// the dialer's next epoch is this goroutine.
+			if err := wire.WriteFrame(conn, nil); err != nil {
+				conn.Close()
+			}
+		}(conn)
 	}
-	// Wait until the session is ready (or failed) before handing it out.
-	<-fe.ready
-	if fe.readyErr != nil {
-		err := fe.readyErr
-		lc.Close()
-		return nil, err
-	}
-	return lc, nil
 }
 
-// Addr returns the frontend address clients should dial.
-func (lc *LocalCluster) Addr() string { return lc.fe.Addr() }
-
-// Leader returns the elected leader machine.
-func (lc *LocalCluster) Leader() int { return lc.fe.Leader() }
-
-// Close shuts the cluster down and reports the first failure observed by
-// the frontend or any node.
-func (lc *LocalCluster) Close() error {
-	lc.fe.Close()
-	err := <-lc.serveErr
-	lc.wg.Wait()
-	lc.mu.Lock()
-	defer lc.mu.Unlock()
+// dialPeer dials machine j's mesh address and performs the serving
+// handshake: hello{id}, then wait for the ack confirming the peer has
+// installed (or replaced) the link.
+func dialPeer(n *Node, j int, addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
 	if err != nil {
-		return err
+		return fmt.Errorf("tcp: node %d dial peer %d: %w", n.id, j, err)
 	}
-	if len(lc.nodeErrs) > 0 {
-		return lc.nodeErrs[0]
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	var w wire.Writer
+	w.Varint(uint64(n.id))
+	if err := wire.WriteFrame(conn, w.Bytes()); err != nil {
+		conn.Close()
+		return fmt.Errorf("tcp: node %d hello to %d: %w", n.id, j, err)
 	}
+	if _, err := wire.ReadFrame(conn); err != nil {
+		conn.Close()
+		return fmt.Errorf("tcp: node %d ack from %d: %w", n.id, j, err)
+	}
+	conn.SetDeadline(time.Time{})
+	n.installPeer(j, conn)
 	return nil
+}
+
+// buildServeMesh establishes the initial serving mesh: this node dials
+// every lower machine index and waits until the accept loop has seated
+// every higher one.
+func buildServeMesh(n *Node, addrs []string) error {
+	errs := make(chan error, n.id)
+	for j := 0; j < n.id; j++ {
+		go func(j int) { errs <- dialPeer(n, j, addrs[j]) }(j)
+	}
+	for j := 0; j < n.id; j++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	for {
+		missing := -1
+		for j := n.id + 1; j < n.k; j++ {
+			if n.peers[j] == nil {
+				missing = j
+				break
+			}
+		}
+		if missing == -1 {
+			return nil
+		}
+		if n.acceptDown {
+			return transportFault(missing, fmt.Errorf("tcp: node %d mesh listener closed waiting for peer %d", n.id, missing))
+		}
+		n.peersCond.Wait()
+	}
+}
+
+// writeNodeError reports a failed epoch: origin marks a failure of this
+// node's own program (as opposed to a peer's error frame or a transport
+// fault), fatal marks a broken mesh, and the lost peer is named when the
+// fault could be attributed, so the frontend can evict exactly the
+// implicated node.
+func writeNodeError(coord net.Conn, epoch uint64, err error) error {
+	return wire.WriteFrame(coord, wire.EncodeNodeError(wire.NodeError{
+		Epoch:    epoch,
+		Origin:   !IsTransportError(err) && !errors.Is(err, errPeerAbort),
+		Fatal:    IsTransportError(err),
+		LostPeer: LostPeer(err),
+		Msg:      err.Error(),
+	}))
 }

@@ -32,6 +32,11 @@ func (h *echoHandler) Setup(m kmachine.Env) (SessionInfo, error) {
 	return SessionInfo{Leader: leader, ShardLen: 10, PointTag: wire.PointScalar}, nil
 }
 
+func (h *echoHandler) Rejoin(id, k, leader int) (SessionInfo, error) {
+	h.leader = leader
+	return SessionInfo{Leader: leader, ShardLen: 10, PointTag: wire.PointScalar}, nil
+}
+
 func (h *echoHandler) Query(m kmachine.Env, q wire.Query, qi int) (QueryResult, error) {
 	v, err := wire.DecodeScalarPoint(q.Points[qi])
 	if err != nil {

@@ -63,8 +63,19 @@ type Metrics struct {
 // transportError marks failures of the mesh itself — a lost connection, a
 // corrupt or out-of-order frame — as opposed to a program deciding to fail.
 // A resident serving node treats a program error as "this epoch failed, keep
-// serving" but a transport error as "the session is broken, shut down".
-type transportError struct{ err error }
+// serving" but a transport error as "my mesh is broken": it reports the
+// failure to the frontend with the fatal bit (naming the lost peer when it
+// can) and keeps its seat, waiting for the implicated node to re-join.
+type transportError struct {
+	err  error
+	peer int // machine whose link failed; -1 when not attributable
+}
+
+// transportFault wraps err as a mesh failure implicating machine peer
+// (-1 when no single peer is to blame).
+func transportFault(peer int, err error) transportError {
+	return transportError{err: err, peer: peer}
+}
 
 func (e transportError) Error() string { return e.err.Error() }
 func (e transportError) Unwrap() error { return e.err }
@@ -74,6 +85,16 @@ func (e transportError) Unwrap() error { return e.err }
 func IsTransportError(err error) bool {
 	var te transportError
 	return errors.As(err, &te)
+}
+
+// LostPeer returns the machine index a transport error implicates, or -1
+// when err is not a transport error or no single peer could be blamed.
+func LostPeer(err error) int {
+	var te transportError
+	if errors.As(err, &te) {
+		return te.peer
+	}
+	return -1
 }
 
 // errPeerAbort marks an epoch ended by a peer's error frame: the failure
@@ -113,8 +134,71 @@ type Node struct {
 	round   int
 	inbox   []kmachine.Message
 	outbox  [][][]byte // per-peer payloads queued this round
-	peers   []*peer    // indexed by machine id; self entry nil
 	metrics Metrics
+
+	// peers is indexed by machine id (self entry nil). One-shot meshes fill
+	// it once and never touch it again; serving meshes mutate it — links of
+	// lost peers are dropped, and the mesh accept loop installs replacement
+	// links when a peer re-joins — so every access goes through peersMu.
+	// A nil entry on a serving node means "link down, waiting for re-join".
+	peersMu    sync.Mutex
+	peersCond  *sync.Cond
+	peers      []*peer
+	acceptDown bool // the serving mesh accept loop has exited
+}
+
+// installPeer replaces machine j's mesh link with conn (closing any prior
+// link, whose reader then drains) and starts the new link's reader. Serving
+// nodes call it from the mesh accept loop; one-shot meshes never replace
+// links.
+func (n *Node) installPeer(j int, conn net.Conn) {
+	p := &peer{conn: conn, frames: make(chan frame, 4)}
+	go readFrames(conn, p.frames)
+	n.peersMu.Lock()
+	old := n.peers[j]
+	n.peers[j] = p
+	n.peersCond.Broadcast()
+	n.peersMu.Unlock()
+	if old != nil {
+		old.conn.Close()
+	}
+}
+
+// dropPeer closes and forgets machine j's link — but only if it is still
+// the link that failed; a replacement installed concurrently must win.
+func (n *Node) dropPeer(j int, p *peer) {
+	if p == nil {
+		return
+	}
+	n.peersMu.Lock()
+	if n.peers[j] == p {
+		n.peers[j] = nil
+	}
+	n.peersMu.Unlock()
+	p.conn.Close()
+}
+
+// peerSnapshot returns a consistent view of the mesh links for one
+// exchange. A link replaced mid-exchange stays visible in the snapshot; the
+// exchange still wakes up because the replacement closes the old socket.
+func (n *Node) peerSnapshot() []*peer {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	return append([]*peer(nil), n.peers...)
+}
+
+// missingPeer returns the lowest machine index whose mesh link is down, or
+// -1 when the mesh is complete. Serving nodes refuse to start an epoch on
+// an incomplete mesh (the frontend should never dispatch one).
+func (n *Node) missingPeer() int {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	for j := 0; j < n.k; j++ {
+		if j != n.id && n.peers[j] == nil {
+			return j
+		}
+	}
+	return -1
 }
 
 var _ kmachine.Env = (*Node)(nil)
@@ -188,10 +272,11 @@ func (n *Node) EndRound() {
 // peers concurrently, then reads one frame from each live peer, building the
 // next round's inbox.
 func (n *Node) exchange(flag byte) {
+	peers := n.peerSnapshot()
 	var wg sync.WaitGroup
 	writeErrs := make([]error, n.k)
 	for j := 0; j < n.k; j++ {
-		if j == n.id || n.peers[j] == nil || n.peers[j].halted {
+		if j == n.id || peers[j] == nil || peers[j].halted {
 			continue
 		}
 		out := n.outbox[j]
@@ -199,34 +284,37 @@ func (n *Node) exchange(flag byte) {
 		wg.Add(1)
 		go func(j int, out [][]byte) {
 			defer wg.Done()
-			writeErrs[j] = writeFrame(n.peers[j].conn, flag, n.epoch, uint64(n.round), out)
+			writeErrs[j] = writeFrame(peers[j].conn, flag, n.epoch, uint64(n.round), out)
 		}(j, out)
 	}
 	// Read while writes drain to avoid mutual kernel-buffer deadlock.
 	var next []kmachine.Message
 	var remoteErr error
 	for j := 0; j < n.k; j++ {
-		if j == n.id || n.peers[j] == nil || n.peers[j].halted {
+		if j == n.id || peers[j] == nil || peers[j].halted {
 			continue
 		}
-		f := <-n.peers[j].frames
+		f := <-peers[j].frames
 		// Discard leftovers from completed epochs (a peer's final halt
 		// frames, never read during the epoch that produced them).
 		for f.err == nil && f.epoch < n.epoch {
-			f = <-n.peers[j].frames
+			f = <-peers[j].frames
 		}
 		if f.err != nil {
-			remoteErr = transportError{fmt.Errorf("tcp: node %d lost peer %d: %w", n.id, j, f.err)}
+			n.dropPeer(j, peers[j])
+			remoteErr = transportFault(j, fmt.Errorf("tcp: node %d lost peer %d: %w", n.id, j, f.err))
 			continue
 		}
 		if f.epoch != n.epoch {
-			remoteErr = transportError{fmt.Errorf("tcp: node %d got epoch %d frame from %d during epoch %d",
-				n.id, f.epoch, j, n.epoch)}
+			n.dropPeer(j, peers[j])
+			remoteErr = transportFault(j, fmt.Errorf("tcp: node %d got epoch %d frame from %d during epoch %d",
+				n.id, f.epoch, j, n.epoch))
 			continue
 		}
 		if f.round != uint64(n.round) {
-			remoteErr = transportError{fmt.Errorf("tcp: node %d got round %d frame from %d during round %d",
-				n.id, f.round, j, n.round)}
+			n.dropPeer(j, peers[j])
+			remoteErr = transportFault(j, fmt.Errorf("tcp: node %d got round %d frame from %d during round %d",
+				n.id, f.round, j, n.round))
 			continue
 		}
 		switch f.flag {
@@ -234,7 +322,7 @@ func (n *Node) exchange(flag byte) {
 			remoteErr = fmt.Errorf("tcp: node %d %w %d", n.id, errPeerAbort, j)
 			continue
 		case flagHalt:
-			n.peers[j].halted = true
+			peers[j].halted = true
 		}
 		for _, payload := range f.msgs {
 			next = append(next, kmachine.Message{From: j, To: n.id, Payload: payload})
@@ -248,8 +336,9 @@ func (n *Node) exchange(flag byte) {
 		// A write race against a peer that halted this very round (it
 		// closed its sockets after its halt frame) is benign; any other
 		// write failure is a real transport error.
-		if err != nil && !(n.peers[j] != nil && n.peers[j].halted) {
-			panic(transportError{fmt.Errorf("tcp: node %d write to %d: %w", n.id, j, err)})
+		if err != nil && !(peers[j] != nil && peers[j].halted) {
+			n.dropPeer(j, peers[j])
+			panic(transportFault(j, fmt.Errorf("tcp: node %d write to %d: %w", n.id, j, err)))
 		}
 	}
 	sort.SliceStable(next, func(a, b int) bool { return next[a].From < next[b].From })
@@ -311,9 +400,9 @@ func (n *Node) execute(prog kmachine.Program) (err error) {
 				err = fmt.Errorf("tcp: node %d panicked: %v", n.id, rec)
 			}
 			// Best effort: tell the peers we are gone.
-			for j := 0; j < n.k; j++ {
-				if j != n.id && n.peers[j] != nil && !n.peers[j].halted {
-					_ = writeFrame(n.peers[j].conn, flagErr, n.epoch, uint64(n.round), nil)
+			for j, p := range n.peerSnapshot() {
+				if j != n.id && p != nil && !p.halted {
+					_ = writeFrame(p.conn, flagErr, n.epoch, uint64(n.round), nil)
 				}
 			}
 		}
@@ -350,11 +439,13 @@ func (n *Node) resetEpoch(epoch, epochSeed uint64) {
 	for j := range n.outbox {
 		n.outbox[j] = nil
 	}
+	n.peersMu.Lock()
 	for _, p := range n.peers {
 		if p != nil {
 			p.halted = false
 		}
 	}
+	n.peersMu.Unlock()
 }
 
 // runEpoch executes prog as one isolated BSP epoch on the standing mesh;
@@ -368,9 +459,9 @@ func (n *Node) runEpoch(epoch, epochSeed uint64, prog kmachine.Program) (Metrics
 
 // closePeers shuts every mesh connection.
 func (n *Node) closePeers() {
-	for j := 0; j < n.k; j++ {
-		if j != n.id && n.peers[j] != nil {
-			n.peers[j].conn.Close()
+	for j, p := range n.peerSnapshot() {
+		if j != n.id && p != nil {
+			p.conn.Close()
 		}
 	}
 }
@@ -378,9 +469,10 @@ func (n *Node) closePeers() {
 // exchangeHalt writes halt frames (write-only: a halted node never reads
 // again, matching the simulator's semantics).
 func (n *Node) exchangeHalt() {
+	peers := n.peerSnapshot()
 	var wg sync.WaitGroup
 	for j := 0; j < n.k; j++ {
-		if j == n.id || n.peers[j] == nil || n.peers[j].halted {
+		if j == n.id || peers[j] == nil || peers[j].halted {
 			continue
 		}
 		out := n.outbox[j]
@@ -389,13 +481,15 @@ func (n *Node) exchangeHalt() {
 		go func(j int, out [][]byte) {
 			defer wg.Done()
 			// Ignore errors: the peer may have halted concurrently.
-			_ = writeFrame(n.peers[j].conn, flagHalt, n.epoch, uint64(n.round), out)
+			_ = writeFrame(peers[j].conn, flagHalt, n.epoch, uint64(n.round), out)
 		}(j, out)
 	}
 	wg.Wait()
 }
 
-// newNode builds the Env around an established mesh.
+// newNode builds the Env around an established mesh. conns may be nil for a
+// serving node that installs its links through the mesh accept loop and
+// installPeer instead.
 func newNode(id, k int, seed uint64, conns []net.Conn) *Node {
 	n := &Node{
 		id:     id,
@@ -406,6 +500,7 @@ func newNode(id, k int, seed uint64, conns []net.Conn) *Node {
 		outbox: make([][][]byte, k),
 		peers:  make([]*peer, k),
 	}
+	n.peersCond = sync.NewCond(&n.peersMu)
 	for j, conn := range conns {
 		if conn == nil {
 			continue

@@ -27,9 +27,11 @@ const (
 	KindDispatch = 4
 	// KindResult: node → frontend, one epoch's outcome. Body: NodeResult.
 	KindResult = 5
-	// KindError: node → frontend, the epoch (or session) failed.
-	// Body: Varint epoch, U8 origin (1 if the failure originated in this
-	// node's program), String message.
+	// KindError: node → frontend, the epoch failed. Body: NodeError —
+	// Varint epoch, U8 origin (1 if the failure originated in this node's
+	// program), U8 fatal (1 if the node's mesh broke, as opposed to a
+	// recoverable program failure), Varint lostPeer+1 (0 when no specific
+	// peer was implicated), String message.
 	KindError = 6
 	// KindShutdown: frontend → node, clean stop. Empty body.
 	KindShutdown = 7
@@ -37,6 +39,17 @@ const (
 	KindQuery = 8
 	// KindReply: frontend → client. Body: Reply.
 	KindReply = 9
+	// KindRejoin: node → frontend, re-register into a running serving
+	// session. Body: Varint id+1 (0 asks the frontend to pick any absent
+	// slot), String mesh address. The frontend answers with KindRejoinAssign
+	// on success or KindError (epoch 0) on rejection.
+	KindRejoin = 10
+	// KindRejoinAssign: frontend → node, the rejoin grant. Body:
+	// RejoinAssign — Varint id, Varint k, U64 seed, Varint leader,
+	// Varint epoch (the session's current epoch ordinal), Varint
+	// presentCount, presentCount × Varint id (the peers currently serving,
+	// which the rejoining node must dial), then k × String mesh addresses.
+	KindRejoinAssign = 11
 )
 
 // Session modes carried in the KindAssign frame.
@@ -134,6 +147,145 @@ func DecodeQuery(r *Reader) (Query, error) {
 		return Query{}, err
 	}
 	return q, nil
+}
+
+// NodeError is a node's report that an epoch failed. Origin distinguishes
+// the node whose own program failed from the k−1 peers that merely observed
+// the abort; Fatal marks a broken mesh (the node cannot serve further
+// epochs until the failed peer — or the node itself — re-joins), as opposed
+// to a recoverable program failure. LostPeer names the machine whose link
+// died when the node could attribute the fault (-1 otherwise). It is the
+// body of a KindError frame.
+type NodeError struct {
+	Epoch    uint64
+	Origin   bool
+	Fatal    bool
+	LostPeer int
+	Msg      string
+}
+
+// EncodeNodeError builds a KindError frame payload.
+func EncodeNodeError(ne NodeError) []byte {
+	var w Writer
+	w.U8(KindError)
+	w.Varint(ne.Epoch)
+	w.U8(b2u(ne.Origin))
+	w.U8(b2u(ne.Fatal))
+	if ne.LostPeer < 0 {
+		w.Varint(0)
+	} else {
+		w.Varint(uint64(ne.LostPeer) + 1)
+	}
+	w.String(ne.Msg)
+	return w.Bytes()
+}
+
+// DecodeNodeError reads a NodeError body; the kind byte must already be
+// consumed.
+func DecodeNodeError(r *Reader) (NodeError, error) {
+	ne := NodeError{
+		Epoch:    r.Varint(),
+		Origin:   r.U8() == 1,
+		Fatal:    r.U8() == 1,
+		LostPeer: int(r.Varint()) - 1,
+		Msg:      r.String(),
+	}
+	if err := r.Err(); err != nil {
+		return NodeError{}, err
+	}
+	return ne, nil
+}
+
+// EncodeRejoin builds a KindRejoin frame payload. id < 0 asks the frontend
+// to pick any absent slot (a restarted process that no longer knows its
+// machine index).
+func EncodeRejoin(id int, meshAddr string) []byte {
+	var w Writer
+	w.U8(KindRejoin)
+	if id < 0 {
+		w.Varint(0)
+	} else {
+		w.Varint(uint64(id) + 1)
+	}
+	w.String(meshAddr)
+	return w.Bytes()
+}
+
+// DecodeRejoin reads a KindRejoin body; the kind byte must already be
+// consumed. The returned id is -1 when the node asked for any absent slot.
+func DecodeRejoin(r *Reader) (id int, meshAddr string, err error) {
+	id = int(r.Varint()) - 1
+	meshAddr = r.String()
+	if err := r.Err(); err != nil {
+		return 0, "", err
+	}
+	return id, meshAddr, nil
+}
+
+// RejoinAssign is the frontend's grant for a node re-joining a running
+// serving session: the slot it takes over, the session parameters, the
+// already-elected leader (the rejoining node runs no setup epoch), the
+// session's current epoch ordinal, the peers currently serving (which the
+// rejoining node must dial to rebuild its mesh links) and the full address
+// book. It is the body of a KindRejoinAssign frame.
+type RejoinAssign struct {
+	ID      int
+	K       int
+	Seed    uint64
+	Leader  int
+	Epoch   uint64
+	Present []int
+	Addrs   []string
+}
+
+// EncodeRejoinAssign builds a KindRejoinAssign frame payload.
+func EncodeRejoinAssign(ra RejoinAssign) []byte {
+	var w Writer
+	w.U8(KindRejoinAssign)
+	w.Varint(uint64(ra.ID))
+	w.Varint(uint64(ra.K))
+	w.U64(ra.Seed)
+	w.Varint(uint64(ra.Leader))
+	w.Varint(ra.Epoch)
+	w.Varint(uint64(len(ra.Present)))
+	for _, id := range ra.Present {
+		w.Varint(uint64(id))
+	}
+	for _, a := range ra.Addrs {
+		w.String(a)
+	}
+	return w.Bytes()
+}
+
+// DecodeRejoinAssign reads a RejoinAssign body; the kind byte must already
+// be consumed.
+func DecodeRejoinAssign(r *Reader) (RejoinAssign, error) {
+	ra := RejoinAssign{
+		ID:     int(r.Varint()),
+		K:      int(r.Varint()),
+		Seed:   r.U64(),
+		Leader: int(r.Varint()),
+		Epoch:  r.Varint(),
+	}
+	if r.Err() == nil && (ra.K < 0 || uint64(ra.K) > uint64(r.Remaining())) {
+		return RejoinAssign{}, fmt.Errorf("wire: rejoin cluster size %d exceeds payload", ra.K)
+	}
+	count := r.Varint()
+	if r.Err() == nil && count > uint64(ra.K) {
+		return RejoinAssign{}, fmt.Errorf("wire: rejoin present count %d exceeds cluster size %d", count, ra.K)
+	}
+	ra.Present = make([]int, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ra.Present = append(ra.Present, int(r.Varint()))
+	}
+	ra.Addrs = make([]string, ra.K)
+	for i := range ra.Addrs {
+		ra.Addrs[i] = r.String()
+	}
+	if err := r.Err(); err != nil {
+		return RejoinAssign{}, err
+	}
+	return ra, nil
 }
 
 // QueryOutcome is one query's slice of an epoch outcome. Inside a
@@ -241,8 +393,15 @@ type QueryReply struct {
 // Reply is the frontend's answer to one client query batch: either an error
 // message (the whole batch shares one epoch, so it fails as a unit) or the
 // per-query merged results with the epoch's aggregated distributed cost.
+//
+// Degraded marks an error caused by node churn — the cluster is missing
+// nodes, or a node was lost while this very batch was in flight. A degraded
+// failure is transient and safe to retry (every query op is an idempotent
+// read): the batch either never ran or failed as a unit, and the cluster
+// answers again once the absent node re-joins.
 type Reply struct {
-	Err string // non-empty means the batch failed
+	Err      string // non-empty means the batch failed
+	Degraded bool   // the failure is churn-induced and retryable
 
 	Rounds   int
 	Messages int64
@@ -256,7 +415,11 @@ func EncodeReply(rep Reply) []byte {
 	var w Writer
 	w.U8(KindReply)
 	if rep.Err != "" {
-		w.U8(1)
+		if rep.Degraded {
+			w.U8(2)
+		} else {
+			w.U8(1)
+		}
 		w.String(rep.Err)
 		return w.Bytes()
 	}
@@ -279,8 +442,11 @@ func EncodeReply(rep Reply) []byte {
 
 // DecodeReply reads a Reply body; the kind byte must already be consumed.
 func DecodeReply(r *Reader) (Reply, error) {
-	if r.U8() == 1 {
-		rep := Reply{Err: r.String()}
+	switch status := r.U8(); status {
+	case 0:
+		// Fall through to the result body below.
+	case 1, 2:
+		rep := Reply{Err: r.String(), Degraded: status == 2}
 		if err := r.Err(); err != nil {
 			return Reply{}, err
 		}
@@ -288,6 +454,11 @@ func DecodeReply(r *Reader) (Reply, error) {
 			return Reply{}, fmt.Errorf("wire: error reply with empty message")
 		}
 		return rep, nil
+	default:
+		if err := r.Err(); err != nil {
+			return Reply{}, err
+		}
+		return Reply{}, fmt.Errorf("wire: unknown reply status %d", status)
 	}
 	rep := Reply{
 		Rounds:   int(r.Varint()),

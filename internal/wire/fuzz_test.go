@@ -74,6 +74,7 @@ func FuzzDecodeReply(f *testing.F) {
 		}},
 	})[1:])
 	f.Add(EncodeReply(Reply{Err: "nope"})[1:])
+	f.Add(EncodeReply(Reply{Err: "cluster degraded (1 of 2 nodes)", Degraded: true})[1:])
 	f.Add([]byte{0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rep, err := DecodeReply(NewReader(data))
@@ -87,6 +88,48 @@ func FuzzDecodeReply(f *testing.F) {
 		}
 		if !bytes.Equal(EncodeReply(rep2), enc) {
 			t.Fatalf("reply is not a re-encoding fixed point")
+		}
+	})
+}
+
+func FuzzDecodeNodeError(f *testing.F) {
+	f.Add(EncodeNodeError(NodeError{Epoch: 1, Origin: true, Msg: "boom"})[1:])
+	f.Add(EncodeNodeError(NodeError{Epoch: 7, Fatal: true, LostPeer: 2, Msg: "lost peer 2"})[1:])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ne, err := DecodeNodeError(NewReader(data))
+		if err != nil {
+			return
+		}
+		enc := EncodeNodeError(ne)
+		ne2, err := DecodeNodeError(skipKind(t, enc, KindError))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeNodeError(ne2), enc) {
+			t.Fatalf("node error is not a re-encoding fixed point")
+		}
+	})
+}
+
+func FuzzDecodeRejoinAssign(f *testing.F) {
+	f.Add(EncodeRejoinAssign(RejoinAssign{
+		ID: 1, K: 3, Seed: 7, Leader: 0, Epoch: 42, Present: []int{0, 2},
+		Addrs: []string{"127.0.0.1:9000", "127.0.0.1:9001", "127.0.0.1:9002"},
+	})[1:])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ra, err := DecodeRejoinAssign(NewReader(data))
+		if err != nil {
+			return
+		}
+		enc := EncodeRejoinAssign(ra)
+		ra2, err := DecodeRejoinAssign(skipKind(t, enc, KindRejoinAssign))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeRejoinAssign(ra2), enc) {
+			t.Fatalf("rejoin assign is not a re-encoding fixed point")
 		}
 	})
 }

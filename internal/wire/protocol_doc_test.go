@@ -59,12 +59,6 @@ func docExamples() []struct {
 	rdy.Varint(5000)
 	rdy.U8(PointScalar)
 
-	var ne Writer
-	ne.U8(KindError)
-	ne.Varint(1)
-	ne.U8(1)
-	ne.String("boom")
-
 	return []struct {
 		Name  string
 		Bytes []byte
@@ -90,8 +84,15 @@ func docExamples() []struct {
 				},
 			}},
 		})},
-		{"node error", ne.Bytes()},
+		{"node error", EncodeNodeError(NodeError{Epoch: 1, Origin: true, LostPeer: -1, Msg: "boom"})},
+		{"fatal node error", EncodeNodeError(NodeError{Epoch: 7, Fatal: true, LostPeer: 2, Msg: "lost peer 2"})},
 		{"shutdown", []byte{KindShutdown}},
+		{"rejoin", EncodeRejoin(1, "127.0.0.1:9002")},
+		{"rejoin assign", EncodeRejoinAssign(RejoinAssign{
+			ID: 1, K: 2, Seed: 7, Leader: 0, Epoch: 42,
+			Present: []int{0},
+			Addrs:   []string{"127.0.0.1:9000", "127.0.0.1:9002"},
+		})},
 		{"reply", EncodeReply(Reply{
 			Rounds: 26, Messages: 44, Bytes: 745, Leader: 0,
 			Results: []QueryReply{{
@@ -102,6 +103,7 @@ func docExamples() []struct {
 			}},
 		})},
 		{"error reply", EncodeReply(Reply{Err: "l=0 out of range [1, 10000]"})},
+		{"degraded reply", EncodeReply(Reply{Err: "cluster degraded (1 of 2 nodes): waiting for node(s) [1]", Degraded: true})},
 	}
 }
 

@@ -3,6 +3,7 @@ package distknn
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"distknn/internal/core"
 	"distknn/internal/election"
@@ -29,6 +30,22 @@ import (
 // index the nodes answer their top-ℓ step from. ScalarPoints and
 // VectorPoints are the two shipped instances; the transport below never
 // learns what a point is.
+
+// ErrSessionLost marks a serving node's exit because its session died
+// under it — the frontend vanished, or the node was evicted after a mesh
+// fault. The node's seat is recoverable: call ServeTypedNode (or its
+// scalar/vector conveniences) again and the frontend re-seats the node in
+// the running session, as cmd/knnnode's -rejoin loop does. Matched with
+// errors.Is.
+var ErrSessionLost = tcp.ErrSessionLost
+
+// ErrClusterDegraded marks a remote query refused (or failed in flight)
+// because the serving cluster is missing nodes after churn. The failure is
+// transient and safe to retry — every query op is an idempotent read — and
+// the cluster answers again once the absent node re-joins. RemoteCluster
+// already rides out outages shorter than ClientOptions.RetryWait
+// transparently; match with errors.Is to keep retrying on top of that.
+var ErrClusterDegraded = tcp.ErrDegraded
 
 // NodeOptions configures a resident serving node. Except for Advertise,
 // all nodes of a cluster must be configured identically (the protocols
@@ -165,23 +182,33 @@ type typedHandler[P any] struct {
 	leader int
 }
 
-func (h *typedHandler[P]) Setup(m kmachine.Env) (tcp.SessionInfo, error) {
-	shard, err := h.shards(m.ID(), m.K())
+// load builds (or rebuilds) the node's shard and local index for machine
+// id of k — the data half of Setup, shared with the Rejoin path.
+func (h *typedHandler[P]) load(id, k int) error {
+	shard, err := h.shards(id, k)
 	if err != nil {
-		return tcp.SessionInfo{}, fmt.Errorf("distknn: shard for node %d: %w", m.ID(), err)
+		return fmt.Errorf("distknn: shard for node %d: %w", id, err)
 	}
 	h.set, err = points.NewSet(shard.Points, shard.Labels, h.pt.metric, shard.FirstID)
 	if err != nil {
-		return tcp.SessionInfo{}, fmt.Errorf("distknn: %w", err)
+		return fmt.Errorf("distknn: %w", err)
 	}
 	if h.pt.index != nil {
 		h.topL, err = h.pt.index(h.set)
 		if err != nil {
-			return tcp.SessionInfo{}, fmt.Errorf("distknn: indexing node %d: %w", m.ID(), err)
+			return fmt.Errorf("distknn: indexing node %d: %w", id, err)
 		}
 	} else {
 		h.topL = h.set.TopLItems
 	}
+	return nil
+}
+
+func (h *typedHandler[P]) Setup(m kmachine.Env) (tcp.SessionInfo, error) {
+	if err := h.load(m.ID(), m.K()); err != nil {
+		return tcp.SessionInfo{}, err
+	}
+	var err error
 	h.leader, err = election.Elect(m, election.OnceOptions{
 		Sublinear:      h.opts.SublinearElection,
 		BandwidthBytes: -1, // real sockets have no per-round budget
@@ -190,6 +217,21 @@ func (h *typedHandler[P]) Setup(m kmachine.Env) (tcp.SessionInfo, error) {
 		return tcp.SessionInfo{}, err
 	}
 	return tcp.SessionInfo{Leader: h.leader, ShardLen: h.set.Len(), PointTag: h.pt.codec.Tag}, nil
+}
+
+// Rejoin rebuilds the shard for a node taking over an absent seat of a
+// running session. No election runs — the session's leader is handed down
+// by the frontend — so the call is local. Because ShardProvider is a
+// deterministic function of (id, k), the rebuilt shard is identical to the
+// one the seat held before, which the frontend verifies via the reported
+// shard size (and which keeps served answers bit-identical to an
+// uninterrupted cluster).
+func (h *typedHandler[P]) Rejoin(id, k, leader int) (tcp.SessionInfo, error) {
+	if err := h.load(id, k); err != nil {
+		return tcp.SessionInfo{}, err
+	}
+	h.leader = leader
+	return tcp.SessionInfo{Leader: leader, ShardLen: h.set.Len(), PointTag: h.pt.codec.Tag}, nil
 }
 
 // Query answers one point of the dispatched batch. Calls for different
@@ -296,6 +338,13 @@ func (f *Frontend) Serve() error { return f.fe.Serve() }
 // Leader returns the leader elected in the setup epoch (-1 until then).
 func (f *Frontend) Leader() int { return f.fe.Leader() }
 
+// EvictNode forcibly retires node id from the session: its ServeTypedNode
+// returns ErrSessionLost and its seat becomes re-joinable. Queries answer
+// a degraded error until a node (a restarted process, or the evicted one
+// re-registering) takes the seat back. Use it to kick a wedged or
+// partitioned node so it re-joins with fresh mesh links.
+func (f *Frontend) EvictNode(id int) error { return f.fe.EvictNode(id) }
+
 // Close shuts the session down; resident nodes exit cleanly.
 func (f *Frontend) Close() error { return f.fe.Close() }
 
@@ -318,10 +367,37 @@ type RemoteCluster[P any] struct {
 	leader atomic.Int64
 }
 
+// ClientOptions tunes a RemoteCluster's deadlines and churn handling.
+type ClientOptions struct {
+	// QueryTimeout bounds each query attempt's network activity (dial,
+	// send, reply read), so a hung frontend fails the call instead of
+	// blocking it forever. Zero means no deadline.
+	QueryTimeout time.Duration
+	// RetryWait is the budget for riding out a degraded cluster: a query
+	// that hit churn keeps retrying at short intervals until it succeeds
+	// or RetryWait has elapsed, returning as soon as the lost node
+	// re-joins. Zero means the default (500ms); negative means a single
+	// immediate retry.
+	RetryWait time.Duration
+	// NoRetry disables the transparent retry: the first failure of any
+	// kind is returned to the caller.
+	NoRetry bool
+}
+
 // DialTypedCluster connects to a serving cluster's frontend that serves
-// pt's point type.
+// pt's point type, with default ClientOptions.
 func DialTypedCluster[P any](pt PointType[P], addr string) (*RemoteCluster[P], error) {
-	c, err := tcp.DialFrontend(addr)
+	return DialTypedClusterOptions(pt, addr, ClientOptions{})
+}
+
+// DialTypedClusterOptions connects to a serving cluster's frontend that
+// serves pt's point type.
+func DialTypedClusterOptions[P any](pt PointType[P], addr string, opts ClientOptions) (*RemoteCluster[P], error) {
+	c, err := tcp.DialFrontendOptions(addr, tcp.ClientOptions{
+		Timeout:   opts.QueryTimeout,
+		RetryWait: opts.RetryWait,
+		NoRetry:   opts.NoRetry,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -486,6 +562,10 @@ func (s *LocalServer) Addr() string { return s.lc.Addr() }
 
 // Leader returns the elected leader machine.
 func (s *LocalServer) Leader() int { return s.lc.Leader() }
+
+// EvictNode forcibly retires node id from the loopback session (see
+// Frontend.EvictNode); re-join it by calling ServeTypedNode against Addr.
+func (s *LocalServer) EvictNode(id int) error { return s.lc.EvictNode(id) }
 
 // Close shuts the cluster down and reports the first failure observed by
 // the frontend or any node (nil on a clean shutdown).
