@@ -1,9 +1,10 @@
 // Command knnbench regenerates the paper's evaluation — every experiment of
 // the per-experiment index (E1–E9), including Figure 2 — plus the serving
 // experiments this repository adds: the persistent-runtime throughput
-// comparison (E10) and the resident-TCP-mesh comparison over real loopback
-// sockets (E11). Results print as aligned tables, CSV, or one JSON document
-// for machine consumption.
+// comparison (E10), the resident-TCP-mesh comparisons over real loopback
+// sockets (E11/E11b/E12), and the frontend epoch scheduler under
+// concurrent clients (E13). Results print as aligned tables, CSV, or one
+// JSON document for machine consumption.
 //
 // Examples:
 //

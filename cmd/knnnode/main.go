@@ -12,7 +12,10 @@
 // batch — dispatched by the frontend to remote clients (knnquery -connect,
 // or the distknn.DialScalarCluster / DialVectorCluster API). With -dim > 0
 // the nodes hold d-dimensional vector shards indexed by k-d trees instead
-// of the paper's scalar workload.
+// of the paper's scalar workload. The frontend's epoch scheduler pipelines
+// up to -window query epochs on the mesh concurrently, and with
+// -server-batch it coalesces concurrently arriving single queries into
+// lockstep batch epochs (flushed at 64 points or after -linger).
 //
 // Nodes spanning hosts listen on -mesh and may announce a different
 // reachable address with -advertise (e.g. -mesh 0.0.0.0:7101 -advertise
@@ -89,6 +92,9 @@ func main() {
 		meshAddr    = flag.String("mesh", "127.0.0.1:0", "node mesh listen address")
 		advertise   = flag.String("advertise", "", "reachable mesh address announced to peers (default: the -mesh listener's own address)")
 		rejoin      = flag.Bool("rejoin", false, "with -serve -join: re-join the session automatically whenever it is lost (eviction, frontend restart)")
+		window      = flag.Int("window", 0, "with -serve -coordinator: query epochs pipelined in flight at once (0 = default 8, 1 = serialized)")
+		serverBatch = flag.Bool("server-batch", false, "with -serve -coordinator: coalesce concurrently arriving single queries into lockstep batch epochs")
+		linger      = flag.Duration("linger", 0, "with -serve -coordinator -server-batch: max wait for a partial coalesced batch (0 = default 500µs)")
 	)
 	flag.Parse()
 
@@ -100,7 +106,11 @@ func main() {
 
 	switch {
 	case *serve && *coordinator:
-		fe, err := distknn.NewFrontend(*addr, *k, *seed)
+		fe, err := distknn.NewFrontendOptions(*addr, *k, *seed, distknn.FrontendOptions{
+			Window:      *window,
+			ServerBatch: *serverBatch,
+			Linger:      *linger,
+		})
 		if err != nil {
 			fatalf("%v", err)
 		}

@@ -42,14 +42,19 @@
 //
 // The same serving model runs over real sockets, generic over the point
 // type: a Frontend plus k resident nodes (ServeTypedNode with a PointType
-// — scalar and k-d-tree-indexed vector shards ship — or ServeTypedLocal
-// for a single-process loopback deployment) mesh up once, elect a leader
-// once, and answer each dispatched query batch as one BSP epoch on the
-// standing mesh; a batch's queries run as lockstep sub-programs sharing
-// the epoch's physical rounds, so KNNBatch over TCP amortizes frames,
-// syscalls and round latency across the batch. A RemoteCluster is the
-// client handle: the same KNN/Classify/Regress/KNNBatch surface, the same
-// exact results, deterministic per (seed, query stream). See remote.go,
+// — scalar, k-d-tree-indexed vector and bit-packed Hamming shards ship —
+// or ServeTypedLocal for a single-process loopback deployment) mesh up
+// once, elect a leader once, and answer each dispatched query batch as
+// one BSP epoch on the standing mesh; a batch's queries run as lockstep
+// sub-programs sharing the epoch's physical rounds, so KNNBatch over TCP
+// amortizes frames, syscalls and round latency across the batch. The
+// frontend's epoch scheduler pipelines up to FrontendOptions.Window
+// epochs from concurrent clients on the mesh at once and can coalesce
+// concurrently arriving single queries into lockstep batch epochs
+// (FrontendOptions.ServerBatch) — answers stay bit-identical to
+// serialized execution. A RemoteCluster is the client handle: the same
+// KNN/Classify/Regress/KNNBatch surface, the same exact results,
+// deterministic per (seed, query stream). See remote.go,
 // docs/ARCHITECTURE.md and docs/PROTOCOL.md.
 //
 // Quickstart:
@@ -93,6 +98,9 @@ type (
 	Scalar = points.Scalar
 	// Vector is a d-dimensional float64 point.
 	Vector = points.Vector
+	// BitVector is a bit-packed point compared under Hamming distance
+	// (64 features per word).
+	BitVector = points.BitVector
 	// Metric computes order-encoded distances for point type P.
 	Metric[P any] = points.Metric[P]
 )

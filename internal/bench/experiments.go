@@ -40,6 +40,7 @@ var Experiments = []Experiment{
 	{"tcpserve", "Serving over loopback TCP: one-shot mesh per query vs resident mesh", TCPServe},
 	{"tcpbatch", "Serving over loopback TCP: batched dispatch vs one query per epoch", TCPBatch},
 	{"tcpvector", "Vector workload over loopback TCP vs in-process, with and without batching", TCPVector},
+	{"tcpsched", "Frontend epoch scheduler: pipelined epochs + server-side batching under concurrent clients", TCPSched},
 }
 
 // ByID finds an experiment by its id.

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"distknn"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+// TCPSched measures what the frontend's epoch scheduler buys for many
+// small clients — the workload PR 4's frontend served worst: independent
+// clients issuing single queries, each previously queued behind every other
+// client's full epoch round trip.
+//
+// One row per scheduler configuration, all over identical shards and the
+// same total query stream split across the concurrent clients:
+//
+//   - window=1, batching off — the serialized baseline (one epoch in
+//     flight at a time; what the frontend did before the scheduler);
+//   - growing windows with batching off — pure epoch pipelining: distinct
+//     clients' epochs overlap on the mesh, multiplexed by the epoch-tagged
+//     frames;
+//   - window plus server-side batching — concurrently arriving single
+//     queries additionally coalesce into lockstep batch epochs
+//     (time/size-bounded admission buckets), so the E11b batch win applies
+//     to clients that batch nothing.
+//
+// Answers are bit-identical across every row (the scheduler determinism
+// tests pin this); only the throughput moves.
+func TCPSched(p Params) ([]*Table, error) {
+	p = p.withDefaults()
+	k, l := 4, 16
+	clients := 8
+	queries := 512
+	perNode := 1 << 10
+	type cfg struct {
+		window int
+		batch  bool
+		linger time.Duration
+	}
+	cfgs := []cfg{
+		{window: 1},
+		{window: 4},
+		{window: 8},
+		{window: 8, batch: true, linger: 200 * time.Microsecond},
+		{window: 8, batch: true, linger: time.Millisecond},
+	}
+	if p.Quick {
+		k, l = 3, 4
+		queries = 96
+		perNode = 256
+		cfgs = []cfg{
+			{window: 1},
+			{window: 8},
+			{window: 8, batch: true, linger: 200 * time.Microsecond},
+		}
+	}
+	if len(p.Ks) > 0 {
+		k = p.Ks[0]
+	}
+	if len(p.Ls) > 0 {
+		l = p.Ls[0]
+	}
+	seed := p.Seed
+
+	t := &Table{
+		ID: "E13",
+		Title: fmt.Sprintf("tcpsched — frontend epoch scheduler under %d concurrent single-query clients (k=%d, l=%d, %d pts/node, %d queries)",
+			clients, k, l, perNode, queries),
+		Note: "window=1 without batching is the pre-scheduler serialized frontend; pipelining overlaps distinct clients' " +
+			"epochs on one mesh, and server-side batching additionally coalesces concurrent singles into lockstep epochs — " +
+			"answers are bit-identical in every row",
+		Header: []string{"window", "server_batch", "linger_us", "wall_ms", "qps", "speedup_vs_serialized"},
+	}
+
+	shards := distknn.PaperShards(seed, perNode)
+	queryAt := func(i int) distknn.Scalar {
+		return distknn.Scalar(xrand.NewStream(seed, 1<<40+uint64(i)).Uint64N(points.PaperDomain))
+	}
+
+	var baseQPS float64
+	for ci, c := range cfgs {
+		srv, err := distknn.ServeTypedLocalOptions(distknn.ScalarPoints(), k, seed, shards,
+			distknn.NodeOptions{}, distknn.FrontendOptions{
+				Window:      c.window,
+				ServerBatch: c.batch,
+				Linger:      c.linger,
+			})
+		if err != nil {
+			return nil, fmt.Errorf("tcpsched serve (window=%d): %w", c.window, err)
+		}
+
+		// One connection per client, dialed (and warmed) outside the clock.
+		rcs := make([]*distknn.RemoteCluster[distknn.Scalar], clients)
+		for i := range rcs {
+			if rcs[i], err = distknn.DialScalarCluster(srv.Addr()); err != nil {
+				srv.Close()
+				return nil, fmt.Errorf("tcpsched dial: %w", err)
+			}
+		}
+		if _, _, err := rcs[0].KNN(queryAt(0), l); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("tcpsched warm-up: %w", err)
+		}
+
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		start := time.Now()
+		for ciI := 0; ciI < clients; ciI++ {
+			wg.Add(1)
+			go func(ciI int) {
+				defer wg.Done()
+				for i := ciI; i < queries; i += clients {
+					if _, _, err := rcs[ciI].KNN(queryAt(i), l); err != nil {
+						errs[ciI] = fmt.Errorf("client %d query %d: %w", ciI, i, err)
+						return
+					}
+				}
+			}(ciI)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for i := range rcs {
+			rcs[i].Close()
+		}
+		if err := srv.Close(); err != nil {
+			return nil, fmt.Errorf("tcpsched shutdown: %w", err)
+		}
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("tcpsched: %w", e)
+			}
+		}
+
+		qps := float64(queries) / wall.Seconds()
+		if ci == 0 {
+			baseQPS = qps
+		}
+		batch := "off"
+		lingerUS := 0.0
+		if c.batch {
+			batch = "on"
+			lingerUS = float64(c.linger.Microseconds())
+		}
+		t.AddRow(d(c.window), batch, f(lingerUS), f(wall.Seconds()*1e3), f(qps), f(qps/baseQPS))
+	}
+	return []*Table{t}, nil
+}

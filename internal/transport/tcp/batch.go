@@ -35,7 +35,7 @@ import (
 // active sub-program to arrive at the round barrier performs the physical
 // exchange on behalf of everyone.
 type batchRun struct {
-	n    *Node
+	er   *epochRun
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -47,11 +47,11 @@ type batchRun struct {
 }
 
 // lockstep runs one sub-program per query of the batch and multiplexes
-// their rounds. It is the body runEpochBatch hands to Node.execute, so a
+// their rounds. It is the body runBatch hands to epochRun.execute, so a
 // returned error travels the usual epoch-failure path (error frames to
 // peers, KindError to the frontend).
-func (n *Node) lockstep(epochSeed uint64, progs []kmachine.Program) error {
-	r := &batchRun{n: n, active: len(progs), subInbox: make([][]kmachine.Message, len(progs))}
+func (er *epochRun) lockstep(epochSeed uint64, progs []kmachine.Program) error {
+	r := &batchRun{er: er, active: len(progs), subInbox: make([][]kmachine.Message, len(progs))}
 	r.cond = sync.NewCond(&r.mu)
 	errs := make([]error, len(progs))
 	var wg sync.WaitGroup
@@ -62,7 +62,7 @@ func (n *Node) lockstep(epochSeed uint64, progs []kmachine.Program) error {
 			s := &subEnv{
 				r:   r,
 				qi:  qi,
-				rng: xrand.NewStream(xrand.DeriveSeed(epochSeed, uint64(qi)), uint64(n.id)),
+				rng: xrand.NewStream(xrand.DeriveSeed(epochSeed, uint64(qi)), uint64(er.n.id)),
 			}
 			errs[qi] = s.run(progs[qi])
 			r.finish(s, errs[qi])
@@ -116,20 +116,20 @@ func (r *batchRun) roundLocked() {
 			if e, ok := rec.(error); ok {
 				r.err = e
 			} else {
-				r.err = fmt.Errorf("tcp: node %d batch exchange panicked: %v", r.n.id, rec)
+				r.err = fmt.Errorf("tcp: node %d batch exchange panicked: %v", r.er.n.id, rec)
 			}
 		}
 		r.gen++
 		r.waiting = 0
 		r.cond.Broadcast()
 	}()
-	r.n.EndRound()
-	for _, msg := range r.n.Recv() {
+	r.er.EndRound()
+	for _, msg := range r.er.Recv() {
 		rd := wire.NewReader(msg.Payload)
 		qi := int(rd.Varint())
 		payload := rd.Raw(rd.Remaining())
 		if rd.Err() != nil || qi < 0 || qi >= len(r.subInbox) {
-			panic(transportFault(msg.From, fmt.Errorf("tcp: node %d got mis-tagged batch message from %d", r.n.id, msg.From)))
+			panic(transportFault(msg.From, fmt.Errorf("tcp: node %d got mis-tagged batch message from %d", r.er.n.id, msg.From)))
 		}
 		r.subInbox[qi] = append(r.subInbox[qi], kmachine.Message{From: msg.From, To: msg.To, Payload: payload})
 	}
@@ -164,7 +164,7 @@ func (s *subEnv) run(prog kmachine.Program) (err error) {
 			if e, ok := rec.(error); ok {
 				err = e
 			} else {
-				err = fmt.Errorf("tcp: node %d query %d panicked: %v", s.r.n.id, s.qi, rec)
+				err = fmt.Errorf("tcp: node %d query %d panicked: %v", s.r.er.n.id, s.qi, rec)
 			}
 		}
 	}()
@@ -172,14 +172,14 @@ func (s *subEnv) run(prog kmachine.Program) (err error) {
 }
 
 // ID returns the node's machine index.
-func (s *subEnv) ID() int { return s.r.n.id }
+func (s *subEnv) ID() int { return s.r.er.n.id }
 
 // K returns the cluster size.
-func (s *subEnv) K() int { return s.r.n.k }
+func (s *subEnv) K() int { return s.r.er.n.k }
 
 // GUID returns the node's epoch GUID (query protocols never use it; the
 // setup election runs as a solo epoch).
-func (s *subEnv) GUID() uint64 { return s.r.n.guid }
+func (s *subEnv) GUID() uint64 { return s.r.er.guid }
 
 // Rand returns the sub-program's private random stream, derived from
 // (epoch seed, query index, machine id).
@@ -189,13 +189,13 @@ func (s *subEnv) Rand() *rand.Rand { return s.rng }
 func (s *subEnv) Round() int {
 	s.r.mu.Lock()
 	defer s.r.mu.Unlock()
-	return s.r.n.round
+	return s.r.er.round
 }
 
 // Send queues payload for machine `to` next round, tagged with the query
 // index so the receiving node can route it to the right sub-program.
 func (s *subEnv) Send(to int, payload []byte) {
-	n := s.r.n
+	n := s.r.er.n
 	if to < 0 || to >= n.k {
 		panic(fmt.Sprintf("tcp: node %d sending to out-of-range %d", n.id, to))
 	}
@@ -214,23 +214,23 @@ func (s *subEnv) Send(to int, payload []byte) {
 
 // Broadcast sends payload to every other machine.
 func (s *subEnv) Broadcast(payload []byte) {
-	for to := 0; to < s.r.n.k; to++ {
-		if to != s.r.n.id {
+	for to := 0; to < s.r.er.n.k; to++ {
+		if to != s.r.er.n.id {
 			s.Send(to, payload)
 		}
 	}
 }
 
-// flushLocked moves the sub-program's queued sends into the node outbox the
-// next physical exchange ships, and folds its message counts into the node
+// flushLocked moves the sub-program's queued sends into the epoch outbox the
+// next physical exchange ships, and folds its message counts into the epoch
 // metrics. Caller holds r.mu.
 func (s *subEnv) flushLocked() {
 	for _, t := range s.out {
-		s.r.n.outbox[t.to] = append(s.r.n.outbox[t.to], t.payload)
+		s.r.er.outbox[t.to] = append(s.r.er.outbox[t.to], t.payload)
 	}
 	s.out = s.out[:0]
-	s.r.n.metrics.Messages += s.msgs
-	s.r.n.metrics.Bytes += s.bytes
+	s.r.er.metrics.Messages += s.msgs
+	s.r.er.metrics.Bytes += s.bytes
 	s.msgs, s.bytes = 0, 0
 }
 
@@ -285,11 +285,9 @@ func (s *subEnv) Gather(want int) []kmachine.Message {
 // WaitAny advances rounds until at least one message arrives.
 func (s *subEnv) WaitAny() []kmachine.Message { return s.Gather(1) }
 
-// runEpochBatch executes the batch's sub-programs as one isolated lockstep
-// epoch on the standing mesh — the batched counterpart of runEpoch, with
-// the same epoch reset and seed schedule.
-func (n *Node) runEpochBatch(epoch, epochSeed uint64, progs []kmachine.Program) (Metrics, error) {
-	n.resetEpoch(epoch, epochSeed)
-	err := n.execute(func(kmachine.Env) error { return n.lockstep(epochSeed, progs) })
-	return n.metrics, err
+// runBatch executes the batch's sub-programs as one isolated lockstep epoch
+// — the batched counterpart of epochRun.execute, with the same epoch-failure
+// path.
+func (er *epochRun) runBatch(epochSeed uint64, progs []kmachine.Program) error {
+	return er.execute(func(kmachine.Env) error { return er.lockstep(epochSeed, progs) })
 }

@@ -38,8 +38,10 @@ type ClientOptions struct {
 
 // Client is a remote handle on a serving cluster: it speaks the
 // query/reply half of the protocol over one connection. Queries on one
-// Client are serialized (the frontend serializes epochs globally anyway);
-// it is safe for concurrent use.
+// Client are serialized (one request/reply in flight per connection); it
+// is safe for concurrent use, but callers that want the frontend's epoch
+// pipelining to overlap their queries should use one Client per
+// goroutine.
 //
 // The client survives churn on both sides of its connection. A transport or
 // framing failure poisons the connection — it is closed and never reused
@@ -231,13 +233,20 @@ type LocalCluster struct {
 	closeErr  error
 }
 
-// ServeLocal starts a loopback serving cluster. newHandler builds one
-// Handler per node (each node needs its own instance, since a Handler keeps
-// per-node state); node identities are assigned at join time, so handlers
-// must discover their shard through the Env they are given. The cluster is
-// ready to serve (and Addr dialable by clients) when ServeLocal returns.
+// ServeLocal starts a loopback serving cluster with default
+// FrontendOptions. newHandler builds one Handler per node (each node needs
+// its own instance, since a Handler keeps per-node state); node identities
+// are assigned at join time, so handlers must discover their shard through
+// the Env they are given. The cluster is ready to serve (and Addr dialable
+// by clients) when ServeLocal returns.
 func ServeLocal(k int, seed uint64, newHandler func() Handler) (*LocalCluster, error) {
-	fe, err := NewFrontend("127.0.0.1:0", k, seed)
+	return ServeLocalOptions(k, seed, FrontendOptions{}, newHandler)
+}
+
+// ServeLocalOptions starts a loopback serving cluster with an explicit
+// epoch scheduler configuration (pipelining window, server-side batching).
+func ServeLocalOptions(k int, seed uint64, opts FrontendOptions, newHandler func() Handler) (*LocalCluster, error) {
+	fe, err := NewFrontendOptions("127.0.0.1:0", k, seed, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -7,29 +7,33 @@ import (
 	"sync/atomic"
 	"time"
 
-	"distknn/internal/points"
 	"distknn/internal/wire"
 )
 
 // Frontend is the client-facing side of a serving cluster. It performs
 // rendezvous exactly like a Coordinator, but then stays resident: it keeps
-// the control connection to every node, dispatches one BSP epoch per client
-// query, merges the nodes' winner shares, and answers the client. Protocol
-// traffic between nodes still flows over the mesh only; the frontend
-// carries queries in and merged results out.
+// the control connection to every node, dispatches client queries as BSP
+// epochs, collates the nodes' winner shares per epoch, and answers the
+// clients. Protocol traffic between nodes still flows over the mesh only;
+// the frontend carries queries in and merged results out.
 //
-// Query epochs are serialized: one query is in flight at a time, and
-// concurrent clients are queued in arrival order. Epoch ordinals (and with
-// them the per-epoch seeds) therefore follow the global query arrival
-// order, mirroring the in-process Cluster's atomic query counter.
+// Query epochs are pipelined by the epoch scheduler (scheduler.go): up to
+// FrontendOptions.Window epochs run on the mesh concurrently, multiplexed
+// over the epoch-tagged mesh and control frames, and with ServerBatch the
+// scheduler also coalesces concurrently arriving single queries into
+// lockstep batch epochs. Epoch ordinals (and with them the per-epoch seeds)
+// are assigned at admission in arrival order, mirroring the in-process
+// Cluster's atomic query counter; answers are bit-identical to serialized
+// execution because every algorithm is exact.
 //
 // Node churn degrades the cluster instead of breaking it. A reader pump per
 // control connection notices a dead node the moment its connection drops —
 // even between queries — and marks its seat absent; a node reporting a
 // fatal (mesh-level) epoch failure gets the implicated peer evicted the
-// same way. While any seat is absent, queries fail fast with a retryable
-// "cluster degraded" error (wire.Reply.Degraded); the failed in-flight
-// query reports the same way. The seat heals when a node re-registers: the
+// same way. A lost seat fails exactly the epochs that were in flight on it,
+// each with a retryable "cluster degraded" error (wire.Reply.Degraded);
+// while any seat is absent, new queries fail fast the same way without
+// consuming an epoch ordinal. The seat heals when a node re-registers: the
 // frontend grants it the absent slot, the node rebuilds its shard and
 // splices replacement mesh links into the resident peers, and the session
 // resumes at the current epoch ordinal — determinism per (seed, query
@@ -39,9 +43,10 @@ type Frontend struct {
 	k    int
 	seed uint64
 
+	sched *scheduler
+
 	ready    chan struct{} // closed once serving (or failed); see readyErr
 	readyErr error         // written before ready closes on failure
-	done     chan struct{} // closed by Close; releases pump goroutines
 
 	// rejoinMu serializes re-join handshakes: a later grant must see an
 	// earlier sealed seat in its Present list, or two concurrent
@@ -51,9 +56,9 @@ type Frontend struct {
 	// handshake.
 	rejoinMu sync.Mutex
 
-	// mu serializes query epochs, seat transitions (eviction, re-join) and
-	// the address book. Control pumps deliver their frames before taking
-	// it, so an in-flight epoch collection is never deadlocked by a pump.
+	// mu guards seat transitions (eviction, re-join), the address book and
+	// the epoch ordinal counter. The scheduler may take its own lock while
+	// holding mu (admission), never the other way around.
 	mu        sync.Mutex
 	slots     []*feSlot // one per machine id; nil until the session is ready
 	addrs     []string  // mesh address book, updated on re-join
@@ -61,7 +66,7 @@ type Frontend struct {
 	total     int64   // global point count (sum of shard sizes)
 	tag       uint8   // point encoding the nodes serve
 	shardLens []int64 // per-node shard sizes, pinned at setup to vet re-joins
-	epoch     uint64
+	epoch     uint64  // last assigned query-epoch ordinal
 
 	clientsMu sync.Mutex
 	clients   map[net.Conn]struct{} // live client connections, for Close
@@ -69,30 +74,31 @@ type Frontend struct {
 	closed atomic.Bool
 }
 
-// feSlot is one machine's seat at the frontend: its control connection, the
-// channel its pump delivers control frames on, and whether the node is
-// present. gen distinguishes connection incarnations across re-joins, so a
-// stale pump (or a stale in-flight collection) can never evict a freshly
-// re-joined node.
+// feSlot is one machine's seat at the frontend: its control connection and
+// whether the node is present. gen distinguishes connection incarnations
+// across re-joins, so a stale pump (or a stale in-flight epoch) can never
+// evict — or satisfy — a freshly re-joined node; sinceEpoch is the epoch
+// ordinal at which the current incarnation was seated, so a fatal mesh
+// report about an older epoch can never implicate it either.
 type feSlot struct {
-	id       int
-	gen      uint64
-	conn     net.Conn
-	ctrl     chan ctrlFrame
-	present  bool
-	lastLoss error // why the seat is absent, for degraded replies
-}
-
-// ctrlFrame is one pump delivery: a control frame, or the read error that
-// ended the connection.
-type ctrlFrame struct {
-	payload []byte
-	err     error
+	id         int
+	gen        uint64
+	sinceEpoch uint64
+	conn       net.Conn
+	present    bool
+	lastLoss   error // why the seat is absent, for degraded replies
 }
 
 // NewFrontend starts the serving listener on addr for a k-node cluster with
-// the given session seed. Call Serve to run the session.
+// the given session seed and default FrontendOptions. Call Serve to run the
+// session.
 func NewFrontend(addr string, k int, seed uint64) (*Frontend, error) {
+	return NewFrontendOptions(addr, k, seed, FrontendOptions{})
+}
+
+// NewFrontendOptions starts the serving listener with an explicit epoch
+// scheduler configuration (pipelining window, server-side batching).
+func NewFrontendOptions(addr string, k int, seed uint64, opts FrontendOptions) (*Frontend, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("tcp: frontend needs k >= 1, got %d", k)
 	}
@@ -100,13 +106,14 @@ func NewFrontend(addr string, k int, seed uint64) (*Frontend, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcp: frontend listen: %w", err)
 	}
-	return &Frontend{
+	f := &Frontend{
 		ln: ln, k: k, seed: seed,
 		ready:   make(chan struct{}),
-		done:    make(chan struct{}),
 		leader:  -1,
 		clients: make(map[net.Conn]struct{}),
-	}, nil
+	}
+	f.sched = newScheduler(f, opts)
+	return f, nil
 }
 
 // trackClient registers a live client connection; it refuses (and the
@@ -286,9 +293,9 @@ func (f *Frontend) Serve() error {
 	f.mu.Lock()
 	f.slots = make([]*feSlot, f.k)
 	for id, conn := range conns {
-		s := &feSlot{id: id, conn: conn, ctrl: make(chan ctrlFrame, 4), present: true}
+		s := &feSlot{id: id, conn: conn, present: true}
 		f.slots[id] = s
-		go f.pump(s, s.gen, conn, s.ctrl)
+		go f.pump(s, s.gen, conn)
 	}
 	f.addrs = append([]string(nil), addrs...)
 	f.leader = leader
@@ -303,41 +310,21 @@ func (f *Frontend) Serve() error {
 }
 
 // pump reads one node's control frames for one connection incarnation and
-// delivers them for epoch collection. A read failure is the immediate death
-// signal: the error frame unblocks any in-flight collection, and the seat
-// is marked absent the moment the epoch lock frees up — so a node dying
-// between queries is noticed before the next dispatch, not by it.
-func (f *Frontend) pump(s *feSlot, gen uint64, conn net.Conn, ctrl chan ctrlFrame) {
+// pushes them into the epoch scheduler's collation. A read failure is the
+// immediate death signal: the seat is marked absent on the spot — so a node
+// dying between queries is noticed before the next dispatch — and every
+// epoch in flight on this incarnation fails with a retryable degraded
+// reply.
+func (f *Frontend) pump(s *feSlot, gen uint64, conn net.Conn) {
 	for {
 		payload, err := wire.ReadFrame(conn)
 		if err != nil {
-			// Prefer delivering the death notice even when f.done is also
-			// ready: an in-flight collection blocks on this channel while
-			// holding the epoch lock, and Close waits for that lock — so
-			// dropping the error here could deadlock both.
-			select {
-			case ctrl <- ctrlFrame{err: err}:
-			default:
-				select {
-				case ctrl <- ctrlFrame{err: err}:
-				case <-f.done:
-					return
-				}
-			}
-			f.markAbsent(s, gen, fmt.Errorf("lost node %d: %v", s.id, err))
+			cause := fmt.Errorf("lost node %d: %v", s.id, err)
+			f.markAbsent(s, gen, cause)
+			f.sched.seatLost(s.id, gen, cause)
 			return
 		}
-		// Same bias for results: dropping one would strand the collection
-		// the same way.
-		select {
-		case ctrl <- ctrlFrame{payload: payload}:
-		default:
-			select {
-			case ctrl <- ctrlFrame{payload: payload}:
-			case <-f.done:
-				return
-			}
-		}
+		f.sched.deliver(s.id, gen, payload)
 	}
 }
 
@@ -349,6 +336,9 @@ func (f *Frontend) markAbsent(s *feSlot, gen uint64, cause error) {
 
 // markAbsentLocked retires one connection incarnation of a seat. A stale
 // gen (the seat was already re-granted to a re-joined node) is a no-op.
+// Every actual present→absent transition must be followed — after mu is
+// released — by exactly one scheduler.seatLost call for the retired
+// incarnation, so the epochs in flight on it fail instead of hanging.
 func (f *Frontend) markAbsentLocked(s *feSlot, gen uint64, cause error) {
 	if s.gen != gen || !s.present {
 		return
@@ -361,12 +351,59 @@ func (f *Frontend) markAbsentLocked(s *feSlot, gen uint64, cause error) {
 	}
 }
 
+// evictSeat retires incarnation gen of seat id (a malformed or
+// desynchronized control stream) and fails its in-flight epochs.
+func (f *Frontend) evictSeat(id int, gen uint64, cause error) {
+	f.mu.Lock()
+	s := f.slots[id]
+	act := s.present && s.gen == gen
+	if act {
+		f.markAbsentLocked(s, gen, cause)
+	}
+	f.mu.Unlock()
+	if act {
+		f.sched.seatLost(id, gen, cause)
+	}
+}
+
+// evictImplicated handles a fatal mesh report from (reporter, reporterGen)
+// about the given epoch: the implicated seat — the named lost peer, else
+// the reporter itself — is retired and its in-flight epochs fail. A report
+// from a reporter whose seat is already retired is the echo of the same
+// fault from the link's other endpoint (both ends blame each other when
+// one link breaks); acting on it would evict both nodes for one fault, so
+// it is ignored. A report about an epoch older than the target seat's
+// current incarnation concerns its predecessor's links (a delayed second
+// report from before a quick re-join) and is ignored the same way.
+func (f *Frontend) evictImplicated(reporter int, reporterGen, epoch uint64, lostPeer int, cause error) {
+	f.mu.Lock()
+	rs := f.slots[reporter]
+	if rs.gen != reporterGen || !rs.present {
+		f.mu.Unlock()
+		return
+	}
+	target := rs
+	if lostPeer >= 0 && lostPeer < f.k && lostPeer != reporter {
+		target = f.slots[lostPeer]
+		cause = fmt.Errorf("node %d lost its link to node %d: %v", reporter, lostPeer, cause)
+	}
+	gen := target.gen
+	act := target.present && epoch > target.sinceEpoch
+	if act {
+		f.markAbsentLocked(target, gen, cause)
+	}
+	f.mu.Unlock()
+	if act {
+		f.sched.seatLost(target.id, gen, cause)
+	}
+}
+
 // EvictNode forcibly retires node id's seat and closes its control
 // connection: the node's ServeNode returns ErrSessionLost, and the seat
-// becomes re-joinable. Queries fail with a degraded error until a node
-// takes the seat back. It exists for operators (kick a wedged or
-// partitioned node so it re-joins with fresh links) and for churn tests; if
-// a query epoch is in flight it completes first.
+// becomes re-joinable. Epochs in flight on the node fail with a retryable
+// degraded error, and queries keep failing that way until a node takes the
+// seat back. It exists for operators (kick a wedged or partitioned node so
+// it re-joins with fresh links) and for churn tests.
 func (f *Frontend) EvictNode(id int) error {
 	<-f.ready
 	if f.readyErr != nil {
@@ -376,12 +413,16 @@ func (f *Frontend) EvictNode(id int) error {
 		return fmt.Errorf("tcp: evict: no node %d in a %d-node cluster", id, f.k)
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	s := f.slots[id]
 	if !s.present {
+		f.mu.Unlock()
 		return fmt.Errorf("tcp: evict: node %d is not present", id)
 	}
-	f.markAbsentLocked(s, s.gen, fmt.Errorf("node %d evicted", id))
+	gen := s.gen
+	cause := fmt.Errorf("node %d evicted", id)
+	f.markAbsentLocked(s, gen, cause)
+	f.mu.Unlock()
+	f.sched.seatLost(id, gen, cause)
 	return nil
 }
 
@@ -497,11 +538,11 @@ func (f *Frontend) handleRejoin(conn net.Conn, wantID int, addr string) {
 		return
 	}
 	slot.gen++
+	slot.sinceEpoch = f.epoch
 	slot.conn = conn
-	slot.ctrl = make(chan ctrlFrame, 4)
 	slot.present = true
 	slot.lastLoss = nil
-	go f.pump(slot, slot.gen, conn, slot.ctrl)
+	go f.pump(slot, slot.gen, conn)
 }
 
 // Leader returns the cluster's elected leader (-1 before the session is
@@ -512,20 +553,30 @@ func (f *Frontend) Leader() int {
 	return f.leader
 }
 
-// Close ends the session: it stops accepting connections, asks every node
-// to shut down, and releases the control and client connections. In-flight
-// queries complete first. Safe to call more than once.
+// Close ends the session: it stops accepting connections, fails every
+// queued and in-flight query epoch with a retryable error, asks every node
+// to shut down, and releases the control and client connections. The nodes
+// drain their in-flight epochs before tearing their meshes down, so a close
+// mid-query never strands a peer. Safe to call more than once.
 func (f *Frontend) Close() error {
 	if !f.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	err := f.ln.Close()
-	close(f.done)
+	// Fail the scheduler first: in-flight collation jobs answer their
+	// clients with the retryable closing reply instead of racing the
+	// control pumps' death notices below.
+	f.sched.shutdown()
 	f.mu.Lock()
 	for _, s := range f.slots {
 		if s.conn != nil {
+			// The shutdown frame is a courtesy (the connection closes
+			// right below either way): a healthy node's socket buffer
+			// takes it instantly, and a wedged one must not hold f.mu
+			// hostage, so the write gets a short deadline.
 			var w wire.Writer
 			w.U8(wire.KindShutdown)
+			s.conn.SetWriteDeadline(time.Now().Add(time.Second))
 			_ = wire.WriteFrame(s.conn, w.Bytes())
 			s.conn.Close()
 			s.conn = nil
@@ -566,7 +617,7 @@ func (f *Frontend) serveClient(conn net.Conn, first []byte) {
 			if err != nil {
 				rep = wire.Reply{Err: fmt.Sprintf("bad query: %v", err)}
 			} else {
-				rep = f.query(q)
+				rep = f.answer(q)
 			}
 		}
 		if err := wire.WriteFrame(conn, wire.EncodeReply(rep)); err != nil {
@@ -577,6 +628,26 @@ func (f *Frontend) serveClient(conn net.Conn, first []byte) {
 			return
 		}
 	}
+}
+
+// answer validates one client query against the session and hands it to
+// the epoch scheduler. The session parameters (tag, global point count) are
+// immutable once ready closes, so validation takes no lock; a validation
+// failure consumes no epoch ordinal.
+func (f *Frontend) answer(q wire.Query) wire.Reply {
+	if q.Op < wire.OpKNN || q.Op > wire.OpRegress {
+		return wire.Reply{Err: fmt.Sprintf("unknown op %d", q.Op)}
+	}
+	if q.Tag != f.tag {
+		return wire.Reply{Err: fmt.Sprintf("cluster serves point tag %d, query uses %d", f.tag, q.Tag)}
+	}
+	if q.L < 1 || int64(q.L) > f.total {
+		return wire.Reply{Err: fmt.Sprintf("l=%d out of range [1, %d]", q.L, f.total)}
+	}
+	if len(q.Points) < 1 || len(q.Points) > wire.MaxBatch {
+		return wire.Reply{Err: fmt.Sprintf("batch of %d out of range [1, %d]", len(q.Points), wire.MaxBatch)}
+	}
+	return f.sched.submit(q)
 }
 
 // degradedLocked builds the retryable degraded reply naming the absent
@@ -600,153 +671,4 @@ func (f *Frontend) degradedLocked(verb string) (wire.Reply, bool) {
 		msg += fmt.Sprintf(" (%v)", cause)
 	}
 	return wire.Reply{Err: msg, Degraded: true}, false
-}
-
-// query runs one batched query epoch across the resident nodes and merges
-// the per-query results. It holds the epoch lock for the whole round trip.
-func (f *Frontend) query(q wire.Query) wire.Reply {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.slots == nil || f.closed.Load() {
-		return wire.Reply{Err: "cluster unavailable"}
-	}
-	if q.Op < wire.OpKNN || q.Op > wire.OpRegress {
-		return wire.Reply{Err: fmt.Sprintf("unknown op %d", q.Op)}
-	}
-	if q.Tag != f.tag {
-		return wire.Reply{Err: fmt.Sprintf("cluster serves point tag %d, query uses %d", f.tag, q.Tag)}
-	}
-	if q.L < 1 || int64(q.L) > f.total {
-		return wire.Reply{Err: fmt.Sprintf("l=%d out of range [1, %d]", q.L, f.total)}
-	}
-	if len(q.Points) < 1 || len(q.Points) > wire.MaxBatch {
-		return wire.Reply{Err: fmt.Sprintf("batch of %d out of range [1, %d]", len(q.Points), wire.MaxBatch)}
-	}
-	if rep, ok := f.degradedLocked("waiting for"); !ok {
-		// No epoch is consumed: the query never ran, so the seed schedule
-		// of the successful query stream is unchanged by the outage.
-		return rep
-	}
-
-	f.epoch++
-	dispatch := wire.EncodeDispatch(f.epoch, q)
-	type target struct {
-		s    *feSlot
-		gen  uint64
-		ctrl chan ctrlFrame
-	}
-	targets := make([]target, 0, f.k)
-	for _, s := range f.slots {
-		if err := wire.WriteFrame(s.conn, dispatch); err != nil {
-			f.markAbsentLocked(s, s.gen, fmt.Errorf("dispatch to node %d: %v", s.id, err))
-			continue
-		}
-		targets = append(targets, target{s, s.gen, s.ctrl})
-	}
-
-	rep := wire.Reply{Results: make([]wire.QueryReply, len(q.Points))}
-	var epochErr string
-	epochErrOrigin := false
-	for _, t := range targets {
-		payload, err := collectFrame(t.ctrl, f.epoch)
-		if err != nil {
-			f.markAbsentLocked(t.s, t.gen, fmt.Errorf("lost node %d mid-query: %v", t.s.id, err))
-			continue
-		}
-		r := wire.NewReader(payload)
-		switch kind := r.U8(); kind {
-		case wire.KindError:
-			ne, derr := wire.DecodeNodeError(r)
-			if derr != nil || ne.Epoch != f.epoch {
-				f.markAbsentLocked(t.s, t.gen, fmt.Errorf("node %d sent a malformed or stale error", t.s.id))
-				continue
-			}
-			if epochErr == "" || (ne.Origin && !epochErrOrigin) {
-				epochErr = fmt.Sprintf("node %d: %s", t.s.id, ne.Msg)
-				epochErrOrigin = ne.Origin
-			}
-			if ne.Fatal && t.s.present {
-				// A dead mesh, not a failed program: retire the implicated
-				// seat immediately — its holder (if alive at all) must
-				// re-join with fresh links before the cluster serves again.
-				// A report from a seat already retired this epoch is the
-				// echo of the same fault from the link's other endpoint
-				// (both ends blame each other when one link breaks); acting
-				// on it would evict both nodes for one fault.
-				evict := t.s
-				cause := fmt.Errorf("node %d reported a fatal mesh failure: %s", t.s.id, ne.Msg)
-				if ne.LostPeer >= 0 && ne.LostPeer < f.k && ne.LostPeer != t.s.id {
-					evict = f.slots[ne.LostPeer]
-					cause = fmt.Errorf("node %d lost its link to node %d: %s", t.s.id, ne.LostPeer, ne.Msg)
-				}
-				f.markAbsentLocked(evict, evict.gen, cause)
-			}
-		case wire.KindResult:
-			nr, derr := wire.DecodeNodeResult(r)
-			if derr != nil || nr.Epoch != f.epoch || nr.Node != t.s.id || len(nr.Queries) != len(q.Points) {
-				f.markAbsentLocked(t.s, t.gen, fmt.Errorf("node %d sent a malformed or stale result (%v)", t.s.id, derr))
-				continue
-			}
-			if nr.Rounds > rep.Rounds {
-				rep.Rounds = nr.Rounds
-			}
-			rep.Messages += nr.Messages
-			rep.Bytes += nr.Bytes
-			for qi, qr := range nr.Queries {
-				rep.Results[qi].Items = append(rep.Results[qi].Items, qr.Winners...)
-				if nr.IsLeader {
-					rep.Results[qi].QueryOutcome = qr.QueryOutcome
-				}
-			}
-		default:
-			f.markAbsentLocked(t.s, t.gen, fmt.Errorf("node %d sent unexpected kind %d", t.s.id, kind))
-		}
-	}
-	if drep, ok := f.degradedLocked("lost"); !ok {
-		// The epoch was consumed but the batch failed as a unit; the
-		// client may retry it (idempotent reads) once the seat heals.
-		return drep
-	}
-	if epochErr != "" {
-		return wire.Reply{Err: fmt.Sprintf("query failed: %s", epochErr)}
-	}
-	rep.Leader = f.leader
-	for qi := range rep.Results {
-		points.SortItems(rep.Results[qi].Items)
-		if q.Op != wire.OpKNN {
-			rep.Results[qi].Items = nil
-		}
-	}
-	return rep
-}
-
-// collectFrame returns the node's control frame for the given epoch,
-// skipping leftovers of earlier aborted epochs (a result or error the
-// previous collection abandoned when the epoch failed early).
-func collectFrame(ctrl chan ctrlFrame, epoch uint64) ([]byte, error) {
-	for {
-		cf := <-ctrl
-		if cf.err != nil {
-			return nil, cf.err
-		}
-		e, err := ctrlEpoch(cf.payload)
-		if err != nil {
-			return nil, err
-		}
-		if e < epoch {
-			continue
-		}
-		return cf.payload, nil
-	}
-}
-
-// ctrlEpoch extracts the epoch ordinal of a node's control frame.
-func ctrlEpoch(payload []byte) (uint64, error) {
-	r := wire.NewReader(payload)
-	kind := r.U8()
-	if kind != wire.KindResult && kind != wire.KindError {
-		return 0, fmt.Errorf("unexpected control kind %d", kind)
-	}
-	e := r.Varint()
-	return e, r.Err()
 }

@@ -1,0 +1,639 @@
+package tcp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"distknn/internal/points"
+	"distknn/internal/wire"
+)
+
+// This file is the frontend's epoch scheduler: the layer between the
+// client-serving goroutines and the mesh. It does two jobs.
+//
+// Pipelined query epochs. Instead of serializing query epochs (one client
+// waits for another's round trip), the scheduler keeps up to Window epochs
+// in flight at once. Admission assigns each epoch its ordinal — and with it
+// the deterministic per-epoch seed DeriveSeed(sessionSeed, ordinal) — in
+// arrival order under the frontend lock, writes the dispatch to every
+// seated node, and registers a collation job; the per-node control pumps
+// push each arriving result or error frame to its job by epoch ordinal, so
+// replies complete out of order without any epoch waiting on an unrelated
+// one. Admission beyond the window blocks (backpressure on the client
+// connection) until a slot frees. Answers are bit-identical to serialized
+// execution: every algorithm is exact, and the ordinal-derived seeds steer
+// only sampling and round counts, never results.
+//
+// Server-side batching. With ServerBatch enabled, concurrently arriving
+// single-point queries that agree on (op, ℓ, point tag) coalesce into one
+// lockstep batch epoch: a query joins the open bucket for its key, and the
+// bucket flushes when it reaches MaxServerBatch points or after Linger —
+// whichever comes first — turning the client-side KNNBatch amortization
+// (shared physical rounds, one dispatch) into a free win for many small
+// clients. Each coalesced query receives its own result; the epoch-wide
+// cost fields (rounds, messages, bytes) of the shared epoch are reported to
+// every participant.
+//
+// Churn interaction. A seat lost mid-flight fails exactly the epochs that
+// were dispatched to it — each affected job completes with a retryable
+// degraded reply — while queued and coalescing queries never consume an
+// ordinal: they fail fast at admission with the usual degraded error until
+// the seat heals. Close fails every queued and in-flight epoch with a
+// retryable error instead of racing the control pumps.
+
+// dispatchTimeout bounds one dispatch frame's control-connection write.
+// The frontend lock is held across the write phase, so the deadline is
+// what keeps a wedged node (alive but not draining its socket) from
+// stalling every client — and the EvictNode that would remove it — for
+// long: a healthy node's buffer takes a dispatch instantly, and even a
+// MaxBatch-sized frame crosses a LAN well inside this bound.
+var dispatchTimeout = 5 * time.Second
+
+// maxWindow caps FrontendOptions.Window. The bound keeps the pipelining
+// depth consistent with the mesh demultiplexer's stash budgets: a node may
+// receive a couple of early frames per not-yet-started epoch per link
+// (stashEpochCap), and the per-link total (stashTotalCap) must cover a
+// full window of such epochs — a window beyond that could trip the
+// flood-protection link kill on a healthy but lagging node.
+const maxWindow = 64
+
+// FrontendOptions tunes the frontend's epoch scheduler.
+type FrontendOptions struct {
+	// Window is the maximum number of query epochs in flight at once.
+	// 1 serializes epochs (the pre-scheduler behavior); the default is 8
+	// and values are capped at 64 (the mesh demultiplexer's buffering is
+	// budgeted for that depth).
+	Window int
+	// ServerBatch enables transparent server-side batching: concurrently
+	// arriving single-point queries with the same (op, ℓ, tag) coalesce
+	// into one lockstep batch epoch. Off by default — coalescing trades up
+	// to Linger of latency for throughput.
+	ServerBatch bool
+	// Linger bounds how long an open coalescing bucket waits for more
+	// queries before it flushes (default 500µs). Only meaningful with
+	// ServerBatch.
+	Linger time.Duration
+	// MaxServerBatch caps a coalesced batch (default 64, at most
+	// wire.MaxBatch). A full bucket flushes immediately.
+	MaxServerBatch int
+}
+
+func (o FrontendOptions) withDefaults() FrontendOptions {
+	if o.Window < 1 {
+		o.Window = 8
+	}
+	if o.Window > maxWindow {
+		o.Window = maxWindow
+	}
+	if o.Linger <= 0 {
+		o.Linger = 500 * time.Microsecond
+	}
+	if o.MaxServerBatch < 1 {
+		o.MaxServerBatch = 64
+	}
+	if o.MaxServerBatch > wire.MaxBatch {
+		o.MaxServerBatch = wire.MaxBatch
+	}
+	return o
+}
+
+// scheduler pipelines query epochs over the mesh and coalesces single
+// queries into batch epochs. Lock order: f.mu may be held while taking
+// sched.mu (admission registers jobs under both); sched.mu is never held
+// while taking f.mu — frame delivery collects any eviction it implies and
+// performs it after releasing sched.mu.
+type scheduler struct {
+	f        *Frontend
+	window   int
+	linger   time.Duration
+	maxBatch int
+	batching bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond // admission waits here for a free window slot
+	closed   bool
+	count    int // in-flight epochs
+	inflight map[uint64]*epochJob
+	buckets  map[bucketKey]*bucket
+}
+
+func newScheduler(f *Frontend, opts FrontendOptions) *scheduler {
+	opts = opts.withDefaults()
+	sched := &scheduler{
+		f:        f,
+		window:   opts.Window,
+		linger:   opts.Linger,
+		maxBatch: opts.MaxServerBatch,
+		batching: opts.ServerBatch,
+		inflight: make(map[uint64]*epochJob),
+		buckets:  make(map[bucketKey]*bucket),
+	}
+	sched.cond = sync.NewCond(&sched.mu)
+	return sched
+}
+
+// epochJob is one in-flight query epoch's collation state: which (seat,
+// connection incarnation) pairs still owe a frame, the merged reply so far,
+// and how the epoch ends. All fields are guarded by scheduler.mu until done
+// closes; rep is immutable after.
+type epochJob struct {
+	epoch uint64
+	q     wire.Query
+
+	expect    map[int]uint64 // node id → expected gen, removed once accounted
+	lost      []int          // seats lost mid-epoch
+	lostCause error
+	errMsg    string // first (origin-preferred) epoch failure
+	errOrigin bool
+	rep       wire.Reply
+	finished  bool
+	done      chan struct{}
+}
+
+// fail records the loss of one dispatched-to seat.
+func (job *epochJob) fail(id int, cause error) {
+	job.lost = append(job.lost, id)
+	if job.lostCause == nil {
+		job.lostCause = cause
+	}
+}
+
+// merge folds one node's result into the job: per query its winner share,
+// the leader's outcome, and the epoch cost (max rounds, total traffic).
+func (job *epochJob) merge(nr wire.NodeResult) {
+	if nr.Rounds > job.rep.Rounds {
+		job.rep.Rounds = nr.Rounds
+	}
+	job.rep.Messages += nr.Messages
+	job.rep.Bytes += nr.Bytes
+	for qi, qr := range nr.Queries {
+		job.rep.Results[qi].Items = append(job.rep.Results[qi].Items, qr.Winners...)
+		if nr.IsLeader {
+			job.rep.Results[qi].QueryOutcome = qr.QueryOutcome
+		}
+	}
+}
+
+// closingReply is the retryable failure every queued, coalescing and
+// in-flight query receives when the frontend shuts down mid-flight.
+func closingReply() wire.Reply {
+	return wire.Reply{Err: "frontend shutting down; query aborted (safe to retry)", Degraded: true}
+}
+
+// submit answers one validated client query through the scheduler.
+func (sched *scheduler) submit(q wire.Query) wire.Reply {
+	if sched.batching && len(q.Points) == 1 {
+		return sched.coalesce(q)
+	}
+	return sched.run(q)
+}
+
+// run executes q as one query epoch: admission (window backpressure),
+// dispatch (ordinal assignment + job registration) and collation wait.
+func (sched *scheduler) run(q wire.Query) wire.Reply {
+	// Degraded fast-fail before admission: a probe during an outage answers
+	// immediately — even while the window is full of doomed epochs — and
+	// consumes neither an ordinal nor a window slot.
+	f := sched.f
+	f.mu.Lock()
+	rep, ok := f.degradedLocked("waiting for")
+	f.mu.Unlock()
+	if !ok {
+		return rep
+	}
+
+	sched.mu.Lock()
+	for !sched.closed && sched.count >= sched.window {
+		sched.cond.Wait()
+	}
+	if sched.closed {
+		sched.mu.Unlock()
+		return closingReply()
+	}
+	sched.count++
+	sched.mu.Unlock()
+
+	job, rep := sched.dispatch(q)
+	if job == nil {
+		sched.mu.Lock()
+		// A concurrent shutdown already reset the counter (and closed
+		// gates all admission), so only a live scheduler's slot returns.
+		if !sched.closed {
+			sched.count--
+			sched.cond.Broadcast()
+		}
+		sched.mu.Unlock()
+		return rep
+	}
+	<-job.done
+	return job.rep
+}
+
+// dispatch assigns the epoch ordinal, ships the dispatch frame to every
+// seated node and registers the collation job. It returns a nil job (and
+// the reply to send instead) when the query cannot run — the cluster is
+// degraded, closing, or every dispatch write failed on the spot. The job is
+// registered before the first dispatch write, so a result can never arrive
+// unclaimed; both locks are held across the writes, which keeps seat
+// generations consistent with the expectation set.
+func (sched *scheduler) dispatch(q wire.Query) (*epochJob, wire.Reply) {
+	f := sched.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.slots == nil || f.closed.Load() {
+		return nil, closingReply()
+	}
+	if rep, ok := f.degradedLocked("waiting for"); !ok {
+		// No epoch is consumed: the query never ran, so the seed schedule
+		// of the successful query stream is unchanged by the outage.
+		return nil, rep
+	}
+	f.epoch++
+	epoch := f.epoch
+	dispatch := wire.EncodeDispatch(epoch, q)
+	job := &epochJob{
+		epoch:  epoch,
+		q:      q,
+		expect: make(map[int]uint64, f.k),
+		rep:    wire.Reply{Results: make([]wire.QueryReply, len(q.Points))},
+		done:   make(chan struct{}),
+	}
+	// Register the job with its full expectation set before any write, so
+	// a node answering instantly finds its job — then release sched.mu for
+	// the write phase: collation of unrelated epochs (and their client
+	// replies) must not queue behind these sockets. f.mu alone keeps every
+	// seat's conn and gen stable across the writes.
+	sched.mu.Lock()
+	if sched.closed {
+		// Close won the race since the f.closed check above: shutdown()
+		// has already swept the inflight map, so registering now would
+		// strand this job past the sweep (and mislabel its failure as
+		// churn when the node connections drop).
+		sched.mu.Unlock()
+		return nil, closingReply()
+	}
+	sched.inflight[epoch] = job
+	for _, s := range f.slots {
+		job.expect[s.id] = s.gen
+	}
+	sched.mu.Unlock()
+	// The writes run concurrently and bounded: a node that stopped
+	// draining its control connection (partitioned, stopped) must fail its
+	// write — and lose its seat — within one deadline rather than wedge
+	// the whole frontend, including the EvictNode that would remove it.
+	writeErrs := make([]error, len(f.slots))
+	var writes sync.WaitGroup
+	for i, s := range f.slots {
+		writes.Add(1)
+		go func(i int, s *feSlot) {
+			defer writes.Done()
+			s.conn.SetWriteDeadline(time.Now().Add(dispatchTimeout))
+			writeErrs[i] = wire.WriteFrame(s.conn, dispatch)
+			if writeErrs[i] == nil {
+				s.conn.SetWriteDeadline(time.Time{})
+			}
+		}(i, s)
+	}
+	writes.Wait()
+	sched.mu.Lock()
+	for i, s := range f.slots {
+		if err := writeErrs[i]; err != nil {
+			cause := fmt.Errorf("dispatch to node %d: %v", s.id, err)
+			gen := s.gen
+			f.markAbsentLocked(s, gen, cause)
+			// The node never received this epoch: withdraw its pre-filled
+			// expectation (unless the job already finished, e.g. a
+			// concurrent shutdown) and fail the epochs in flight on it.
+			if g, ok := job.expect[s.id]; ok && g == gen && !job.finished {
+				delete(job.expect, s.id)
+				job.fail(s.id, cause)
+			}
+			sched.seatLostLocked(s.id, gen, cause)
+		}
+	}
+	sched.maybeFinishLocked(job)
+	sched.mu.Unlock()
+	return job, wire.Reply{}
+}
+
+// deliver routes one control frame from (seat id, connection incarnation
+// gen) to its epoch's job. Frames for unknown epochs are leftovers of
+// completed or failed epochs and are dropped; malformed frames and fatal
+// mesh reports evict the implicated seat after the bookkeeping is done
+// (never while holding sched.mu — see the lock-order note on scheduler).
+func (sched *scheduler) deliver(id int, gen uint64, payload []byte) {
+	// Peek the kind and epoch ordinal on a throwaway reader; the decoders
+	// below expect the payload with only the kind byte consumed.
+	peek := wire.NewReader(payload)
+	kind := peek.U8()
+	epoch := peek.Varint()
+	if peek.Err() != nil || (kind != wire.KindResult && kind != wire.KindError) {
+		cause := fmt.Errorf("node %d sent unexpected control kind %d", id, kind)
+		sched.f.evictSeat(id, gen, cause)
+		return
+	}
+	r := wire.NewReader(payload)
+	r.U8()
+	type evictReq struct {
+		implicated bool // echo-suppressed fatal report; else evict id itself
+		lostPeer   int
+		cause      error
+	}
+	var evict *evictReq
+	sched.mu.Lock()
+	job := sched.inflight[epoch]
+	if job != nil {
+		if g, ok := job.expect[id]; !ok || g != gen {
+			job = nil // a stale incarnation, or the seat already reported
+		}
+	}
+	switch kind {
+	case wire.KindResult:
+		if job == nil {
+			break // leftover of a finished or failed epoch
+		}
+		nr, derr := wire.DecodeNodeResult(r)
+		if derr != nil || nr.Node != id || len(nr.Queries) != len(job.q.Points) {
+			cause := fmt.Errorf("node %d sent a malformed result (%v)", id, derr)
+			delete(job.expect, id)
+			job.fail(id, cause)
+			evict = &evictReq{cause: cause}
+		} else {
+			delete(job.expect, id)
+			job.merge(nr)
+		}
+	case wire.KindError:
+		ne, derr := wire.DecodeNodeError(r)
+		if derr != nil {
+			if job == nil {
+				break
+			}
+			cause := fmt.Errorf("node %d sent a malformed error", id)
+			delete(job.expect, id)
+			job.fail(id, cause)
+			evict = &evictReq{cause: cause}
+			break
+		}
+		if job != nil {
+			delete(job.expect, id)
+			if job.errMsg == "" || (ne.Origin && !job.errOrigin) {
+				job.errMsg = fmt.Sprintf("node %d: %s", id, ne.Msg)
+				job.errOrigin = ne.Origin
+			}
+		}
+		if ne.Fatal {
+			// A dead mesh, not a failed program: retire the implicated
+			// seat — its holder (if alive at all) must re-join with fresh
+			// links before the cluster serves again. This runs even when
+			// the epoch's job already finished (e.g. it was failed the
+			// moment another seat dropped): the broken link is real, and
+			// ignoring the report would leave the implicated seat standing
+			// until the next dispatched epoch trips over it.
+			cause := fmt.Errorf("node %d reported a fatal mesh failure: %s", id, ne.Msg)
+			evict = &evictReq{
+				implicated: true,
+				lostPeer:   ne.LostPeer,
+				cause:      cause,
+			}
+			if job != nil {
+				// The epoch died of churn, not of its program: record the
+				// implicated seat as lost on this job so it finishes with
+				// the retryable degraded reply — even if that seat's own
+				// result already arrived before its mesh fault surfaced
+				// (e.g. the node answered, then died taking a link with
+				// it).
+				lost := id
+				if ne.LostPeer >= 0 && ne.LostPeer < sched.f.k {
+					lost = ne.LostPeer
+				}
+				job.fail(lost, cause)
+			}
+		}
+	}
+	if job != nil {
+		sched.maybeFinishLocked(job)
+	}
+	sched.mu.Unlock()
+	if evict != nil {
+		if evict.implicated {
+			sched.f.evictImplicated(id, gen, epoch, evict.lostPeer, evict.cause)
+		} else {
+			sched.f.evictSeat(id, gen, evict.cause)
+		}
+	}
+}
+
+// seatLost fails every in-flight epoch that was dispatched to connection
+// incarnation gen of seat id. Every present→absent seat transition is
+// followed by exactly one seatLost call for the retired incarnation.
+func (sched *scheduler) seatLost(id int, gen uint64, cause error) {
+	sched.mu.Lock()
+	sched.seatLostLocked(id, gen, cause)
+	sched.mu.Unlock()
+}
+
+func (sched *scheduler) seatLostLocked(id int, gen uint64, cause error) {
+	for _, job := range sched.inflight {
+		if g, ok := job.expect[id]; ok && g == gen {
+			delete(job.expect, id)
+			job.fail(id, fmt.Errorf("lost node %d mid-query: %v", id, cause))
+			sched.maybeFinishLocked(job)
+		}
+	}
+}
+
+// maybeFinishLocked completes the job once every dispatched-to seat has
+// been accounted for — or immediately when any seat was lost: the epoch is
+// doomed as a unit, and the surviving nodes may be parked inside it waiting
+// for the lost peer's frames, so waiting for their reports could deadlock
+// the reply behind the very outage it describes. A lost seat wins
+// (retryable degraded reply), then an epoch failure, then the merged
+// result; late frames for a finished epoch are dropped. Caller holds
+// sched.mu.
+func (sched *scheduler) maybeFinishLocked(job *epochJob) {
+	if job.finished || (len(job.expect) > 0 && len(job.lost) == 0) {
+		return
+	}
+	job.finished = true
+	switch {
+	case len(job.lost) > 0:
+		// The epoch was consumed but the batch failed as a unit; the
+		// client may retry it (idempotent reads) once the seat heals.
+		sort.Ints(job.lost)
+		msg := fmt.Sprintf("cluster degraded (%d of %d nodes): lost node(s) %v",
+			sched.f.k-len(job.lost), sched.f.k, job.lost)
+		if job.lostCause != nil {
+			msg += fmt.Sprintf(" (%v)", job.lostCause)
+		}
+		job.rep = wire.Reply{Err: msg, Degraded: true}
+	case job.errMsg != "":
+		job.rep = wire.Reply{Err: fmt.Sprintf("query failed: %s", job.errMsg)}
+	default:
+		job.rep.Leader = sched.f.leader
+		for qi := range job.rep.Results {
+			points.SortItems(job.rep.Results[qi].Items)
+			if job.q.Op != wire.OpKNN {
+				job.rep.Results[qi].Items = nil
+			}
+		}
+	}
+	delete(sched.inflight, job.epoch)
+	sched.count--
+	sched.cond.Broadcast()
+	close(job.done)
+}
+
+// shutdown fails every queued, coalescing and in-flight query with a
+// retryable closing reply and refuses later admissions. In-flight epochs
+// may still complete on the nodes; their late results are dropped.
+func (sched *scheduler) shutdown() {
+	sched.mu.Lock()
+	if sched.closed {
+		sched.mu.Unlock()
+		return
+	}
+	sched.closed = true
+	for _, job := range sched.inflight {
+		if !job.finished {
+			job.finished = true
+			job.rep = closingReply()
+			close(job.done)
+		}
+	}
+	sched.inflight = make(map[uint64]*epochJob)
+	sched.count = 0
+	var open []*bucket
+	for key, b := range sched.buckets {
+		b.timer.Stop()
+		delete(sched.buckets, key)
+		open = append(open, b)
+	}
+	sched.cond.Broadcast()
+	sched.mu.Unlock()
+	for _, b := range open {
+		b.rep = closingReply()
+		close(b.done)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Server-side batching
+// ---------------------------------------------------------------------------
+
+// bucketKey identifies queries that may share one lockstep batch epoch: a
+// wire.Query carries a single (op, ℓ, tag) for its whole batch.
+type bucketKey struct {
+	op  uint8
+	l   int
+	tag uint8
+}
+
+// bucket is one open coalescing batch: the accumulating query, the linger
+// timer that flushes a partial batch, and the rendezvous the waiters share.
+// The points slice is guarded by scheduler.mu until the bucket leaves the
+// map; rep and solo are written exactly once, before done closes.
+type bucket struct {
+	q     wire.Query
+	timer *time.Timer
+	done  chan struct{}
+	rep   wire.Reply
+	solo  []wire.Reply // per-query fallback replies; see runBucket
+}
+
+// coalesce joins (or opens) the bucket for q's key and waits for the shared
+// batch epoch's outcome. The joiner that fills the bucket runs the epoch
+// itself; otherwise the linger timer flushes the partial batch.
+func (sched *scheduler) coalesce(q wire.Query) wire.Reply {
+	// Degraded fast-fail before joining a bucket: during an outage a
+	// query answers immediately instead of lingering in a batch that is
+	// doomed to the same degraded reply.
+	sched.f.mu.Lock()
+	rep, ok := sched.f.degradedLocked("waiting for")
+	sched.f.mu.Unlock()
+	if !ok {
+		return rep
+	}
+	key := bucketKey{op: q.Op, l: q.L, tag: q.Tag}
+	sched.mu.Lock()
+	if sched.closed {
+		sched.mu.Unlock()
+		return closingReply()
+	}
+	b := sched.buckets[key]
+	if b == nil {
+		b = &bucket{
+			q:    wire.Query{Op: q.Op, L: q.L, Tag: q.Tag},
+			done: make(chan struct{}),
+		}
+		sched.buckets[key] = b
+		b.timer = time.AfterFunc(sched.linger, func() { sched.flush(key, b) })
+	}
+	idx := len(b.q.Points)
+	b.q.Points = append(b.q.Points, q.Points[0])
+	full := len(b.q.Points) >= sched.maxBatch
+	if full {
+		delete(sched.buckets, key)
+		b.timer.Stop()
+	}
+	sched.mu.Unlock()
+	if full {
+		sched.runBucket(b)
+	} else {
+		<-b.done
+	}
+	return bucketReply(b, idx)
+}
+
+// flush runs a lingered partial bucket. A bucket no longer in the map was
+// already flushed full (or shut down); the timer's flush stands down.
+func (sched *scheduler) flush(key bucketKey, b *bucket) {
+	sched.mu.Lock()
+	if sched.buckets[key] != b {
+		sched.mu.Unlock()
+		return
+	}
+	delete(sched.buckets, key)
+	sched.mu.Unlock()
+	sched.runBucket(b)
+}
+
+// runBucket executes the coalesced batch epoch and publishes its outcome.
+// A batch epoch fails as a unit, but a coalesced batch's participants are
+// strangers — a client-chosen KNNBatch accepts shared fate, a coalesced
+// single query must not inherit another client's bad point. So a program
+// failure of the shared epoch (not churn: a degraded failure is already
+// retryable for everyone) falls back to re-running each participant's
+// query as its own solo epoch, isolating the error to the offender.
+func (sched *scheduler) runBucket(b *bucket) {
+	rep := sched.run(b.q)
+	if rep.Err != "" && !rep.Degraded && len(b.q.Points) > 1 {
+		b.solo = make([]wire.Reply, len(b.q.Points))
+		for i, p := range b.q.Points {
+			b.solo[i] = sched.run(wire.Query{Op: b.q.Op, L: b.q.L, Tag: b.q.Tag, Points: [][]byte{p}})
+		}
+	}
+	b.rep = rep
+	close(b.done)
+}
+
+// bucketReply extracts one coalesced query's share of the shared batch
+// outcome: its solo fallback reply if the shared epoch failed, else its
+// slice of the batch reply — with the epoch-wide cost fields, which
+// describe the shared epoch, reported to every participant.
+func bucketReply(b *bucket, idx int) wire.Reply {
+	if b.solo != nil {
+		return b.solo[idx]
+	}
+	if b.rep.Err != "" {
+		return b.rep
+	}
+	return wire.Reply{
+		Rounds:   b.rep.Rounds,
+		Messages: b.rep.Messages,
+		Bytes:    b.rep.Bytes,
+		Leader:   b.rep.Leader,
+		Results:  []wire.QueryReply{b.rep.Results[idx]},
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"distknn/internal/keys"
@@ -76,12 +77,14 @@ type QueryResult struct {
 // already elected and handed down by the frontend), so it only rebuilds the
 // node's shard and index.
 //
-// For a batch of size > 1 the per-point Query calls execute concurrently
-// as lockstep sub-programs of the shared epoch (each on its own Env; see
-// batch.go), so implementations must be safe for concurrent Query calls on
-// the same receiver: keep per-call state local, and treat state written in
-// Setup/Rejoin (the shard, the leader) as read-only during queries. A
-// Handler instance belongs to one node.
+// Query calls run concurrently on one receiver, two ways at once: a batch
+// of size > 1 executes its per-point calls as lockstep sub-programs of the
+// shared epoch (each on its own Env; see batch.go), and the frontend's
+// scheduler pipelines whole epochs, so distinct dispatched epochs execute
+// concurrently on the same node too. Implementations must therefore keep
+// per-call state local and treat state written in Setup/Rejoin (the shard,
+// the leader) as read-only during queries. A Handler instance belongs to
+// one node.
 type Handler interface {
 	Setup(m kmachine.Env) (SessionInfo, error)
 	Rejoin(id, k, leader int) (SessionInfo, error)
@@ -169,8 +172,8 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 	var info SessionInfo
 	if a.rejoin {
 		// Resume mid-session: no setup epoch — the leader is handed down —
-		// and the epoch ordinal continues where the session already is.
-		node.epoch = a.epoch
+		// and dispatched epochs continue at the session's current ordinal
+		// (the fresh mesh links carry no stale-epoch leftovers).
 		for _, j := range a.present {
 			if j == a.id || j < 0 || j >= a.k {
 				continue
@@ -209,6 +212,22 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 		return fmt.Errorf("tcp: node %d ready: %w (%v)", a.id, ErrSessionLost, err)
 	}
 
+	// Dispatched epochs execute concurrently — the frontend's scheduler
+	// pipelines up to its window of query epochs, and each one runs on its
+	// own goroutine against its own epoch frame feeds. Control-connection
+	// writes (results, error reports) are serialized; a failed control
+	// write closes the connection, which surfaces as a session loss at the
+	// read loop. In-flight epochs are drained before the mesh comes down,
+	// so a clean shutdown never strands a peer mid-exchange.
+	var ctrlMu sync.Mutex
+	writeCtrl := func(payload []byte) error {
+		ctrlMu.Lock()
+		defer ctrlMu.Unlock()
+		return wire.WriteFrame(coord, payload)
+	}
+	var epochs sync.WaitGroup
+	defer epochs.Wait()
+
 	for {
 		payload, err := wire.ReadFrame(coord)
 		if err != nil {
@@ -229,75 +248,102 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 			if err != nil {
 				return fmt.Errorf("tcp: node %d bad dispatch: %w", a.id, err)
 			}
-			res := make([]QueryResult, len(q.Points))
 			epochSeed := xrand.DeriveSeed(a.seed, epoch)
-			var met Metrics
-			if j := node.missingPeer(); j >= 0 {
-				// The frontend should never dispatch onto an incomplete
-				// mesh; refuse loudly rather than hang on a dead link.
-				err = transportFault(j, fmt.Errorf("tcp: node %d mesh link to %d is down", a.id, j))
-			} else if len(q.Points) == 1 {
-				// A batch of one runs as a plain solo epoch, preserving
-				// the exact per-query seed schedule of the in-process
-				// Cluster (bit-identical single-query replays).
-				met, err = node.runEpoch(epoch, epochSeed, func(m kmachine.Env) error {
-					var qerr error
-					res[0], qerr = h.Query(m, q, 0)
-					return qerr
-				})
-			} else {
-				progs := make([]kmachine.Program, len(q.Points))
-				for qi := range progs {
-					qi := qi
-					progs[qi] = func(m kmachine.Env) error {
-						var qerr error
-						res[qi], qerr = h.Query(m, q, qi)
-						return qerr
-					}
-				}
-				met, err = node.runEpochBatch(epoch, epochSeed, progs)
-			}
+			// Subscribing the epoch's frame feeds happens here, on the read
+			// loop, so subscriptions follow dispatch order (the
+			// demultiplexer requires monotonic epochs) and never race a
+			// later dispatch. A mesh with a dead link refuses the epoch
+			// with the fatal bit naming the lost peer — the frontend gates
+			// further dispatches until the implicated node re-joins.
+			er, err := node.beginEpoch(epoch, epochSeed)
 			if err != nil {
-				// Program failures are recoverable; mesh failures set the
-				// fatal bit and name the lost peer, and the node keeps its
-				// seat — the frontend gates dispatches until the implicated
-				// node re-joins.
-				if werr := writeNodeError(coord, epoch, err); werr != nil {
+				// Tell the live peers too: one of them may already have
+				// begun this epoch and would otherwise wait forever for
+				// this node's frames (the frontend fails the client's
+				// query either way, but the peer's epoch goroutine must
+				// not leak).
+				node.abortEpoch(epoch)
+				if werr := writeCtrl(encodeEpochError(epoch, err)); werr != nil {
 					return fmt.Errorf("tcp: node %d report error: %v: %w", a.id, werr, ErrSessionLost)
 				}
 				continue
 			}
-			nr := wire.NodeResult{
-				Epoch:    epoch,
-				Node:     a.id,
-				Rounds:   met.Rounds,
-				Messages: met.Messages,
-				Bytes:    met.Bytes,
-				IsLeader: a.id == info.Leader,
-				Queries:  make([]wire.NodeQueryResult, len(res)),
-			}
-			for qi, qr := range res {
-				// The winner share only travels for KNN queries; Classify
-				// and Regress replies carry the aggregate value, so shipping
-				// (and the frontend merging) up to ℓ items per query would
-				// be wasted work.
-				if q.Op == wire.OpKNN {
-					nr.Queries[qi].Winners = qr.Winners
-				}
-				if nr.IsLeader {
-					nr.Queries[qi].Boundary = qr.Boundary
-					nr.Queries[qi].Survivors = qr.Survivors
-					nr.Queries[qi].FellBack = qr.FellBack
-					nr.Queries[qi].Iterations = qr.Iterations
-					nr.Queries[qi].Value = qr.Value
-				}
-			}
-			if err := wire.WriteFrame(coord, wire.EncodeNodeResult(nr)); err != nil {
-				return fmt.Errorf("tcp: node %d report result: %v: %w", a.id, err, ErrSessionLost)
-			}
+			epochs.Add(1)
+			go func() {
+				defer epochs.Done()
+				runDispatchedEpoch(er, epochSeed, q, h, a.id, info.Leader, writeCtrl, coord)
+			}()
 		default:
 			return fmt.Errorf("tcp: node %d got unexpected control kind %d", a.id, kind)
 		}
+	}
+}
+
+// runDispatchedEpoch executes one dispatched query epoch and reports its
+// result (or failure) on the control connection. It runs on its own
+// goroutine; a failed control write closes the connection so the dispatch
+// read loop observes the session loss.
+func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
+	id, leader int, writeCtrl func([]byte) error, coord net.Conn) {
+	res := make([]QueryResult, len(q.Points))
+	var err error
+	if len(q.Points) == 1 {
+		// A batch of one runs as a plain solo epoch, preserving the exact
+		// per-query seed schedule of the in-process Cluster (bit-identical
+		// single-query replays).
+		err = er.execute(func(m kmachine.Env) error {
+			var qerr error
+			res[0], qerr = h.Query(m, q, 0)
+			return qerr
+		})
+	} else {
+		progs := make([]kmachine.Program, len(q.Points))
+		for qi := range progs {
+			qi := qi
+			progs[qi] = func(m kmachine.Env) error {
+				var qerr error
+				res[qi], qerr = h.Query(m, q, qi)
+				return qerr
+			}
+		}
+		err = er.runBatch(epochSeed, progs)
+	}
+	if err != nil {
+		// Program failures are recoverable; mesh failures set the fatal
+		// bit and name the lost peer, and the node keeps its seat — the
+		// frontend gates dispatches until the implicated node re-joins.
+		if werr := writeCtrl(encodeEpochError(er.epoch, err)); werr != nil {
+			coord.Close()
+		}
+		return
+	}
+	met := er.metrics
+	nr := wire.NodeResult{
+		Epoch:    er.epoch,
+		Node:     id,
+		Rounds:   met.Rounds,
+		Messages: met.Messages,
+		Bytes:    met.Bytes,
+		IsLeader: id == leader,
+		Queries:  make([]wire.NodeQueryResult, len(res)),
+	}
+	for qi, qr := range res {
+		// The winner share only travels for KNN queries; Classify and
+		// Regress replies carry the aggregate value, so shipping (and the
+		// frontend merging) up to ℓ items per query would be wasted work.
+		if q.Op == wire.OpKNN {
+			nr.Queries[qi].Winners = qr.Winners
+		}
+		if nr.IsLeader {
+			nr.Queries[qi].Boundary = qr.Boundary
+			nr.Queries[qi].Survivors = qr.Survivors
+			nr.Queries[qi].FellBack = qr.FellBack
+			nr.Queries[qi].Iterations = qr.Iterations
+			nr.Queries[qi].Value = qr.Value
+		}
+	}
+	if werr := writeCtrl(wire.EncodeNodeResult(nr)); werr != nil {
+		coord.Close()
 	}
 }
 
@@ -483,17 +529,23 @@ func buildServeMesh(n *Node, addrs []string) error {
 	}
 }
 
-// writeNodeError reports a failed epoch: origin marks a failure of this
-// node's own program (as opposed to a peer's error frame or a transport
-// fault), fatal marks a broken mesh, and the lost peer is named when the
-// fault could be attributed, so the frontend can evict exactly the
+// encodeEpochError builds a failed-epoch report: origin marks a failure of
+// this node's own program (as opposed to a peer's error frame or a
+// transport fault), fatal marks a broken mesh, and the lost peer is named
+// when the fault could be attributed, so the frontend can evict exactly the
 // implicated node.
-func writeNodeError(coord net.Conn, epoch uint64, err error) error {
-	return wire.WriteFrame(coord, wire.EncodeNodeError(wire.NodeError{
+func encodeEpochError(epoch uint64, err error) []byte {
+	return wire.EncodeNodeError(wire.NodeError{
 		Epoch:    epoch,
 		Origin:   !IsTransportError(err) && !errors.Is(err, errPeerAbort),
 		Fatal:    IsTransportError(err),
 		LostPeer: LostPeer(err),
 		Msg:      err.Error(),
-	}))
+	})
+}
+
+// writeNodeError reports a failed epoch on the control connection; the
+// setup and rejoin paths use it before the concurrent dispatch loop starts.
+func writeNodeError(coord net.Conn, epoch uint64, err error) error {
+	return wire.WriteFrame(coord, encodeEpochError(epoch, err))
 }

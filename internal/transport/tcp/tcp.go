@@ -29,8 +29,12 @@
 //     which also answers remote clients. Each epoch is an isolated run on
 //     the standing mesh — fresh round numbering, fresh per-epoch randomness
 //     derived from the session seed — so a serving cluster is deterministic
-//     per (seed, query stream) exactly like the simulator. See serve.go and
-//     docs/PROTOCOL.md.
+//     per (seed, query stream) exactly like the simulator. The frontend's
+//     epoch scheduler may keep several epochs in flight at once (see
+//     scheduler.go); every mesh frame is epoch-tagged and each peer link
+//     demultiplexes arriving frames per epoch, so concurrent epochs share
+//     the standing connections without ever observing each other. See
+//     serve.go and docs/PROTOCOL.md.
 package tcp
 
 import (
@@ -51,6 +55,20 @@ const (
 	flagData = iota
 	flagHalt
 	flagErr
+)
+
+// Per-link budgets for the epoch demultiplexer. A well-behaved peer can have
+// at most a couple of frames outstanding per epoch (BSP lockstep allows one
+// unread data frame plus the final halt frame), and at most one early frame
+// per epoch this node has not started yet (bounded by the frontend's window);
+// a peer exceeding these is desynchronized or hostile and loses the link.
+const (
+	// subChanCap buffers one epoch's delivered frames.
+	subChanCap = 8
+	// stashEpochCap bounds the stashed frames of one not-yet-started epoch.
+	stashEpochCap = 4
+	// stashTotalCap bounds all stashed frames on one link.
+	stashTotalCap = 256
 )
 
 // Metrics counts a node's local view of the run.
@@ -103,38 +121,173 @@ func LostPeer(err error) int {
 // "aborted by peer" echoes.
 var errPeerAbort = errors.New("aborted by peer")
 
-// frame is one per-round unit from one peer. epoch orders frames across the
-// BSP runs a resident mesh executes back to back: a node draining its inbox
-// at epoch e silently discards leftovers from epochs < e (a peer's final
-// halt frames, which nobody reads during the epoch itself) and treats a
-// frame from an epoch > e as a protocol error. One-shot runs are epoch 0.
+// frame is one per-round unit from one peer. epoch identifies which BSP
+// epoch of a resident mesh the frame belongs to; the peer link's
+// demultiplexer routes each frame to the matching epoch's feed, so any
+// number of concurrently pipelined epochs can share the link. One-shot runs
+// are epoch 0.
 type frame struct {
 	flag  byte
 	epoch uint64
 	round uint64
 	msgs  [][]byte
-	err   error // reader-side injection for broken connections
 }
 
-// peer is one mesh connection plus its reader goroutine's output.
+// peer is one mesh connection plus its demultiplexing reader. Frames are
+// routed per epoch: an epoch run subscribes before its first exchange and
+// receives exactly its own frames on a private feed. Frames for epochs this
+// node has not started yet (the peer read its dispatch earlier) are stashed
+// until the subscription arrives; leftovers of completed epochs (final halt
+// frames nobody reads) are dropped. A read failure closes every live feed —
+// subscribers observe it as a channel close — and poisons the link for
+// future subscriptions.
 type peer struct {
-	conn   net.Conn
-	frames chan frame
-	halted bool
+	conn net.Conn
+
+	mu      sync.Mutex
+	subs    map[uint64]chan frame
+	stash   map[uint64][]frame
+	nstash  int
+	everSub bool   // at least one epoch has been subscribed
+	maxSub  uint64 // highest epoch ever subscribed; subscriptions are monotonic
+	err     error  // sticky read/routing failure
 }
 
-// Node implements kmachine.Env over the mesh.
+func newPeer(conn net.Conn) *peer {
+	p := &peer{
+		conn:  conn,
+		subs:  make(map[uint64]chan frame),
+		stash: make(map[uint64][]frame),
+	}
+	go p.readLoop()
+	return p
+}
+
+// readLoop pumps frames off the connection and routes them per epoch until
+// the link dies.
+func (p *peer) readLoop() {
+	for {
+		payload, err := wire.ReadFrame(p.conn)
+		if err != nil {
+			p.fail(err)
+			// Close our end too: a framing error (as opposed to a dead
+			// socket) leaves a TCP-healthy but poisoned link that nothing
+			// else would ever close — the remote must see it drop.
+			p.conn.Close()
+			return
+		}
+		f, err := parseRoundFrame(payload)
+		if err != nil {
+			p.fail(err)
+			p.conn.Close()
+			return
+		}
+		if !p.route(f) {
+			p.fail(fmt.Errorf("tcp: peer flooded the epoch demultiplexer"))
+			p.conn.Close()
+			return
+		}
+	}
+}
+
+// route delivers one frame to its epoch's feed, stashes it for an epoch not
+// yet subscribed, or drops a completed epoch's leftover. It reports false
+// when the peer exceeded a demultiplexer budget (a protocol violation).
+func (p *peer) route(f frame) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return true // link already failed; the frame is moot
+	}
+	if ch, ok := p.subs[f.epoch]; ok {
+		select {
+		case ch <- f:
+			return true
+		default:
+			return false // feed overflow: the peer is rounds ahead of lockstep
+		}
+	}
+	if !p.everSub || f.epoch > p.maxSub {
+		if len(p.stash[f.epoch]) >= stashEpochCap || p.nstash >= stashTotalCap {
+			return false
+		}
+		p.stash[f.epoch] = append(p.stash[f.epoch], f)
+		p.nstash++
+		return true
+	}
+	return true // leftover of a completed (previously subscribed) epoch
+}
+
+// subscribe opens this link's frame feed for one epoch, delivering any
+// frames the peer sent before this node started the epoch. Subscriptions
+// must be opened in increasing epoch order (the serving dispatch loop and
+// the frontend's ordinal assignment guarantee it); stashed frames of epochs
+// below the new subscription can never be claimed and are pruned.
+func (p *peer) subscribe(epoch uint64) (chan frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return nil, p.err
+	}
+	ch := make(chan frame, subChanCap)
+	for _, f := range p.stash[epoch] {
+		ch <- f
+	}
+	p.nstash -= len(p.stash[epoch])
+	delete(p.stash, epoch)
+	for e, fs := range p.stash {
+		if e < epoch {
+			p.nstash -= len(fs)
+			delete(p.stash, e)
+		}
+	}
+	p.subs[epoch] = ch
+	if !p.everSub || epoch > p.maxSub {
+		p.everSub = true
+		p.maxSub = epoch
+	}
+	return ch, nil
+}
+
+// unsubscribe retires one epoch's feed; later frames for it are dropped.
+func (p *peer) unsubscribe(epoch uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.subs, epoch)
+}
+
+// fail poisons the link: every live feed is closed (subscribers observe the
+// loss as a channel close) and future subscriptions are refused.
+func (p *peer) fail(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return
+	}
+	p.err = err
+	for e, ch := range p.subs {
+		close(ch)
+		delete(p.subs, e)
+	}
+	p.stash = make(map[uint64][]frame)
+	p.nstash = 0
+}
+
+// cause returns why the link failed (nil while it is healthy).
+func (p *peer) cause() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Node owns one machine's standing mesh: the peer links, the session
+// identity, and the bookkeeping shared by every epoch that runs on the
+// mesh. Per-epoch execution state lives in epochRun — a Node can have any
+// number of epochs in flight at once, which is what lets the frontend's
+// scheduler pipeline query epochs over one mesh.
 type Node struct {
 	id, k int
-	guid  uint64
-	rng   *rand.Rand
 	seed  uint64 // session seed (per-epoch seeds are derived from it)
-	epoch uint64 // current epoch ordinal (0 for one-shot runs)
-
-	round   int
-	inbox   []kmachine.Message
-	outbox  [][][]byte // per-peer payloads queued this round
-	metrics Metrics
 
 	// peers is indexed by machine id (self entry nil). One-shot meshes fill
 	// it once and never touch it again; serving meshes mutate it — links of
@@ -148,12 +301,11 @@ type Node struct {
 }
 
 // installPeer replaces machine j's mesh link with conn (closing any prior
-// link, whose reader then drains) and starts the new link's reader. Serving
-// nodes call it from the mesh accept loop; one-shot meshes never replace
-// links.
+// link, whose feeds then close) and starts the new link's demultiplexing
+// reader. Serving nodes call it from the mesh accept loop; one-shot meshes
+// never replace links.
 func (n *Node) installPeer(j int, conn net.Conn) {
-	p := &peer{conn: conn, frames: make(chan frame, 4)}
-	go readFrames(conn, p.frames)
+	p := newPeer(conn)
 	n.peersMu.Lock()
 	old := n.peers[j]
 	n.peers[j] = p
@@ -178,151 +330,225 @@ func (n *Node) dropPeer(j int, p *peer) {
 	p.conn.Close()
 }
 
-// peerSnapshot returns a consistent view of the mesh links for one
-// exchange. A link replaced mid-exchange stays visible in the snapshot; the
-// exchange still wakes up because the replacement closes the old socket.
+// peerSnapshot returns a consistent view of the mesh links. An epoch pins
+// its snapshot for its whole run: a link replaced mid-epoch fails only that
+// epoch (the replacement closes the old socket, whose feeds then close),
+// and the next epoch starts on the fresh links.
 func (n *Node) peerSnapshot() []*peer {
 	n.peersMu.Lock()
 	defer n.peersMu.Unlock()
 	return append([]*peer(nil), n.peers...)
 }
 
-// missingPeer returns the lowest machine index whose mesh link is down, or
-// -1 when the mesh is complete. Serving nodes refuse to start an epoch on
-// an incomplete mesh (the frontend should never dispatch one).
-func (n *Node) missingPeer() int {
-	n.peersMu.Lock()
-	defer n.peersMu.Unlock()
-	for j := 0; j < n.k; j++ {
-		if j != n.id && n.peers[j] == nil {
-			return j
+// closePeers shuts every mesh connection.
+func (n *Node) closePeers() {
+	for j, p := range n.peerSnapshot() {
+		if j != n.id && p != nil {
+			p.conn.Close()
 		}
 	}
-	return -1
 }
 
-var _ kmachine.Env = (*Node)(nil)
+// newNode builds the mesh owner. conns may be nil for a serving node that
+// installs its links through the mesh accept loop and installPeer instead.
+func newNode(id, k int, seed uint64, conns []net.Conn) *Node {
+	n := &Node{
+		id:    id,
+		k:     k,
+		seed:  seed,
+		peers: make([]*peer, k),
+	}
+	n.peersCond = sync.NewCond(&n.peersMu)
+	for j, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		n.peers[j] = newPeer(conn)
+	}
+	return n
+}
+
+// epochRun is one isolated BSP epoch executing on the standing mesh: it
+// implements kmachine.Env with its own round numbering, inbox/outbox,
+// metrics, and epoch-seeded randomness. Any number of epochRuns may be in
+// flight on one Node concurrently — each subscribed its own per-epoch frame
+// feed on every peer link, so the runs never observe each other's traffic.
+type epochRun struct {
+	n     *Node
+	epoch uint64
+	guid  uint64
+	rng   *rand.Rand
+
+	round   int
+	inbox   []kmachine.Message
+	outbox  [][][]byte // per-peer payloads queued this round
+	metrics Metrics
+
+	peers  []*peer        // pinned link snapshot for this epoch
+	feeds  []<-chan frame // per-peer frame feed (nil for self / absent)
+	halted []bool         // peers that sent their final frame this epoch
+}
+
+// beginEpoch pins the current mesh and subscribes the epoch's frame feeds.
+// The epoch ordinal must be strictly greater than any previously begun
+// ordinal on this node (the demultiplexer's stash pruning relies on it);
+// epochSeed is derived by the caller from the session seed. It fails with a
+// transport error naming the lowest absent or broken link, so a serving
+// node never starts an epoch on an incomplete mesh.
+func (n *Node) beginEpoch(epoch, epochSeed uint64) (*epochRun, error) {
+	er := &epochRun{
+		n:      n,
+		epoch:  epoch,
+		guid:   xrand.DeriveSeed(epochSeed, uint64(n.id)+(1<<32)),
+		rng:    xrand.NewStream(epochSeed, uint64(n.id)),
+		outbox: make([][][]byte, n.k),
+		peers:  n.peerSnapshot(),
+		feeds:  make([]<-chan frame, n.k),
+		halted: make([]bool, n.k),
+	}
+	for j, p := range er.peers {
+		if j == n.id {
+			continue
+		}
+		if p == nil {
+			er.release()
+			return nil, transportFault(j, fmt.Errorf("tcp: node %d mesh link to %d is down", n.id, j))
+		}
+		ch, err := p.subscribe(epoch)
+		if err != nil {
+			er.release()
+			return nil, transportFault(j, fmt.Errorf("tcp: node %d mesh link to %d is broken: %w", n.id, j, err))
+		}
+		er.feeds[j] = ch
+	}
+	return er, nil
+}
+
+// release retires the epoch's frame feeds; stale frames for it (a peer's
+// final halt frames) are dropped by the demultiplexer from here on.
+func (er *epochRun) release() {
+	for j, p := range er.peers {
+		if j != er.n.id && p != nil && er.feeds[j] != nil {
+			p.unsubscribe(er.epoch)
+		}
+	}
+}
+
+var _ kmachine.Env = (*epochRun)(nil)
 
 // ID returns the node's machine index.
-func (n *Node) ID() int { return n.id }
+func (er *epochRun) ID() int { return er.n.id }
 
 // K returns the cluster size.
-func (n *Node) K() int { return n.k }
+func (er *epochRun) K() int { return er.n.k }
 
-// GUID returns the node's unique identifier, derived from the cluster seed
-// exactly as the simulator derives it.
-func (n *Node) GUID() uint64 { return n.guid }
+// GUID returns the node's unique identifier for this epoch, derived from
+// the epoch seed exactly as the simulator derives it.
+func (er *epochRun) GUID() uint64 { return er.guid }
 
-// Rand returns the node's private random stream (simulator-identical).
-func (n *Node) Rand() *rand.Rand { return n.rng }
+// Rand returns the epoch's private random stream (simulator-identical).
+func (er *epochRun) Rand() *rand.Rand { return er.rng }
 
 // Round returns the current round.
-func (n *Node) Round() int { return n.round }
+func (er *epochRun) Round() int { return er.round }
 
 // Send queues payload for machine `to` next round.
-func (n *Node) Send(to int, payload []byte) {
-	if to < 0 || to >= n.k {
-		panic(fmt.Sprintf("tcp: node %d sending to out-of-range %d", n.id, to))
+func (er *epochRun) Send(to int, payload []byte) {
+	if to < 0 || to >= er.n.k {
+		panic(fmt.Sprintf("tcp: node %d sending to out-of-range %d", er.n.id, to))
 	}
-	if to == n.id {
-		panic(fmt.Sprintf("tcp: node %d sending to itself", n.id))
+	if to == er.n.id {
+		panic(fmt.Sprintf("tcp: node %d sending to itself", er.n.id))
 	}
-	n.outbox[to] = append(n.outbox[to], payload)
-	n.metrics.Messages++
-	n.metrics.Bytes += int64(len(payload) + kmachine.MessageOverheadBytes)
+	er.outbox[to] = append(er.outbox[to], payload)
+	er.metrics.Messages++
+	er.metrics.Bytes += int64(len(payload) + kmachine.MessageOverheadBytes)
 }
 
 // Broadcast sends payload to every other machine.
-func (n *Node) Broadcast(payload []byte) {
-	for to := 0; to < n.k; to++ {
-		if to != n.id {
-			n.Send(to, payload)
+func (er *epochRun) Broadcast(payload []byte) {
+	for to := 0; to < er.n.k; to++ {
+		if to != er.n.id {
+			er.Send(to, payload)
 		}
 	}
 }
 
 // Recv takes this round's inbox.
-func (n *Node) Recv() []kmachine.Message {
-	in := n.inbox
-	n.inbox = nil
+func (er *epochRun) Recv() []kmachine.Message {
+	in := er.inbox
+	er.inbox = nil
 	return in
 }
 
 // Gather advances rounds until n messages have been received.
-func (n *Node) Gather(want int) []kmachine.Message {
-	got := n.Recv()
+func (er *epochRun) Gather(want int) []kmachine.Message {
+	got := er.Recv()
 	for len(got) < want {
-		n.EndRound()
-		got = append(got, n.Recv()...)
+		er.EndRound()
+		got = append(got, er.Recv()...)
 	}
 	return got
 }
 
 // WaitAny advances rounds until at least one message arrives.
-func (n *Node) WaitAny() []kmachine.Message { return n.Gather(1) }
+func (er *epochRun) WaitAny() []kmachine.Message { return er.Gather(1) }
 
 // EndRound exchanges one frame with every live peer and advances the round.
-func (n *Node) EndRound() {
-	n.exchange(flagData)
-	n.round++
-	n.metrics.Rounds = n.round
+func (er *epochRun) EndRound() {
+	er.exchange(flagData)
+	er.round++
+	er.metrics.Rounds = er.round
 }
 
 // exchange writes this round's frames (with the given flag) to all live
 // peers concurrently, then reads one frame from each live peer, building the
 // next round's inbox.
-func (n *Node) exchange(flag byte) {
-	peers := n.peerSnapshot()
+func (er *epochRun) exchange(flag byte) {
+	n := er.n
 	var wg sync.WaitGroup
 	writeErrs := make([]error, n.k)
 	for j := 0; j < n.k; j++ {
-		if j == n.id || peers[j] == nil || peers[j].halted {
+		if j == n.id || er.feeds[j] == nil || er.halted[j] {
 			continue
 		}
-		out := n.outbox[j]
-		n.outbox[j] = nil
+		out := er.outbox[j]
+		er.outbox[j] = nil
 		wg.Add(1)
 		go func(j int, out [][]byte) {
 			defer wg.Done()
-			writeErrs[j] = writeFrame(peers[j].conn, flag, n.epoch, uint64(n.round), out)
+			writeErrs[j] = writeRoundFrame(er.peers[j].conn, flag, er.epoch, uint64(er.round), out)
 		}(j, out)
 	}
 	// Read while writes drain to avoid mutual kernel-buffer deadlock.
 	var next []kmachine.Message
 	var remoteErr error
 	for j := 0; j < n.k; j++ {
-		if j == n.id || peers[j] == nil || peers[j].halted {
+		if j == n.id || er.feeds[j] == nil || er.halted[j] {
 			continue
 		}
-		f := <-peers[j].frames
-		// Discard leftovers from completed epochs (a peer's final halt
-		// frames, never read during the epoch that produced them).
-		for f.err == nil && f.epoch < n.epoch {
-			f = <-peers[j].frames
-		}
-		if f.err != nil {
-			n.dropPeer(j, peers[j])
-			remoteErr = transportFault(j, fmt.Errorf("tcp: node %d lost peer %d: %w", n.id, j, f.err))
+		f, ok := <-er.feeds[j]
+		if !ok {
+			n.dropPeer(j, er.peers[j])
+			remoteErr = transportFault(j, fmt.Errorf("tcp: node %d lost peer %d: %v", n.id, j, er.peers[j].cause()))
 			continue
 		}
-		if f.epoch != n.epoch {
-			n.dropPeer(j, peers[j])
-			remoteErr = transportFault(j, fmt.Errorf("tcp: node %d got epoch %d frame from %d during epoch %d",
-				n.id, f.epoch, j, n.epoch))
-			continue
-		}
-		if f.round != uint64(n.round) {
-			n.dropPeer(j, peers[j])
-			remoteErr = transportFault(j, fmt.Errorf("tcp: node %d got round %d frame from %d during round %d",
-				n.id, f.round, j, n.round))
-			continue
-		}
-		switch f.flag {
-		case flagErr:
+		if f.flag == flagErr {
+			// An error frame is an epoch-level abort, valid at any round:
+			// the peer failed at a different round than ours, or refused
+			// the epoch before running a single round (abortEpoch). The
+			// link itself is healthy — only this epoch dies.
 			remoteErr = fmt.Errorf("tcp: node %d %w %d", n.id, errPeerAbort, j)
 			continue
-		case flagHalt:
-			peers[j].halted = true
+		}
+		if f.round != uint64(er.round) {
+			n.dropPeer(j, er.peers[j])
+			remoteErr = transportFault(j, fmt.Errorf("tcp: node %d got round %d frame from %d during round %d of epoch %d",
+				n.id, f.round, j, er.round, er.epoch))
+			continue
+		}
+		if f.flag == flagHalt {
+			er.halted[j] = true
 		}
 		for _, payload := range f.msgs {
 			next = append(next, kmachine.Message{From: j, To: n.id, Payload: payload})
@@ -330,23 +556,113 @@ func (n *Node) exchange(flag byte) {
 	}
 	wg.Wait()
 	if remoteErr != nil {
-		panic(remoteErr) // recovered by runProgram
+		panic(remoteErr) // recovered by execute
 	}
 	for j, err := range writeErrs {
 		// A write race against a peer that halted this very round (it
 		// closed its sockets after its halt frame) is benign; any other
 		// write failure is a real transport error.
-		if err != nil && !(peers[j] != nil && peers[j].halted) {
-			n.dropPeer(j, peers[j])
+		if err != nil && !er.halted[j] {
+			n.dropPeer(j, er.peers[j])
 			panic(transportFault(j, fmt.Errorf("tcp: node %d write to %d: %w", n.id, j, err)))
 		}
 	}
 	sort.SliceStable(next, func(a, b int) bool { return next[a].From < next[b].From })
-	n.inbox = next
+	er.inbox = next
 }
 
-// writeFrame serializes one round frame.
-func writeFrame(conn net.Conn, flag byte, epoch, round uint64, msgs [][]byte) error {
+// exchangeHalt writes halt frames (write-only: a halted node never reads
+// again, matching the simulator's semantics).
+func (er *epochRun) exchangeHalt() {
+	var wg sync.WaitGroup
+	for j := 0; j < er.n.k; j++ {
+		if j == er.n.id || er.feeds[j] == nil || er.halted[j] {
+			continue
+		}
+		out := er.outbox[j]
+		er.outbox[j] = nil
+		wg.Add(1)
+		go func(j int, out [][]byte) {
+			defer wg.Done()
+			// Ignore errors: the peer may have halted concurrently.
+			_ = writeRoundFrame(er.peers[j].conn, flagHalt, er.epoch, uint64(er.round), out)
+		}(j, out)
+	}
+	wg.Wait()
+}
+
+// execute runs prog as this epoch, translating the final state into
+// halt/error frames for the peers and releasing the epoch's frame feeds. It
+// leaves the connections open so other (and later) epochs keep running on
+// the standing mesh.
+func (er *epochRun) execute(prog kmachine.Program) (err error) {
+	defer er.release()
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("tcp: node %d panicked: %v", er.n.id, rec)
+			}
+			// Best effort: tell the peers this epoch is gone here.
+			for j := range er.peers {
+				if j != er.n.id && er.feeds[j] != nil && !er.halted[j] {
+					_ = writeRoundFrame(er.peers[j].conn, flagErr, er.epoch, uint64(er.round), nil)
+				}
+			}
+		}
+	}()
+	if perr := prog(er); perr != nil {
+		panic(perr)
+	}
+	// Clean halt: flush pending sends with the halt flag.
+	er.exchangeHalt()
+	return nil
+}
+
+// runEpoch executes prog as one isolated BSP epoch on the standing mesh —
+// the serving path uses it for the setup epoch; dispatched query epochs
+// begin on the read loop and run through epochRun.execute / runBatch
+// (serve.go's runDispatchedEpoch) instead.
+func (n *Node) runEpoch(epoch, epochSeed uint64, prog kmachine.Program) (Metrics, error) {
+	er, err := n.beginEpoch(epoch, epochSeed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	err = er.execute(prog)
+	return er.metrics, err
+}
+
+// abortEpoch tells every live peer that this node will never run the given
+// epoch (beginEpoch refused it — e.g. a dead link to a third peer), so a
+// peer that already started the epoch aborts it instead of waiting forever
+// for this node's frames. Error frames are epoch-level: receivers honor
+// them at any round, and a peer that never starts the epoch drops the
+// frame as a leftover.
+func (n *Node) abortEpoch(epoch uint64) {
+	for j, p := range n.peerSnapshot() {
+		if j != n.id && p != nil {
+			_ = writeRoundFrame(p.conn, flagErr, epoch, 0, nil)
+		}
+	}
+}
+
+// runProgram executes one one-shot program (epoch 0, seeded directly from
+// the session seed — identical identity derivation to the simulator) and
+// tears the mesh down.
+func (n *Node) runProgram(prog kmachine.Program) (Metrics, error) {
+	er, err := n.beginEpoch(0, n.seed)
+	if err != nil {
+		n.closePeers()
+		return Metrics{}, err
+	}
+	err = er.execute(prog)
+	n.closePeers()
+	return er.metrics, err
+}
+
+// writeRoundFrame serializes one round frame.
+func writeRoundFrame(conn net.Conn, flag byte, epoch, round uint64, msgs [][]byte) error {
 	var w wire.Writer
 	w.U8(flag)
 	w.Varint(epoch)
@@ -359,155 +675,20 @@ func writeFrame(conn net.Conn, flag byte, epoch, round uint64, msgs [][]byte) er
 	return wire.WriteFrame(conn, w.Bytes())
 }
 
-// readFrames pumps frames from conn into out until EOF or error; errors are
-// delivered in-band so a blocked EndRound wakes up.
-func readFrames(conn net.Conn, out chan<- frame) {
-	for {
-		payload, err := wire.ReadFrame(conn)
-		if err != nil {
-			out <- frame{err: err}
-			return
+// parseRoundFrame decodes one round frame payload.
+func parseRoundFrame(payload []byte) (frame, error) {
+	r := wire.NewReader(payload)
+	f := frame{flag: r.U8(), epoch: r.Varint(), round: r.Varint()}
+	count := r.Varint()
+	for i := uint64(0); i < count; i++ {
+		size := r.Varint()
+		if r.Err() != nil || size > uint64(r.Remaining()) {
+			return frame{}, fmt.Errorf("tcp: corrupt frame")
 		}
-		r := wire.NewReader(payload)
-		f := frame{flag: r.U8(), epoch: r.Varint(), round: r.Varint()}
-		count := r.Varint()
-		for i := uint64(0); i < count; i++ {
-			size := r.Varint()
-			if r.Err() != nil || size > uint64(r.Remaining()) {
-				out <- frame{err: fmt.Errorf("tcp: corrupt frame")}
-				return
-			}
-			f.msgs = append(f.msgs, append([]byte(nil), r.Raw(int(size))...))
-		}
-		if r.Err() != nil {
-			out <- frame{err: r.Err()}
-			return
-		}
-		out <- f
+		f.msgs = append(f.msgs, append([]byte(nil), r.Raw(int(size))...))
 	}
-}
-
-// execute runs prog on the meshed node, translating the final state into
-// halt/error frames for the peers. It leaves the connections open so a
-// resident node can run further epochs; runProgram closes them for the
-// one-shot path.
-func (n *Node) execute(prog kmachine.Program) (err error) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			if e, ok := rec.(error); ok {
-				err = e
-			} else {
-				err = fmt.Errorf("tcp: node %d panicked: %v", n.id, rec)
-			}
-			// Best effort: tell the peers we are gone.
-			for j, p := range n.peerSnapshot() {
-				if j != n.id && p != nil && !p.halted {
-					_ = writeFrame(p.conn, flagErr, n.epoch, uint64(n.round), nil)
-				}
-			}
-		}
-	}()
-	if perr := prog(n); perr != nil {
-		panic(perr)
+	if r.Err() != nil {
+		return frame{}, r.Err()
 	}
-	// Clean halt: flush pending sends with the halt flag.
-	n.exchangeHalt()
-	return nil
-}
-
-// runProgram executes one one-shot program and tears the mesh down.
-func (n *Node) runProgram(prog kmachine.Program) (Metrics, error) {
-	err := n.execute(prog)
-	n.closePeers()
-	return n.metrics, err
-}
-
-// resetEpoch prepares the node for one isolated BSP epoch on the standing
-// mesh: round numbering restarts at zero, every peer is live again, and the
-// node's GUID and private random stream are re-derived from the epoch's
-// seed — exactly how a kmachine.Runtime seeds each ExecuteSeeded run. The
-// epoch ordinal must be strictly greater than the previous one (the frame
-// filter relies on it); epochSeed is derived by the caller from the
-// session seed.
-func (n *Node) resetEpoch(epoch, epochSeed uint64) {
-	n.epoch = epoch
-	n.guid = xrand.DeriveSeed(epochSeed, uint64(n.id)+(1<<32))
-	n.rng = xrand.NewStream(epochSeed, uint64(n.id))
-	n.round = 0
-	n.inbox = nil
-	n.metrics = Metrics{}
-	for j := range n.outbox {
-		n.outbox[j] = nil
-	}
-	n.peersMu.Lock()
-	for _, p := range n.peers {
-		if p != nil {
-			p.halted = false
-		}
-	}
-	n.peersMu.Unlock()
-}
-
-// runEpoch executes prog as one isolated BSP epoch on the standing mesh;
-// see resetEpoch for the seed schedule. Batched dispatches run through
-// runEpochBatch (batch.go) instead.
-func (n *Node) runEpoch(epoch, epochSeed uint64, prog kmachine.Program) (Metrics, error) {
-	n.resetEpoch(epoch, epochSeed)
-	err := n.execute(prog)
-	return n.metrics, err
-}
-
-// closePeers shuts every mesh connection.
-func (n *Node) closePeers() {
-	for j, p := range n.peerSnapshot() {
-		if j != n.id && p != nil {
-			p.conn.Close()
-		}
-	}
-}
-
-// exchangeHalt writes halt frames (write-only: a halted node never reads
-// again, matching the simulator's semantics).
-func (n *Node) exchangeHalt() {
-	peers := n.peerSnapshot()
-	var wg sync.WaitGroup
-	for j := 0; j < n.k; j++ {
-		if j == n.id || peers[j] == nil || peers[j].halted {
-			continue
-		}
-		out := n.outbox[j]
-		n.outbox[j] = nil
-		wg.Add(1)
-		go func(j int, out [][]byte) {
-			defer wg.Done()
-			// Ignore errors: the peer may have halted concurrently.
-			_ = writeFrame(peers[j].conn, flagHalt, n.epoch, uint64(n.round), out)
-		}(j, out)
-	}
-	wg.Wait()
-}
-
-// newNode builds the Env around an established mesh. conns may be nil for a
-// serving node that installs its links through the mesh accept loop and
-// installPeer instead.
-func newNode(id, k int, seed uint64, conns []net.Conn) *Node {
-	n := &Node{
-		id:     id,
-		k:      k,
-		guid:   xrand.DeriveSeed(seed, uint64(id)+(1<<32)),
-		rng:    xrand.NewStream(seed, uint64(id)),
-		seed:   seed,
-		outbox: make([][][]byte, k),
-		peers:  make([]*peer, k),
-	}
-	n.peersCond = sync.NewCond(&n.peersMu)
-	for j, conn := range conns {
-		if conn == nil {
-			continue
-		}
-		p := &peer{conn: conn, frames: make(chan frame, 4)}
-		go readFrames(conn, p.frames)
-		n.peers[j] = p
-	}
-	return n
+	return f, nil
 }

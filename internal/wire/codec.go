@@ -41,6 +41,14 @@ var VectorCodec = PointCodec[points.Vector]{
 	Decode: DecodeVectorPoint,
 }
 
+// BitVectorCodec is the PointBitVector codec: Varint word count, then that
+// many U64 words.
+var BitVectorCodec = PointCodec[points.BitVector]{
+	Tag:    PointBitVector,
+	Encode: EncodeBitVectorPoint,
+	Decode: DecodeBitVectorPoint,
+}
+
 // EncodeScalarPoint encodes a scalar query point for a Query's point payload.
 func EncodeScalarPoint(v uint64) []byte {
 	var w Writer
@@ -88,6 +96,37 @@ func DecodeVectorPoint(p []byte) (points.Vector, error) {
 	}
 	if r.Remaining() != 0 {
 		return nil, fmt.Errorf("wire: vector point has %d trailing bytes", r.Remaining())
+	}
+	return v, nil
+}
+
+// EncodeBitVectorPoint encodes a bit-packed Hamming point for a Query's
+// point payload: Varint word count, then that many U64 words.
+func EncodeBitVectorPoint(v points.BitVector) []byte {
+	var w Writer
+	w.Varint(uint64(len(v)))
+	for _, x := range v {
+		w.U64(x)
+	}
+	return w.Bytes()
+}
+
+// DecodeBitVectorPoint decodes a PointBitVector payload.
+func DecodeBitVectorPoint(p []byte) (points.BitVector, error) {
+	r := NewReader(p)
+	words := r.Varint()
+	if r.Err() == nil && words > uint64(r.Remaining()/8) {
+		return nil, fmt.Errorf("wire: bit vector of %d words exceeds payload", words)
+	}
+	v := make(points.BitVector, words)
+	for i := range v {
+		v[i] = r.U64()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: bit vector point has %d trailing bytes", r.Remaining())
 	}
 	return v, nil
 }

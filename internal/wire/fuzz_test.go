@@ -138,6 +138,8 @@ func FuzzPointCodecs(f *testing.F) {
 	f.Add(EncodeScalarPoint(12345))
 	f.Add(EncodeVectorPoint(points.Vector{0.5, 1.5}))
 	f.Add(EncodeVectorPoint(nil))
+	f.Add(EncodeBitVectorPoint(points.BitVector{0xdeadbeef, 0x0f0f0f0f0f0f0f0f}))
+	f.Add(EncodeBitVectorPoint(nil))
 	f.Add([]byte{2, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if v, err := DecodeScalarPoint(data); err == nil {
@@ -154,6 +156,11 @@ func FuzzPointCodecs(f *testing.F) {
 			// Byte-level comparison keeps NaN coordinates comparable.
 			if !bytes.Equal(EncodeVectorPoint(v2), enc) {
 				t.Fatalf("vector point is not a re-encoding fixed point")
+			}
+		}
+		if v, err := DecodeBitVectorPoint(data); err == nil {
+			if !bytes.Equal(EncodeBitVectorPoint(v), data) {
+				t.Fatalf("bit vector point is not a re-encoding fixed point")
 			}
 		}
 	})

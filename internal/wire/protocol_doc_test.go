@@ -69,6 +69,7 @@ func docExamples() []struct {
 		{"mesh hello", hello.Bytes()},
 		{"mesh round frame", mesh.Bytes()},
 		{"vector point", EncodeVectorPoint(points.Vector{0.5, 1.5})},
+		{"bit vector point", EncodeBitVectorPoint(points.BitVector{5, 1})},
 		{"query", EncodeQuery(q)},
 		{"vector batch query", EncodeQuery(vq)},
 		{"dispatch", EncodeDispatch(1, q)},

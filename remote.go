@@ -133,6 +133,24 @@ func VectorPoints() PointType[Vector] {
 	}
 }
 
+// BitVectorPoints is the bit-packed Hamming workload (binary feature
+// sketches, 64 features per word), answered from the streaming top-ℓ scan
+// — popcount distances are cheap enough that a spatial index buys little.
+// Served results are bit-identical to an in-process NewCluster built over
+// the same global data with points.Hamming.
+func BitVectorPoints() PointType[BitVector] {
+	return PointType[BitVector]{
+		codec:  wire.BitVectorCodec,
+		metric: points.Hamming,
+		check: func(set *points.Set[BitVector], q BitVector) error {
+			if set.Len() > 0 && len(q) != len(set.Pts[0]) {
+				return fmt.Errorf("query has %d words, shard has %d", len(q), len(set.Pts[0]))
+			}
+			return nil
+		},
+	}
+}
+
 // PaperShards is the ShardProvider for the paper's synthetic workload,
 // generated exactly as cmd/knnnode's one-shot program and the bench
 // instances generate it: node id draws perNode scalars uniform in
@@ -163,6 +181,25 @@ func UniformVectorShards(seed uint64, perNode, dim int) ShardProvider[Vector] {
 			labels[j] = float64((id*perNode + j) % 4)
 		}
 		return Shard[Vector]{
+			Points:  set.Pts,
+			Labels:  labels,
+			FirstID: uint64(id)*uint64(perNode) + 1,
+		}, nil
+	}
+}
+
+// UniformBitVectorShards is the bit-vector counterpart of PaperShards:
+// node id draws perNode random bit vectors of words×64 bits from stream id
+// of seed, labels cycle 0..3 by global index (so classification has a
+// target), and the node owns the ID block [id·perNode+1, (id+1)·perNode].
+func UniformBitVectorShards(seed uint64, perNode, words int) ShardProvider[BitVector] {
+	return func(id, k int) (Shard[BitVector], error) {
+		set := points.GenBitVectors(xrand.NewStream(seed, uint64(id)), perNode, words)
+		labels := make([]float64, perNode)
+		for j := range labels {
+			labels[j] = float64((id*perNode + j) % 4)
+		}
+		return Shard[BitVector]{
 			Points:  set.Pts,
 			Labels:  labels,
 			FirstID: uint64(id)*uint64(perNode) + 1,
@@ -305,22 +342,64 @@ func ServeVectorNode(coordAddr, meshAddr string, shards ShardProvider[Vector], o
 	return ServeTypedNode(VectorPoints(), coordAddr, meshAddr, shards, opts)
 }
 
+// ServeBitVectorNode runs one resident bit-vector (Hamming) serving node.
+func ServeBitVectorNode(coordAddr, meshAddr string, shards ShardProvider[BitVector], opts NodeOptions) error {
+	return ServeTypedNode(BitVectorPoints(), coordAddr, meshAddr, shards, opts)
+}
+
 // Frontend is the client-facing endpoint of a TCP serving cluster: it
 // performs rendezvous for the k resident nodes and then serves remote
-// clients, one BSP epoch per query batch. Nodes and clients dial the same
-// address; a connection's first frame decides its role. The frontend is
-// point-type agnostic — it learns the cluster's wire tag from the nodes'
-// ready reports and rejects mismatched queries.
+// clients through its epoch scheduler — up to FrontendOptions.Window query
+// epochs pipelined on the mesh at once, optionally coalescing concurrently
+// arriving single queries into lockstep batch epochs. Nodes and clients
+// dial the same address; a connection's first frame decides its role. The
+// frontend is point-type agnostic — it learns the cluster's wire tag from
+// the nodes' ready reports and rejects mismatched queries.
 type Frontend struct {
 	fe *tcp.Frontend
 }
 
-// NewFrontend starts the serving listener for a k-node cluster. seed is the
-// session seed every node receives: it drives the setup election and the
-// per-query epoch seeds, so a serving cluster replays deterministically for
-// the same (seed, query stream).
+// FrontendOptions tunes the frontend's epoch scheduler.
+type FrontendOptions struct {
+	// Window is the maximum number of query epochs in flight on the mesh
+	// at once; 1 serializes epochs. Default 8, capped at 64 (the mesh
+	// demultiplexer's buffering is budgeted for that depth).
+	Window int
+	// ServerBatch enables transparent server-side batching: concurrently
+	// arriving single-point queries with the same (op, ℓ, tag) coalesce
+	// into one lockstep batch epoch — the KNNBatch amortization without
+	// clients batching anything. Off by default (coalescing trades up to
+	// Linger of latency for throughput).
+	ServerBatch bool
+	// Linger bounds how long a partial coalesced batch waits for more
+	// queries (default 500µs). Only meaningful with ServerBatch.
+	Linger time.Duration
+	// MaxServerBatch caps a coalesced batch (default 64, at most
+	// wire.MaxBatch); a full batch flushes immediately.
+	MaxServerBatch int
+}
+
+func (o FrontendOptions) lower() tcp.FrontendOptions {
+	return tcp.FrontendOptions{
+		Window:         o.Window,
+		ServerBatch:    o.ServerBatch,
+		Linger:         o.Linger,
+		MaxServerBatch: o.MaxServerBatch,
+	}
+}
+
+// NewFrontend starts the serving listener for a k-node cluster with
+// default FrontendOptions. seed is the session seed every node receives:
+// it drives the setup election and the per-query epoch seeds, so a serving
+// cluster replays deterministically for the same (seed, query stream).
 func NewFrontend(addr string, k int, seed uint64) (*Frontend, error) {
-	fe, err := tcp.NewFrontend(addr, k, seed)
+	return NewFrontendOptions(addr, k, seed, FrontendOptions{})
+}
+
+// NewFrontendOptions starts the serving listener with an explicit epoch
+// scheduler configuration (pipelining window, server-side batching).
+func NewFrontendOptions(addr string, k int, seed uint64, opts FrontendOptions) (*Frontend, error) {
+	fe, err := tcp.NewFrontendOptions(addr, k, seed, opts.lower())
 	if err != nil {
 		return nil, err
 	}
@@ -356,11 +435,14 @@ func (f *Frontend) Close() error { return f.fe.Close() }
 // per-query frame, syscall and epoch overhead is amortized across the
 // batch.
 //
-// A RemoteCluster is safe for concurrent use; queries on one connection are
-// serialized, and the frontend serializes epochs across all clients anyway.
-// QueryStats are the real mesh costs: Rounds is the slowest node's round
-// count and Messages/Bytes are cluster-wide totals (election rounds were
-// paid once, in the setup epoch).
+// A RemoteCluster is safe for concurrent use; queries on one connection
+// are serialized, but the frontend's epoch scheduler pipelines epochs
+// from distinct connections, so independent clients (or one client per
+// goroutine) overlap on the mesh. QueryStats are the real mesh costs:
+// Rounds is the slowest node's round count and Messages/Bytes are
+// cluster-wide totals (election rounds were paid once, in the setup
+// epoch) — for a query the frontend transparently coalesced into a shared
+// epoch, they describe that whole epoch.
 type RemoteCluster[P any] struct {
 	client *tcp.Client
 	codec  wire.PointCodec[P]
@@ -414,6 +496,12 @@ func DialScalarCluster(addr string) (*RemoteCluster[Scalar], error) {
 // DialVectorCluster connects to a vector serving cluster's frontend.
 func DialVectorCluster(addr string) (*RemoteCluster[Vector], error) {
 	return DialTypedCluster(VectorPoints(), addr)
+}
+
+// DialBitVectorCluster connects to a bit-vector (Hamming) serving
+// cluster's frontend.
+func DialBitVectorCluster(addr string) (*RemoteCluster[BitVector], error) {
+	return DialTypedCluster(BitVectorPoints(), addr)
 }
 
 // DialCluster connects to a scalar serving cluster's frontend.
@@ -534,7 +622,14 @@ type LocalServer struct {
 // shards(id, k) builds. It returns once the cluster is meshed, elected and
 // ready to serve.
 func ServeTypedLocal[P any](pt PointType[P], k int, seed uint64, shards ShardProvider[P], opts NodeOptions) (*LocalServer, error) {
-	lc, err := tcp.ServeLocal(k, seed, func() tcp.Handler {
+	return ServeTypedLocalOptions(pt, k, seed, shards, opts, FrontendOptions{})
+}
+
+// ServeTypedLocalOptions starts a loopback TCP serving cluster with an
+// explicit epoch scheduler configuration (pipelining window, server-side
+// batching).
+func ServeTypedLocalOptions[P any](pt PointType[P], k int, seed uint64, shards ShardProvider[P], opts NodeOptions, fopts FrontendOptions) (*LocalServer, error) {
+	lc, err := tcp.ServeLocalOptions(k, seed, fopts.lower(), func() tcp.Handler {
 		return &typedHandler[P]{pt: pt, shards: shards, opts: opts}
 	})
 	if err != nil {
@@ -555,6 +650,12 @@ func ServeLocal(k int, seed uint64, shards ShardProvider[Scalar], opts NodeOptio
 // k-d-tree-indexed shards.
 func ServeVectorLocal(k int, seed uint64, shards ShardProvider[Vector], opts NodeOptions) (*LocalServer, error) {
 	return ServeTypedLocal(VectorPoints(), k, seed, shards, opts)
+}
+
+// ServeBitVectorLocal starts a loopback bit-vector (Hamming) TCP serving
+// cluster.
+func ServeBitVectorLocal(k int, seed uint64, shards ShardProvider[BitVector], opts NodeOptions) (*LocalServer, error) {
+	return ServeTypedLocal(BitVectorPoints(), k, seed, shards, opts)
 }
 
 // Addr returns the frontend address clients should dial.

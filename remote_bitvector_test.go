@@ -1,0 +1,161 @@
+package distknn_test
+
+import (
+	"strings"
+	"testing"
+
+	"distknn"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+// mergedBitVectorData reassembles the global bit-vector dataset exactly as
+// the UniformBitVectorShards hold it (same order, hence same IDs after
+// NewCluster assigns 1..n).
+func mergedBitVectorData(seed uint64, k, perNode, words int) ([]distknn.BitVector, []float64) {
+	shards := distknn.UniformBitVectorShards(seed, perNode, words)
+	var vecs []distknn.BitVector
+	var labels []float64
+	for id := 0; id < k; id++ {
+		s, _ := shards(id, k)
+		vecs = append(vecs, s.Points...)
+		labels = append(labels, s.Labels...)
+	}
+	return vecs, labels
+}
+
+func bitVectorQueryAt(seed uint64, words, i int) distknn.BitVector {
+	rng := xrand.NewStream(seed, 1<<40+uint64(i))
+	v := make(distknn.BitVector, words)
+	for j := range v {
+		v[j] = rng.Uint64()
+	}
+	return v
+}
+
+func startBitVectorRemote(t *testing.T, k int, seed uint64, perNode, words int) *distknn.RemoteCluster[distknn.BitVector] {
+	t.Helper()
+	srv, err := distknn.ServeBitVectorLocal(k, seed, distknn.UniformBitVectorShards(seed, perNode, words), distknn.NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := distknn.DialBitVectorCluster(srv.Addr())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		rc.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return rc
+}
+
+// TestRemoteBitVectorMatchesInProcess is the Hamming acceptance test: a
+// resident TCP cluster of bit-vector shards answers a stream of queries
+// over one mesh, and every answer is bit-identical to the in-process
+// generic NewCluster built with points.Hamming over the same global
+// dataset — closing the "more point types over the codec" loop.
+func TestRemoteBitVectorMatchesInProcess(t *testing.T) {
+	const (
+		k       = 3
+		perNode = 200
+		words   = 2
+		seed    = 77
+		queries = 60
+		l       = 9
+	)
+	rc := startBitVectorRemote(t, k, seed, perNode, words)
+
+	vecs, labels := mergedBitVectorData(seed, k, perNode, words)
+	local, err := distknn.NewCluster(vecs, labels, points.Hamming, distknn.Options{Machines: k, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	for i := 0; i < queries; i++ {
+		q := bitVectorQueryAt(seed, words, i)
+		remote, rstats, err := rc.KNN(q, l)
+		if err != nil {
+			t.Fatalf("remote query %d: %v", i, err)
+		}
+		want, lstats, err := local.KNN(q, l)
+		if err != nil {
+			t.Fatalf("local query %d: %v", i, err)
+		}
+		if len(remote) != len(want) {
+			t.Fatalf("query %d: %d neighbors remote, %d local", i, len(remote), len(want))
+		}
+		for j := range want {
+			if remote[j] != want[j] {
+				t.Fatalf("query %d neighbor %d: remote %+v != local %+v", i, j, remote[j], want[j])
+			}
+		}
+		if rstats.Boundary != lstats.Boundary {
+			t.Fatalf("query %d: boundary remote %v != local %v", i, rstats.Boundary, lstats.Boundary)
+		}
+	}
+
+	// Classification and regression agree, and the batch path is
+	// bit-identical to solo queries.
+	for i := 0; i < 10; i++ {
+		q := bitVectorQueryAt(seed, words, 1000+i)
+		rl, _, err := rc.Classify(q, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll, _, err := local.Classify(q, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rl != ll {
+			t.Fatalf("classify %d: remote %g != local %g", i, rl, ll)
+		}
+	}
+	qs := make([]distknn.BitVector, 17)
+	for i := range qs {
+		qs[i] = bitVectorQueryAt(seed, words, i)
+	}
+	batch, _, err := rc.KNNBatch(qs, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		items, stats, err := rc.KNN(q, l)
+		if err != nil {
+			t.Fatalf("per-query %d: %v", i, err)
+		}
+		if batch[i].Boundary != stats.Boundary {
+			t.Fatalf("query %d: batch boundary %v != solo %v", i, batch[i].Boundary, stats.Boundary)
+		}
+		for j := range items {
+			if batch[i].Neighbors[j] != items[j] {
+				t.Fatalf("query %d neighbor %d: batch %+v != solo %+v", i, j, batch[i].Neighbors[j], items[j])
+			}
+		}
+	}
+}
+
+// TestRemoteBitVectorWordMismatch: a query with the wrong word count fails
+// that query cleanly and leaves the session serving.
+func TestRemoteBitVectorWordMismatch(t *testing.T) {
+	const (
+		k       = 2
+		perNode = 50
+		words   = 2
+		seed    = 6
+		l       = 3
+	)
+	rc := startBitVectorRemote(t, k, seed, perNode, words)
+	if _, _, err := rc.KNN(make(distknn.BitVector, words+1), l); err == nil {
+		t.Fatal("mismatched word count should fail")
+	} else if !strings.Contains(err.Error(), "words") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, _, err := rc.KNN(bitVectorQueryAt(seed, words, 1), l); err != nil {
+		t.Fatalf("session should survive a failed query: %v", err)
+	}
+}
