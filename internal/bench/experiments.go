@@ -41,6 +41,7 @@ var Experiments = []Experiment{
 	{"tcpbatch", "Serving over loopback TCP: batched dispatch vs one query per epoch", TCPBatch},
 	{"tcpvector", "Vector workload over loopback TCP vs in-process, with and without batching", TCPVector},
 	{"tcpsched", "Frontend epoch scheduler: pipelined epochs + server-side batching under concurrent clients", TCPSched},
+	{"tcpmux", "Multiplexed client: outstanding-query sweep on one tagged connection vs serial clients", TCPMux},
 }
 
 // ByID finds an experiment by its id.

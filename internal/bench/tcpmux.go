@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"distknn"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+// TCPMux measures what the multiplexed client buys a single process: one
+// connection carrying many outstanding tagged queries versus the
+// one-query-per-connection serial shapes. Every row runs the same query
+// stream against the same pipelining + server-batching frontend; only the
+// client-side concurrency model varies:
+//
+//   - serial over 1 connection — the pre-mux client: each query waits for
+//     its reply before the next goes out, so one process can never fill
+//     the frontend's epoch window alone;
+//   - mux over 1 connection with a growing outstanding cap — tagged
+//     queries in flight concurrently, completing out of order; once the
+//     cap reaches the scheduler window one process saturates it;
+//   - serial over N connections — the PR 5 workaround (one process, N
+//     sockets) the mux client makes unnecessary.
+//
+// Alongside throughput each row reports client-observed latency
+// percentiles and the process-wide heap allocations per query (loopback
+// deployment: client, frontend and every node share the process, so the
+// number tracks the whole serving stack's allocation discipline).
+func TCPMux(p Params) ([]*Table, error) {
+	p = p.withDefaults()
+	k, l := 4, 16
+	queries := 512
+	perNode := 1 << 10
+	outs := []int{1, 2, 4, 8, 16}
+	serialConns := 16
+	if p.Quick {
+		k, l = 3, 4
+		queries = 96
+		perNode = 256
+		outs = []int{1, 4, 16}
+		serialConns = 4
+	}
+	if len(p.Ks) > 0 {
+		k = p.Ks[0]
+	}
+	if len(p.Ls) > 0 {
+		l = p.Ls[0]
+	}
+	seed := p.Seed
+
+	t := &Table{
+		ID: "E14",
+		Title: fmt.Sprintf("tcpmux — one multiplexed connection vs serial clients (k=%d, l=%d, %d pts/node, %d queries, window=8 + server batching)",
+			k, l, perNode, queries),
+		Note: "serial/1conn is the pre-mux client; mux rows multiplex tagged queries on ONE socket with the given outstanding cap; " +
+			"serial/Nconn is the one-socket-per-worker workaround — answers are bit-identical in every row, allocs are process-wide " +
+			"(client + frontend + nodes share the loopback deployment)",
+		Header: []string{"mode", "conns", "outstanding", "wall_ms", "qps", "speedup_vs_serial",
+			"p50_ms", "p95_ms", "p99_ms", "allocs_per_query"},
+	}
+
+	srv, err := distknn.ServeTypedLocalOptions(distknn.ScalarPoints(), k, seed,
+		distknn.PaperShards(seed, perNode), distknn.NodeOptions{}, distknn.FrontendOptions{
+			Window:      8,
+			ServerBatch: true,
+			Linger:      200 * time.Microsecond,
+		})
+	if err != nil {
+		return nil, fmt.Errorf("tcpmux serve: %w", err)
+	}
+	defer srv.Close()
+
+	queryAt := func(i int) distknn.Scalar {
+		return distknn.Scalar(xrand.NewStream(seed, 1<<40+uint64(i)).Uint64N(points.PaperDomain))
+	}
+	pct := func(lats []float64, q float64) float64 {
+		return lats[int(q*float64(len(lats)-1))]
+	}
+
+	// runRow replays the stream through conns connections (each serial when
+	// conns > 1) or one connection with up to outstanding tagged queries in
+	// flight, returning wall time, sorted per-query latencies (ms) and the
+	// process-wide allocation count per query.
+	runRow := func(conns, outstanding int) (time.Duration, []float64, float64, error) {
+		rcs := make([]*distknn.RemoteCluster[distknn.Scalar], conns)
+		for i := range rcs {
+			var err error
+			if rcs[i], err = distknn.DialScalarCluster(srv.Addr()); err != nil {
+				return 0, nil, 0, fmt.Errorf("dial: %w", err)
+			}
+			defer rcs[i].Close()
+		}
+		if _, _, err := rcs[0].KNN(queryAt(0), l); err != nil {
+			return 0, nil, 0, fmt.Errorf("warm-up: %w", err)
+		}
+
+		lats := make([]float64, queries)
+		errs := make([]error, conns)
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		if conns > 1 {
+			var wg sync.WaitGroup
+			for c := 0; c < conns; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := c; i < queries; i += conns {
+						t0 := time.Now()
+						if _, _, err := rcs[c].KNN(queryAt(i), l); err != nil {
+							errs[c] = fmt.Errorf("conn %d query %d: %w", c, i, err)
+							return
+						}
+						lats[i] = time.Since(t0).Seconds() * 1e3
+					}
+				}(c)
+			}
+			wg.Wait()
+		} else {
+			sem := make(chan struct{}, outstanding)
+			var wg sync.WaitGroup
+			for i := 0; i < queries; i++ {
+				sem <- struct{}{}
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					t0 := time.Now()
+					if _, _, err := rcs[0].KNN(queryAt(i), l); err != nil {
+						errs[0] = fmt.Errorf("query %d: %w", i, err)
+						return
+					}
+					lats[i] = time.Since(t0).Seconds() * 1e3
+				}(i)
+			}
+			wg.Wait()
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		for _, e := range errs {
+			if e != nil {
+				return 0, nil, 0, e
+			}
+		}
+		sort.Float64s(lats)
+		allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(queries)
+		return wall, lats, allocs, nil
+	}
+
+	type cfg struct {
+		mode        string
+		conns       int
+		outstanding int
+	}
+	cfgs := []cfg{{"serial", 1, 1}}
+	for _, o := range outs {
+		if o > 1 {
+			cfgs = append(cfgs, cfg{"mux", 1, o})
+		}
+	}
+	cfgs = append(cfgs, cfg{"serial", serialConns, 1})
+
+	var baseQPS float64
+	for ci, c := range cfgs {
+		wall, lats, allocs, err := runRow(c.conns, c.outstanding)
+		if err != nil {
+			return nil, fmt.Errorf("tcpmux %s/%dconn/out=%d: %w", c.mode, c.conns, c.outstanding, err)
+		}
+		qps := float64(queries) / wall.Seconds()
+		if ci == 0 {
+			baseQPS = qps
+		}
+		t.AddRow(c.mode, d(c.conns), d(c.outstanding), f(wall.Seconds()*1e3), f(qps), f(qps/baseQPS),
+			f(pct(lats, 0.50)), f(pct(lats, 0.95)), f(pct(lats, 0.99)), f(allocs))
+	}
+	return []*Table{t}, nil
+}

@@ -152,9 +152,29 @@ type Vector []float64
 // L2 returns the squared Euclidean distance, float64-encoded. Squaring is
 // order-preserving, so keys built from L2 rank identically to true Euclidean
 // distance while avoiding the sqrt.
+//
+// The loop is 4-way unrolled with the b slice clamped to len(a) up front,
+// which lets the compiler drop the per-element bounds checks. The single
+// accumulator and its strictly sequential adds are load-bearing: distances
+// feed (distance, id) selection keys that the determinism tests pin
+// bit-for-bit, and floating-point addition is not associative — a
+// multi-accumulator reduction would change low-order bits and with them
+// the answers.
 func L2(a, b Vector) uint64 {
+	b = b[:len(a)]
 	var sum float64
-	for i := range a {
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		sum += d0 * d0
+		d1 := a[i+1] - b[i+1]
+		sum += d1 * d1
+		d2 := a[i+2] - b[i+2]
+		sum += d2 * d2
+		d3 := a[i+3] - b[i+3]
+		sum += d3 * d3
+	}
+	for ; i < len(a); i++ {
 		d := a[i] - b[i]
 		sum += d * d
 	}
@@ -185,8 +205,12 @@ func LInf(a, b Vector) uint64 {
 // sketches), 64 features per word.
 type BitVector []uint64
 
-// Hamming counts differing bits.
+// Hamming counts differing bits: a popcount over the xor of each word
+// pair. The straight loop already keeps the popcount off the critical
+// path (measured faster than a two-accumulator unroll at every dim);
+// the bounds-check hint on b is what matters.
 func Hamming(a, b BitVector) uint64 {
+	b = b[:len(a)]
 	var n uint64
 	for i := range a {
 		n += uint64(bits.OnesCount64(a[i] ^ b[i]))

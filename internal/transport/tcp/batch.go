@@ -202,7 +202,11 @@ func (s *subEnv) Send(to int, payload []byte) {
 	if to == n.id {
 		panic(fmt.Sprintf("tcp: node %d sending to itself", n.id))
 	}
+	// One exact-size allocation for tag + payload: the tagged copy must
+	// outlive this call (it rides a later exchange frame), so it cannot be
+	// pooled, but it need not grow through append doublings either.
 	var w wire.Writer
+	w.Grow(10 + len(payload)) // varint tag ≤ 10 bytes
 	w.Varint(uint64(s.qi))
 	w.Raw(payload)
 	s.out = append(s.out, taggedSend{to: to, payload: w.Bytes()})

@@ -409,8 +409,23 @@ func readQuery(t *testing.T, conn net.Conn) bool {
 	return err == nil
 }
 
-func okReply() []byte {
-	return wire.EncodeReply(wire.Reply{Rounds: 1, Results: []wire.QueryReply{{}}})
+// readTaggedQuery consumes one tagged query frame and returns the tag the
+// stub must echo on its reply.
+func readTaggedQuery(t *testing.T, conn net.Conn) (uint64, bool) {
+	payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return 0, false
+	}
+	r := wire.NewReader(payload)
+	if kind := r.U8(); kind != wire.KindQueryTagged {
+		t.Errorf("stub read kind %d, want tagged query", kind)
+		return 0, false
+	}
+	return r.Varint(), true
+}
+
+func taggedOkReply(tag uint64) []byte {
+	return wire.EncodeReplyTagged(tag, wire.Reply{Rounds: 1, Results: []wire.QueryReply{{}}})
 }
 
 // TestClientPoisonsDesyncedConnection is the regression test for the seed
@@ -435,10 +450,11 @@ func TestClientPoisonsDesyncedConnection(t *testing.T) {
 		},
 		func(conn net.Conn) {
 			defer conn.Close()
-			if !readQuery(t, conn) {
+			tag, ok := readTaggedQuery(t, conn)
+			if !ok {
 				return
 			}
-			_ = wire.WriteFrame(conn, okReply())
+			_ = wire.WriteFrame(conn, taggedOkReply(tag))
 		},
 	)
 	client, err := DialFrontendOptions(addr, ClientOptions{NoRetry: true})
@@ -472,10 +488,11 @@ func TestClientRetriesTransportFailureTransparently(t *testing.T) {
 		},
 		func(conn net.Conn) {
 			defer conn.Close()
-			if !readQuery(t, conn) {
+			tag, ok := readTaggedQuery(t, conn)
+			if !ok {
 				return
 			}
-			_ = wire.WriteFrame(conn, okReply())
+			_ = wire.WriteFrame(conn, taggedOkReply(tag))
 		},
 	)
 	client, err := DialFrontend(addr)
@@ -499,18 +516,20 @@ func TestClientRetriesDegradedReply(t *testing.T) {
 	queries := make(chan struct{}, 4)
 	addr := stubFrontend(t, func(conn net.Conn) {
 		defer conn.Close()
-		if !readQuery(t, conn) {
+		tag, ok := readTaggedQuery(t, conn)
+		if !ok {
 			return
 		}
 		queries <- struct{}{}
-		_ = wire.WriteFrame(conn, wire.EncodeReply(wire.Reply{
+		_ = wire.WriteFrame(conn, wire.EncodeReplyTagged(tag, wire.Reply{
 			Err: "cluster degraded (1 of 2 nodes): waiting for node(s) [1]", Degraded: true,
 		}))
-		if !readQuery(t, conn) {
+		tag, ok = readTaggedQuery(t, conn)
+		if !ok {
 			return
 		}
 		queries <- struct{}{}
-		_ = wire.WriteFrame(conn, okReply())
+		_ = wire.WriteFrame(conn, taggedOkReply(tag))
 	})
 	client, err := DialFrontendOptions(addr, ClientOptions{RetryWait: -1})
 	if err != nil {

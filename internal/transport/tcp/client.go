@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -19,11 +20,25 @@ const defaultRetryWait = 500 * time.Millisecond
 // is cheap and the call returns as soon as the lost node re-joins.
 const degradedRetryInterval = 100 * time.Millisecond
 
+// errClientClosed reports a call on (or interrupted by) a closed client.
+var errClientClosed = errors.New("tcp: client is closed")
+
+// timeoutError is the per-call deadline failure. It implements net.Error
+// so callers can detect timeouts portably with errors.As.
+type timeoutError struct{ after time.Duration }
+
+func (e *timeoutError) Error() string   { return fmt.Sprintf("tcp: query timed out after %v", e.after) }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
 // ClientOptions tunes a Client's deadlines and failure handling.
 type ClientOptions struct {
-	// Timeout bounds each attempt's network activity — dial, query write
-	// and reply read — so a hung frontend fails the call instead of
-	// blocking it forever. Zero means no deadline.
+	// Timeout bounds each attempt — dial, queueing behind other writers,
+	// and the wait for the reply — so a hung frontend fails the call
+	// instead of blocking it forever. It is a per-call deadline: when it
+	// expires only this call's waiter is abandoned (a late reply to its
+	// tag is discarded); the shared connection and the other outstanding
+	// calls are untouched. Zero means no deadline.
 	Timeout time.Duration
 	// RetryWait is the budget for riding out a degraded cluster: Do keeps
 	// retrying a degraded failure at short intervals until it succeeds or
@@ -37,26 +52,58 @@ type ClientOptions struct {
 }
 
 // Client is a remote handle on a serving cluster: it speaks the
-// query/reply half of the protocol over one connection. Queries on one
-// Client are serialized (one request/reply in flight per connection); it
-// is safe for concurrent use, but callers that want the frontend's epoch
-// pipelining to overlap their queries should use one Client per
-// goroutine.
+// query/reply half of the protocol over one multiplexed connection. Every
+// query carries a client-chosen tag (wire.KindQueryTagged) and the
+// frontend's tagged replies may arrive in any order, so any number of
+// goroutines can have queries outstanding on the same Client at once —
+// one process saturates the frontend's epoch-pipelining window over a
+// single socket. One goroutine writes frames, one reads them; a tag →
+// waiter table routes each reply to its caller.
 //
-// The client survives churn on both sides of its connection. A transport or
-// framing failure poisons the connection — it is closed and never reused
-// mid-stream, so a desynchronized reply can't be misparsed as the next
-// one — and Do reconnects and retries the query once (every query op is an
-// idempotent read, so a retry is safe even if the first attempt executed).
-// A degraded reply (the cluster lost a node; errors.Is(err, ErrDegraded))
+// The client survives churn on both sides of its connection. A transport
+// or framing failure poisons the connection — it is closed and never
+// reused mid-stream, so a desynchronized reply can't be misparsed — and
+// every in-flight waiter fails with a retryable transport error; each
+// affected Do reconnects (lazily, on its retry) and retries its query
+// once, which is safe because every query op is an idempotent read. A
+// degraded reply (the cluster lost a node; errors.Is(err, ErrDegraded))
 // is retried within the RetryWait budget, riding out a quick re-join.
+// Close wakes every in-flight call and every degraded-retry sleep
+// promptly.
 type Client struct {
 	addr string
 	opts ClientOptions
 
+	closedCh chan struct{} // closed by Close; wakes calls and retry sleeps
+
 	mu     sync.Mutex
-	conn   net.Conn
+	mc     *muxConn // live connection incarnation; nil until (re)dialed
 	closed bool
+}
+
+// muxResult is what the read loop delivers to one waiter: a fully decoded
+// reply (owning its memory — nothing aliases the read buffer), or the
+// poison error that killed the connection.
+type muxResult struct {
+	rep wire.Reply
+	err error
+}
+
+// muxConn is one connection incarnation of a Client: a socket plus the
+// writer goroutine, the reader goroutine and the tag → waiter table that
+// multiplex concurrent calls over it. A muxConn is immutable except
+// through its mutex; once poisoned it is discarded and the Client dials a
+// fresh incarnation on the next attempt.
+type muxConn struct {
+	c       *Client
+	conn    net.Conn
+	writeCh chan *wire.Writer // encoded frames, owned by the writer goroutine
+	dead    chan struct{}     // closed by poison: wakes the writer and queued callers
+
+	mu      sync.Mutex
+	nextTag uint64
+	waiters map[uint64]chan muxResult
+	broken  error // first poison cause; non-nil refuses new calls
 }
 
 // DialFrontend connects to a serving frontend with default options.
@@ -66,32 +113,216 @@ func DialFrontend(addr string) (*Client, error) {
 
 // DialFrontendOptions connects to a serving frontend.
 func DialFrontendOptions(addr string, opts ClientOptions) (*Client, error) {
-	c := &Client{addr: addr, opts: opts}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.connectLocked(); err != nil {
+	c := &Client{addr: addr, opts: opts, closedCh: make(chan struct{})}
+	if _, err := c.conn(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-func (c *Client) connectLocked() error {
+// conn returns the live connection incarnation, dialing a fresh one if the
+// previous was poisoned (or none exists yet).
+func (c *Client) conn() (*muxConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
+	if c.mc != nil {
+		return c.mc, nil
+	}
 	d := net.Dialer{Timeout: c.opts.Timeout}
 	conn, err := d.Dial("tcp", c.addr)
 	if err != nil {
-		return fmt.Errorf("tcp: dial frontend: %w", err)
+		return nil, fmt.Errorf("tcp: dial frontend: %w", err)
 	}
-	c.conn = conn
-	return nil
+	m := &muxConn{
+		c:       c,
+		conn:    conn,
+		writeCh: make(chan *wire.Writer, 16),
+		dead:    make(chan struct{}),
+		nextTag: 1,
+		waiters: make(map[uint64]chan muxResult),
+	}
+	go m.writeLoop()
+	go m.readLoop()
+	c.mc = m
+	return m, nil
 }
 
-// poisonLocked discards the connection after a transport or framing
-// failure: the stream may be mid-frame, so reusing it would misparse
-// garbage. The next attempt reconnects.
-func (c *Client) poisonLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// drop detaches a poisoned incarnation so the next attempt dials fresh.
+func (c *Client) drop(m *muxConn) {
+	c.mu.Lock()
+	if c.mc == m {
+		c.mc = nil
+	}
+	c.mu.Unlock()
+}
+
+// poison kills the connection after a transport or framing failure: the
+// socket closes (stopping both loops), every in-flight waiter fails with
+// the cause, and the incarnation detaches from the Client so the next
+// attempt reconnects. Idempotent; only the first cause sticks.
+func (m *muxConn) poison(cause error) {
+	m.mu.Lock()
+	if m.broken == nil {
+		m.broken = cause
+		close(m.dead)
+		m.conn.Close()
+		for tag, ch := range m.waiters {
+			delete(m.waiters, tag)
+			ch <- muxResult{err: cause}
+		}
+	}
+	m.mu.Unlock()
+	m.c.drop(m)
+}
+
+// forget abandons one call's waiter (deadline, cancellation, client
+// close). A reply that later arrives for the tag is discarded by the read
+// loop; the connection stays healthy.
+func (m *muxConn) forget(tag uint64) {
+	m.mu.Lock()
+	delete(m.waiters, tag)
+	m.mu.Unlock()
+}
+
+// writeLoop is the connection's single writer: it drains encoded frames
+// in arrival order, returning each pooled writer once flushed. A write
+// failure poisons the whole incarnation — the stream position is unknown,
+// so no later frame could be framed safely either.
+func (m *muxConn) writeLoop() {
+	for {
+		select {
+		case w := <-m.writeCh:
+			err := w.EndFrame(m.conn)
+			wire.PutWriter(w)
+			if err != nil {
+				m.poison(fmt.Errorf("tcp: send query: %w", err))
+				m.drainWrites()
+				return
+			}
+		case <-m.dead:
+			m.drainWrites()
+			return
+		}
+	}
+}
+
+// drainWrites releases frames queued behind a poison so their pooled
+// writers are not leaked. Their callers' waiters have already failed.
+func (m *muxConn) drainWrites() {
+	for {
+		select {
+		case w := <-m.writeCh:
+			wire.PutWriter(w)
+		default:
+			return
+		}
+	}
+}
+
+// readLoop is the connection's single reader: it decodes tagged replies
+// into caller-owned values (reusing one frame buffer — DecodeReply copies
+// everything out) and routes each to its waiter. Any framing violation —
+// an unframeable stream, an unexpected kind, an undecodable reply —
+// poisons the incarnation and fails all in-flight waiters retryably.
+func (m *muxConn) readLoop() {
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrameInto(m.conn, buf)
+		if err != nil {
+			m.poison(fmt.Errorf("tcp: read reply: %w", err))
+			return
+		}
+		buf = payload
+		r := wire.NewReader(payload)
+		if kind := r.U8(); kind != wire.KindReplyTagged {
+			m.poison(fmt.Errorf("tcp: expected reply, got kind %d", kind))
+			return
+		}
+		tag := r.Varint()
+		rep, err := wire.DecodeReply(r)
+		if err != nil {
+			m.poison(fmt.Errorf("tcp: bad reply: %w", err))
+			return
+		}
+		m.mu.Lock()
+		ch, ok := m.waiters[tag]
+		if ok {
+			delete(m.waiters, tag)
+		}
+		m.mu.Unlock()
+		if ok {
+			ch <- muxResult{rep: rep}
+		}
+		// No waiter: the call was abandoned (deadline or cancellation)
+		// after the query went out; the late reply is dropped.
+	}
+}
+
+// call runs one tagged round trip on this incarnation. transport reports
+// whether the failure poisoned the connection (worth a reconnect retry),
+// as opposed to a deadline, cancellation or closed client.
+func (m *muxConn) call(ctx context.Context, q wire.Query) (rep wire.Reply, transport bool, err error) {
+	m.mu.Lock()
+	if m.broken != nil {
+		err := m.broken
+		m.mu.Unlock()
+		return wire.Reply{}, !errors.Is(err, errClientClosed), err
+	}
+	tag := m.nextTag
+	m.nextTag++
+	ch := make(chan muxResult, 1)
+	m.waiters[tag] = ch
+	m.mu.Unlock()
+
+	w := wire.GetWriter()
+	w.BeginFrame()
+	wire.AppendQueryTagged(w, tag, q)
+
+	var timeoutCh <-chan time.Time
+	if m.c.opts.Timeout > 0 {
+		timer := time.NewTimer(m.c.opts.Timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case m.writeCh <- w:
+		// The writer goroutine owns w now.
+	case <-m.dead:
+		wire.PutWriter(w)
+		res := <-ch // poison already failed every registered waiter
+		return wire.Reply{}, !errors.Is(res.err, errClientClosed), res.err
+	case <-timeoutCh:
+		m.forget(tag)
+		wire.PutWriter(w)
+		return wire.Reply{}, false, &timeoutError{after: m.c.opts.Timeout}
+	case <-ctx.Done():
+		m.forget(tag)
+		wire.PutWriter(w)
+		return wire.Reply{}, false, ctx.Err()
+	case <-m.c.closedCh:
+		m.forget(tag)
+		wire.PutWriter(w)
+		return wire.Reply{}, false, errClientClosed
+	}
+
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return wire.Reply{}, !errors.Is(res.err, errClientClosed), res.err
+		}
+		return res.rep, false, nil
+	case <-timeoutCh:
+		m.forget(tag)
+		return wire.Reply{}, false, &timeoutError{after: m.c.opts.Timeout}
+	case <-ctx.Done():
+		m.forget(tag)
+		return wire.Reply{}, false, ctx.Err()
+	case <-m.c.closedCh:
+		m.forget(tag)
+		return wire.Reply{}, false, errClientClosed
 	}
 }
 
@@ -99,21 +330,28 @@ func (c *Client) poisonLocked() {
 // is returned as a Go error; degraded-cluster errors match
 // errors.Is(err, ErrDegraded). See Client for the retry semantics.
 func (c *Client) Do(q wire.Query) (wire.Reply, error) {
-	rep, transport, err := c.attempt(q)
-	if err == nil || c.opts.NoRetry {
+	return c.DoContext(context.Background(), q)
+}
+
+// DoContext is Do with a per-call context: cancellation abandons the call
+// (the reply, if it arrives, is discarded) without disturbing the other
+// queries multiplexed on the connection.
+func (c *Client) DoContext(ctx context.Context, q wire.Query) (wire.Reply, error) {
+	rep, transport, err := c.attempt(ctx, q)
+	if err == nil || c.opts.NoRetry || ctx.Err() != nil {
 		return rep, err
 	}
 	if !errors.Is(err, ErrDegraded) {
 		if !transport {
-			// A remote validation or program error — deterministic, not
-			// worth a retry. (Or the client is closed.)
+			// A remote validation or program error, a deadline, or a
+			// closed client — deterministic, not worth a retry.
 			return wire.Reply{}, err
 		}
 		// Poisoned or never connected: the next attempt reconnects. A
 		// degraded reply on the fresh connection still gets the full
 		// RetryWait ride-out below — a frontend restart surfaces as a
 		// transport failure followed by a degraded window.
-		if rep, _, err = c.attempt(q); err == nil || !errors.Is(err, ErrDegraded) {
+		if rep, _, err = c.attempt(ctx, q); err == nil || !errors.Is(err, ErrDegraded) {
 			return rep, err
 		}
 	}
@@ -122,10 +360,12 @@ func (c *Client) Do(q wire.Query) (wire.Reply, error) {
 		budget = defaultRetryWait
 	}
 	if budget < 0 {
-		rep, _, err = c.attempt(q)
+		rep, _, err = c.attempt(ctx, q)
 		return rep, err
 	}
 	deadline := time.Now().Add(budget)
+	timer := time.NewTimer(degradedRetryInterval)
+	defer timer.Stop()
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -135,10 +375,19 @@ func (c *Client) Do(q wire.Query) (wire.Reply, error) {
 		if wait > remaining {
 			wait = remaining
 		}
-		// The sleep runs outside the client lock: concurrent queries (and
-		// Close) are not queued behind one caller's ride-out budget.
-		time.Sleep(wait)
-		rep, _, rerr := c.attempt(q)
+		// The wait holds no lock — concurrent queries are not queued
+		// behind one caller's ride-out budget — and Close (or the
+		// caller's context) aborts it promptly instead of sleeping
+		// through the rest of the budget.
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-c.closedCh:
+			return wire.Reply{}, errClientClosed
+		case <-ctx.Done():
+			return wire.Reply{}, ctx.Err()
+		}
+		rep, _, rerr := c.attempt(ctx, q)
 		if rerr == nil {
 			return rep, nil
 		}
@@ -149,73 +398,45 @@ func (c *Client) Do(q wire.Query) (wire.Reply, error) {
 	}
 }
 
-// attempt runs one locked query round trip. transport reports whether the
-// failure poisoned the connection (a dial, I/O or framing fault — worth a
-// reconnect retry), as opposed to a deterministic remote error or a closed
-// client.
-func (c *Client) attempt(q wire.Query) (rep wire.Reply, transport bool, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rep, err = c.attemptLocked(q)
-	return rep, err != nil && !c.closed && c.conn == nil, err
-}
-
-// attemptLocked runs one query round trip, reconnecting first if the
-// previous attempt poisoned the connection.
-func (c *Client) attemptLocked(q wire.Query) (wire.Reply, error) {
-	if c.closed {
-		return wire.Reply{}, fmt.Errorf("tcp: client is closed")
-	}
-	if c.conn == nil {
-		if err := c.connectLocked(); err != nil {
-			return wire.Reply{}, err
-		}
-	}
-	if c.opts.Timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
-	}
-	if err := wire.WriteFrame(c.conn, wire.EncodeQuery(q)); err != nil {
-		c.poisonLocked()
-		return wire.Reply{}, fmt.Errorf("tcp: send query: %w", err)
-	}
-	payload, err := wire.ReadFrame(c.conn)
+// attempt runs one query round trip on the live incarnation, dialing one
+// if needed. transport reports whether the failure poisoned the
+// connection (a dial, I/O or framing fault — worth a reconnect retry), as
+// opposed to a deterministic remote error, a deadline or a closed client.
+func (c *Client) attempt(ctx context.Context, q wire.Query) (wire.Reply, bool, error) {
+	m, err := c.conn()
 	if err != nil {
-		c.poisonLocked()
-		return wire.Reply{}, fmt.Errorf("tcp: read reply: %w", err)
+		return wire.Reply{}, !errors.Is(err, errClientClosed), err
 	}
-	if c.opts.Timeout > 0 {
-		c.conn.SetDeadline(time.Time{})
-	}
-	r := wire.NewReader(payload)
-	if kind := r.U8(); kind != wire.KindReply {
-		c.poisonLocked()
-		return wire.Reply{}, fmt.Errorf("tcp: expected reply, got kind %d", kind)
-	}
-	rep, err := wire.DecodeReply(r)
+	rep, transport, err := m.call(ctx, q)
 	if err != nil {
-		c.poisonLocked()
-		return wire.Reply{}, fmt.Errorf("tcp: bad reply: %w", err)
+		return wire.Reply{}, transport, err
 	}
 	if rep.Err != "" {
 		if rep.Degraded {
-			return wire.Reply{}, fmt.Errorf("tcp: remote: %s: %w", rep.Err, ErrDegraded)
+			return wire.Reply{}, false, fmt.Errorf("tcp: remote: %s: %w", rep.Err, ErrDegraded)
 		}
-		return wire.Reply{}, fmt.Errorf("tcp: remote: %s", rep.Err)
+		return wire.Reply{}, false, fmt.Errorf("tcp: remote: %s", rep.Err)
 	}
-	return rep, nil
+	return rep, false, nil
 }
 
-// Close releases the connection.
+// Close releases the connection. Every in-flight call and every
+// degraded-retry sleep wakes promptly with a closed-client error.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	if c.conn == nil {
+	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	c.closed = true
+	close(c.closedCh)
+	m := c.mc
+	c.mc = nil
+	c.mu.Unlock()
+	if m != nil {
+		m.poison(errClientClosed)
+	}
+	return nil
 }
 
 // LocalCluster is an in-process serving deployment over loopback sockets:

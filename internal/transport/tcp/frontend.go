@@ -186,7 +186,7 @@ func (f *Frontend) Serve() error {
 					}
 					<-f.ready
 					f.handleRejoin(conn, id, addr)
-				case wire.KindQuery:
+				case wire.KindQuery, wire.KindQueryTagged:
 					f.serveClient(conn, payload)
 				default:
 					conn.Close()
@@ -316,8 +316,12 @@ func (f *Frontend) Serve() error {
 // epoch in flight on this incarnation fails with a retryable degraded
 // reply.
 func (f *Frontend) pump(s *feSlot, gen uint64, conn net.Conn) {
+	// One reusable buffer for the incarnation's lifetime: deliver decodes
+	// results and errors into copies, so nothing outlives the iteration.
+	var buf []byte
 	for {
-		payload, err := wire.ReadFrame(conn)
+		payload, err := wire.ReadFrameInto(conn, buf)
+		buf = payload
 		if err != nil {
 			cause := fmt.Errorf("lost node %d: %v", s.id, err)
 			f.markAbsent(s, gen, cause)
@@ -594,8 +598,25 @@ func (f *Frontend) Close() error {
 	return err
 }
 
+// maxClientOutstanding bounds the tagged queries one client connection may
+// have in flight at the frontend. Beyond it the connection's read loop
+// stops pulling frames, so a flooding client backs up in its own socket
+// buffers instead of spawning unbounded goroutines. It is intentionally
+// wider than any scheduler window (maxWindow) so the cap never throttles a
+// client below the cluster's own pipelining capacity.
+const maxClientOutstanding = 256
+
 // serveClient answers one client connection's query stream; first is the
 // already-read first frame.
+//
+// Untagged queries (wire.KindQuery) keep the legacy contract: strictly
+// in-order, one request/reply in flight. Tagged queries
+// (wire.KindQueryTagged) are the multiplexed data plane: each runs on its
+// own goroutine so many can overlap inside the epoch scheduler's window,
+// and its reply — written under a per-connection write lock — carries the
+// client's tag so completion order is free. Frame buffers are pooled: the
+// read loop checks a buffer out per frame and the query goroutine returns
+// it once the decoded query (which aliases the payload) is dead.
 func (f *Frontend) serveClient(conn net.Conn, first []byte) {
 	defer conn.Close()
 	if !f.trackClient(conn) {
@@ -603,28 +624,93 @@ func (f *Frontend) serveClient(conn net.Conn, first []byte) {
 	}
 	defer f.untrackClient(conn)
 	<-f.ready
+
+	var wmu sync.Mutex // serializes reply frames (tagged goroutines race)
+	var wg sync.WaitGroup
+	// Close the socket before waiting: an in-flight reply writer blocked
+	// on a dead peer fails immediately instead of stalling the teardown.
+	defer func() {
+		conn.Close()
+		wg.Wait()
+	}()
+	sem := make(chan struct{}, maxClientOutstanding)
+
+	writeReply := func(tagged bool, tag uint64, rep wire.Reply) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		w := wire.GetWriter()
+		defer wire.PutWriter(w)
+		w.BeginFrame()
+		if tagged {
+			wire.AppendReplyTagged(w, tag, rep)
+		} else {
+			wire.AppendReply(w, rep)
+		}
+		return w.EndFrame(conn)
+	}
+
 	payload := first
 	for {
-		var rep wire.Reply
-		if f.readyErr != nil {
-			rep = wire.Reply{Err: fmt.Sprintf("cluster unavailable: %v", f.readyErr)}
-		} else {
-			r := wire.NewReader(payload)
-			if kind := r.U8(); kind != wire.KindQuery {
+		r := wire.NewReader(payload)
+		kind := r.U8()
+		if kind != wire.KindQuery && kind != wire.KindQueryTagged {
+			wire.PutFrameBuf(payload)
+			return
+		}
+		tagged := kind == wire.KindQueryTagged
+		var tag uint64
+		if tagged {
+			tag = r.Varint()
+			if r.Err() != nil {
+				// Without a tag there is nothing to correlate a reply to.
+				wire.PutFrameBuf(payload)
 				return
 			}
-			q, err := wire.DecodeQuery(r)
-			if err != nil {
+		}
+		switch {
+		case f.readyErr != nil:
+			wire.PutFrameBuf(payload)
+			if err := writeReply(tagged, tag, wire.Reply{Err: fmt.Sprintf("cluster unavailable: %v", f.readyErr)}); err != nil {
+				return
+			}
+		case !tagged:
+			// Legacy path: answer synchronously, preserving reply order.
+			var q wire.Query
+			var rep wire.Reply
+			if err := wire.DecodeQueryInto(r, &q); err != nil {
 				rep = wire.Reply{Err: fmt.Sprintf("bad query: %v", err)}
 			} else {
 				rep = f.answer(q)
 			}
-		}
-		if err := wire.WriteFrame(conn, wire.EncodeReply(rep)); err != nil {
-			return
+			wire.PutFrameBuf(payload)
+			if err := writeReply(false, 0, rep); err != nil {
+				return
+			}
+		default:
+			// Multiplexed path: the goroutine owns the frame buffer until
+			// the query (whose points alias it) is answered.
+			var q wire.Query
+			if err := wire.DecodeQueryInto(r, &q); err != nil {
+				wire.PutFrameBuf(payload)
+				if werr := writeReply(true, tag, wire.Reply{Err: fmt.Sprintf("bad query: %v", err)}); werr != nil {
+					return
+				}
+				break
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(tag uint64, q wire.Query, payload []byte) {
+				defer wg.Done()
+				rep := f.answer(q)
+				wire.PutFrameBuf(payload)
+				// A dead connection surfaces on the read loop's next
+				// ReadFrameInto; nothing to do about it here.
+				_ = writeReply(true, tag, rep)
+				<-sem
+			}(tag, q, payload)
 		}
 		var err error
-		if payload, err = wire.ReadFrame(conn); err != nil {
+		if payload, err = wire.ReadFrameInto(conn, wire.GetFrameBuf()); err != nil {
 			return
 		}
 	}

@@ -142,14 +142,38 @@ type epochJob struct {
 	epoch uint64
 	q     wire.Query
 
-	expect    map[int]uint64 // node id → expected gen, removed once accounted
-	lost      []int          // seats lost mid-epoch
+	expect    []uint64 // per node id: expected gen+1, or 0 once accounted
+	expectN   int      // seats still owing a frame
+	lost      []int    // seats lost mid-epoch
 	lostCause error
 	errMsg    string // first (origin-preferred) epoch failure
 	errOrigin bool
 	rep       wire.Reply
 	finished  bool
 	done      chan struct{}
+}
+
+// expectSet records that connection incarnation gen of seat id owes this
+// epoch a frame.
+func (job *epochJob) expectSet(id int, gen uint64) {
+	if job.expect[id] == 0 {
+		job.expectN++
+	}
+	job.expect[id] = gen + 1
+}
+
+// expectMatch reports whether seat id still owes a frame from exactly
+// incarnation gen.
+func (job *epochJob) expectMatch(id int, gen uint64) bool {
+	return job.expect[id] == gen+1
+}
+
+// expectClear marks seat id as accounted for.
+func (job *epochJob) expectClear(id int) {
+	if job.expect[id] != 0 {
+		job.expect[id] = 0
+		job.expectN--
+	}
 }
 
 // fail records the loss of one dispatched-to seat.
@@ -252,11 +276,21 @@ func (sched *scheduler) dispatch(q wire.Query) (*epochJob, wire.Reply) {
 	}
 	f.epoch++
 	epoch := f.epoch
-	dispatch := wire.EncodeDispatch(epoch, q)
+	// One pooled encode, fanned out to every node: the framed bytes are
+	// read-only across the concurrent writes below.
+	dw := wire.GetWriter()
+	dw.BeginFrame()
+	wire.AppendDispatch(dw, epoch, q)
+	dispatch, ferr := dw.FinishFrame()
+	if ferr != nil {
+		wire.PutWriter(dw)
+		return nil, wire.Reply{Err: fmt.Sprintf("dispatch too large: %v", ferr)}
+	}
+	defer wire.PutWriter(dw)
 	job := &epochJob{
 		epoch:  epoch,
 		q:      q,
-		expect: make(map[int]uint64, f.k),
+		expect: make([]uint64, f.k),
 		rep:    wire.Reply{Results: make([]wire.QueryReply, len(q.Points))},
 		done:   make(chan struct{}),
 	}
@@ -276,7 +310,7 @@ func (sched *scheduler) dispatch(q wire.Query) (*epochJob, wire.Reply) {
 	}
 	sched.inflight[epoch] = job
 	for _, s := range f.slots {
-		job.expect[s.id] = s.gen
+		job.expectSet(s.id, s.gen)
 	}
 	sched.mu.Unlock()
 	// The writes run concurrently and bounded: a node that stopped
@@ -290,7 +324,7 @@ func (sched *scheduler) dispatch(q wire.Query) (*epochJob, wire.Reply) {
 		go func(i int, s *feSlot) {
 			defer writes.Done()
 			s.conn.SetWriteDeadline(time.Now().Add(dispatchTimeout))
-			writeErrs[i] = wire.WriteFrame(s.conn, dispatch)
+			_, writeErrs[i] = s.conn.Write(dispatch)
 			if writeErrs[i] == nil {
 				s.conn.SetWriteDeadline(time.Time{})
 			}
@@ -306,8 +340,8 @@ func (sched *scheduler) dispatch(q wire.Query) (*epochJob, wire.Reply) {
 			// The node never received this epoch: withdraw its pre-filled
 			// expectation (unless the job already finished, e.g. a
 			// concurrent shutdown) and fail the epochs in flight on it.
-			if g, ok := job.expect[s.id]; ok && g == gen && !job.finished {
-				delete(job.expect, s.id)
+			if job.expectMatch(s.id, gen) && !job.finished {
+				job.expectClear(s.id)
 				job.fail(s.id, cause)
 			}
 			sched.seatLostLocked(s.id, gen, cause)
@@ -344,10 +378,8 @@ func (sched *scheduler) deliver(id int, gen uint64, payload []byte) {
 	var evict *evictReq
 	sched.mu.Lock()
 	job := sched.inflight[epoch]
-	if job != nil {
-		if g, ok := job.expect[id]; !ok || g != gen {
-			job = nil // a stale incarnation, or the seat already reported
-		}
+	if job != nil && !job.expectMatch(id, gen) {
+		job = nil // a stale incarnation, or the seat already reported
 	}
 	switch kind {
 	case wire.KindResult:
@@ -357,11 +389,11 @@ func (sched *scheduler) deliver(id int, gen uint64, payload []byte) {
 		nr, derr := wire.DecodeNodeResult(r)
 		if derr != nil || nr.Node != id || len(nr.Queries) != len(job.q.Points) {
 			cause := fmt.Errorf("node %d sent a malformed result (%v)", id, derr)
-			delete(job.expect, id)
+			job.expectClear(id)
 			job.fail(id, cause)
 			evict = &evictReq{cause: cause}
 		} else {
-			delete(job.expect, id)
+			job.expectClear(id)
 			job.merge(nr)
 		}
 	case wire.KindError:
@@ -371,13 +403,13 @@ func (sched *scheduler) deliver(id int, gen uint64, payload []byte) {
 				break
 			}
 			cause := fmt.Errorf("node %d sent a malformed error", id)
-			delete(job.expect, id)
+			job.expectClear(id)
 			job.fail(id, cause)
 			evict = &evictReq{cause: cause}
 			break
 		}
 		if job != nil {
-			delete(job.expect, id)
+			job.expectClear(id)
 			if job.errMsg == "" || (ne.Origin && !job.errOrigin) {
 				job.errMsg = fmt.Sprintf("node %d: %s", id, ne.Msg)
 				job.errOrigin = ne.Origin
@@ -436,8 +468,8 @@ func (sched *scheduler) seatLost(id int, gen uint64, cause error) {
 
 func (sched *scheduler) seatLostLocked(id int, gen uint64, cause error) {
 	for _, job := range sched.inflight {
-		if g, ok := job.expect[id]; ok && g == gen {
-			delete(job.expect, id)
+		if job.expectMatch(id, gen) {
+			job.expectClear(id)
 			job.fail(id, fmt.Errorf("lost node %d mid-query: %v", id, cause))
 			sched.maybeFinishLocked(job)
 		}
@@ -453,7 +485,7 @@ func (sched *scheduler) seatLostLocked(id int, gen uint64, cause error) {
 // result; late frames for a finished epoch are dropped. Caller holds
 // sched.mu.
 func (sched *scheduler) maybeFinishLocked(job *epochJob) {
-	if job.finished || (len(job.expect) > 0 && len(job.lost) == 0) {
+	if job.finished || (job.expectN > 0 && len(job.lost) == 0) {
 		return
 	}
 	job.finished = true

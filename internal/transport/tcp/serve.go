@@ -220,16 +220,23 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 	// read loop. In-flight epochs are drained before the mesh comes down,
 	// so a clean shutdown never strands a peer mid-exchange.
 	var ctrlMu sync.Mutex
-	writeCtrl := func(payload []byte) error {
+	// writeCtrl sends one control frame built in a pooled writer (frame
+	// already begun) and returns the writer to the pool.
+	writeCtrl := func(w *wire.Writer) error {
 		ctrlMu.Lock()
 		defer ctrlMu.Unlock()
-		return wire.WriteFrame(coord, payload)
+		err := w.EndFrame(coord)
+		wire.PutWriter(w)
+		return err
 	}
 	var epochs sync.WaitGroup
 	defer epochs.Wait()
 
 	for {
-		payload, err := wire.ReadFrame(coord)
+		// Dispatch frames are read into pooled buffers: the decoded query's
+		// points alias the frame, so the buffer is handed to the epoch
+		// goroutine and returned once the epoch is done with the query.
+		payload, err := wire.ReadFrameInto(coord, wire.GetFrameBuf())
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				// No shutdown frame came first: the frontend died, or this
@@ -257,13 +264,14 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 			// further dispatches until the implicated node re-joins.
 			er, err := node.beginEpoch(epoch, epochSeed)
 			if err != nil {
+				wire.PutFrameBuf(payload)
 				// Tell the live peers too: one of them may already have
 				// begun this epoch and would otherwise wait forever for
 				// this node's frames (the frontend fails the client's
 				// query either way, but the peer's epoch goroutine must
 				// not leak).
 				node.abortEpoch(epoch)
-				if werr := writeCtrl(encodeEpochError(epoch, err)); werr != nil {
+				if werr := writeCtrl(epochErrorFrame(epoch, err)); werr != nil {
 					return fmt.Errorf("tcp: node %d report error: %v: %w", a.id, werr, ErrSessionLost)
 				}
 				continue
@@ -272,6 +280,7 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 			go func() {
 				defer epochs.Done()
 				runDispatchedEpoch(er, epochSeed, q, h, a.id, info.Leader, writeCtrl, coord)
+				wire.PutFrameBuf(payload)
 			}()
 		default:
 			return fmt.Errorf("tcp: node %d got unexpected control kind %d", a.id, kind)
@@ -284,7 +293,7 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 // goroutine; a failed control write closes the connection so the dispatch
 // read loop observes the session loss.
 func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
-	id, leader int, writeCtrl func([]byte) error, coord net.Conn) {
+	id, leader int, writeCtrl func(*wire.Writer) error, coord net.Conn) {
 	res := make([]QueryResult, len(q.Points))
 	var err error
 	if len(q.Points) == 1 {
@@ -312,7 +321,7 @@ func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
 		// Program failures are recoverable; mesh failures set the fatal
 		// bit and name the lost peer, and the node keeps its seat — the
 		// frontend gates dispatches until the implicated node re-joins.
-		if werr := writeCtrl(encodeEpochError(er.epoch, err)); werr != nil {
+		if werr := writeCtrl(epochErrorFrame(er.epoch, err)); werr != nil {
 			coord.Close()
 		}
 		return
@@ -342,7 +351,10 @@ func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
 			nr.Queries[qi].Value = qr.Value
 		}
 	}
-	if werr := writeCtrl(wire.EncodeNodeResult(nr)); werr != nil {
+	w := wire.GetWriter()
+	w.BeginFrame()
+	wire.AppendNodeResult(w, nr)
+	if werr := writeCtrl(w); werr != nil {
 		coord.Close()
 	}
 }
@@ -529,23 +541,30 @@ func buildServeMesh(n *Node, addrs []string) error {
 	}
 }
 
-// encodeEpochError builds a failed-epoch report: origin marks a failure of
-// this node's own program (as opposed to a peer's error frame or a
-// transport fault), fatal marks a broken mesh, and the lost peer is named
-// when the fault could be attributed, so the frontend can evict exactly the
+// epochErrorFrame builds a failed-epoch report in a pooled writer (frame
+// begun, ready for writeCtrl/EndFrame): origin marks a failure of this
+// node's own program (as opposed to a peer's error frame or a transport
+// fault), fatal marks a broken mesh, and the lost peer is named when the
+// fault could be attributed, so the frontend can evict exactly the
 // implicated node.
-func encodeEpochError(epoch uint64, err error) []byte {
-	return wire.EncodeNodeError(wire.NodeError{
+func epochErrorFrame(epoch uint64, err error) *wire.Writer {
+	w := wire.GetWriter()
+	w.BeginFrame()
+	wire.AppendNodeError(w, wire.NodeError{
 		Epoch:    epoch,
 		Origin:   !IsTransportError(err) && !errors.Is(err, errPeerAbort),
 		Fatal:    IsTransportError(err),
 		LostPeer: LostPeer(err),
 		Msg:      err.Error(),
 	})
+	return w
 }
 
 // writeNodeError reports a failed epoch on the control connection; the
 // setup and rejoin paths use it before the concurrent dispatch loop starts.
 func writeNodeError(coord net.Conn, epoch uint64, err error) error {
-	return wire.WriteFrame(coord, encodeEpochError(epoch, err))
+	w := epochErrorFrame(epoch, err)
+	werr := w.EndFrame(coord)
+	wire.PutWriter(w)
+	return werr
 }

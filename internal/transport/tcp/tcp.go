@@ -166,8 +166,13 @@ func newPeer(conn net.Conn) *peer {
 // readLoop pumps frames off the connection and routes them per epoch until
 // the link dies.
 func (p *peer) readLoop() {
+	// One buffer for the life of the link: parseRoundFrame copies every
+	// message payload out of the frame, so the frame bytes are dead the
+	// moment it returns and the next read may overwrite them.
+	var buf []byte
 	for {
-		payload, err := wire.ReadFrame(p.conn)
+		payload, err := wire.ReadFrameInto(p.conn, buf)
+		buf = payload
 		if err != nil {
 			p.fail(err)
 			// Close our end too: a framing error (as opposed to a dead
@@ -661,9 +666,13 @@ func (n *Node) runProgram(prog kmachine.Program) (Metrics, error) {
 	return er.metrics, err
 }
 
-// writeRoundFrame serializes one round frame.
+// writeRoundFrame serializes one round frame through a pooled writer. The
+// frame goes out as a single Write, so concurrent epochs sharing a mesh
+// link never interleave frames.
 func writeRoundFrame(conn net.Conn, flag byte, epoch, round uint64, msgs [][]byte) error {
-	var w wire.Writer
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.BeginFrame()
 	w.U8(flag)
 	w.Varint(epoch)
 	w.Varint(round)
@@ -672,7 +681,7 @@ func writeRoundFrame(conn net.Conn, flag byte, epoch, round uint64, msgs [][]byt
 		w.Varint(uint64(len(m)))
 		w.Raw(m)
 	}
-	return wire.WriteFrame(conn, w.Bytes())
+	return w.EndFrame(conn)
 }
 
 // parseRoundFrame decodes one round frame payload.

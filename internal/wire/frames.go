@@ -50,6 +50,15 @@ const (
 	// presentCount, presentCount × Varint id (the peers currently serving,
 	// which the rejoining node must dial), then k × String mesh addresses.
 	KindRejoinAssign = 11
+	// KindQueryTagged: client → frontend, a multiplexed query. Body:
+	// Varint tag (client-chosen request id, echoed verbatim in the reply),
+	// then a Query body. Tagged queries on one connection may be answered
+	// out of order; the untagged KindQuery keeps its strict in-order
+	// request/reply contract for legacy clients.
+	KindQueryTagged = 12
+	// KindReplyTagged: frontend → client, the answer to one tagged query.
+	// Body: Varint tag, then a Reply body.
+	KindReplyTagged = 13
 )
 
 // Session modes carried in the KindAssign frame.
@@ -115,42 +124,84 @@ func (q Query) append(w *Writer) {
 // EncodeQuery builds a KindQuery frame payload.
 func EncodeQuery(q Query) []byte {
 	var w Writer
-	w.U8(KindQuery)
-	q.append(&w)
+	AppendQuery(&w, q)
 	return w.Bytes()
+}
+
+// AppendQuery appends a KindQuery frame payload to w (for pooled writers).
+func AppendQuery(w *Writer, q Query) {
+	w.U8(KindQuery)
+	q.append(w)
+}
+
+// EncodeQueryTagged builds a KindQueryTagged frame payload.
+func EncodeQueryTagged(tag uint64, q Query) []byte {
+	var w Writer
+	AppendQueryTagged(&w, tag, q)
+	return w.Bytes()
+}
+
+// AppendQueryTagged appends a KindQueryTagged frame payload to w.
+func AppendQueryTagged(w *Writer, tag uint64, q Query) {
+	w.U8(KindQueryTagged)
+	w.Varint(tag)
+	q.append(w)
 }
 
 // EncodeDispatch builds a KindDispatch frame payload for one epoch.
 func EncodeDispatch(epoch uint64, q Query) []byte {
 	var w Writer
+	AppendDispatch(&w, epoch, q)
+	return w.Bytes()
+}
+
+// AppendDispatch appends a KindDispatch frame payload to w.
+func AppendDispatch(w *Writer, epoch uint64, q Query) {
 	w.U8(KindDispatch)
 	w.Varint(epoch)
-	q.append(&w)
-	return w.Bytes()
+	q.append(w)
 }
 
 // DecodeQuery reads a Query body; the kind byte must already be consumed.
 func DecodeQuery(r *Reader) (Query, error) {
-	q := Query{Op: r.U8(), L: int(r.Varint()), Tag: r.U8()}
+	var q Query
+	if err := DecodeQueryInto(r, &q); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// DecodeQueryInto reads a Query body into q, reusing q.Points' capacity so
+// a per-connection Query decodes without allocating in the steady state.
+// The decoded points alias the reader's buffer.
+func DecodeQueryInto(r *Reader, q *Query) error {
+	q.Op, q.L, q.Tag = r.U8(), int(r.Varint()), r.U8()
+	q.Points = q.Points[:0]
 	count := r.Varint()
 	if r.Err() == nil && count > MaxBatch {
-		return Query{}, fmt.Errorf("wire: query batch of %d exceeds limit %d", count, MaxBatch)
+		q.Points = nil
+		return fmt.Errorf("wire: query batch of %d exceeds limit %d", count, MaxBatch)
 	}
 	if r.Err() == nil && count > uint64(r.Remaining()) {
-		return Query{}, fmt.Errorf("wire: query batch count %d exceeds payload", count)
+		q.Points = nil
+		return fmt.Errorf("wire: query batch count %d exceeds payload", count)
 	}
-	q.Points = make([][]byte, 0, count)
+	if uint64(cap(q.Points)) < count {
+		q.Points = make([][]byte, 0, count)
+	}
 	for i := uint64(0); i < count; i++ {
 		n := r.Varint()
 		if r.Err() == nil && n > uint64(r.Remaining()) {
-			return Query{}, fmt.Errorf("wire: query point length %d exceeds payload", n)
+			q.Points = nil
+			return fmt.Errorf("wire: query point length %d exceeds payload", n)
 		}
 		q.Points = append(q.Points, r.Raw(int(n)))
 	}
 	if err := r.Err(); err != nil {
-		return Query{}, err
+		q.Points = nil
+		return err
 	}
-	return q, nil
+	return nil
 }
 
 // NodeError is a node's report that an epoch failed. Origin distinguishes
@@ -171,6 +222,12 @@ type NodeError struct {
 // EncodeNodeError builds a KindError frame payload.
 func EncodeNodeError(ne NodeError) []byte {
 	var w Writer
+	AppendNodeError(&w, ne)
+	return w.Bytes()
+}
+
+// AppendNodeError appends a KindError frame payload to w.
+func AppendNodeError(w *Writer, ne NodeError) {
 	w.U8(KindError)
 	w.Varint(ne.Epoch)
 	w.U8(b2u(ne.Origin))
@@ -181,7 +238,6 @@ func EncodeNodeError(ne NodeError) []byte {
 		w.Varint(uint64(ne.LostPeer) + 1)
 	}
 	w.String(ne.Msg)
-	return w.Bytes()
 }
 
 // DecodeNodeError reads a NodeError body; the kind byte must already be
@@ -328,6 +384,13 @@ type NodeResult struct {
 // EncodeNodeResult builds a KindResult frame payload.
 func EncodeNodeResult(nr NodeResult) []byte {
 	var w Writer
+	AppendNodeResult(&w, nr)
+	return w.Bytes()
+}
+
+// AppendNodeResult appends a KindResult frame payload to w (for pooled
+// writers on the node's per-epoch result path).
+func AppendNodeResult(w *Writer, nr NodeResult) {
 	w.U8(KindResult)
 	w.Varint(nr.Epoch)
 	w.Varint(uint64(nr.Node))
@@ -346,7 +409,6 @@ func EncodeNodeResult(nr NodeResult) []byte {
 			w.F64(qr.Value)
 		}
 	}
-	return w.Bytes()
 }
 
 // DecodeNodeResult reads a NodeResult body; the kind byte must already be
@@ -414,10 +476,7 @@ type Reply struct {
 	Results  []QueryReply // one per query, in batch order
 }
 
-// EncodeReply builds a KindReply frame payload.
-func EncodeReply(rep Reply) []byte {
-	var w Writer
-	w.U8(KindReply)
+func (rep Reply) append(w *Writer) {
 	if rep.Err != "" {
 		if rep.Degraded {
 			w.U8(2)
@@ -425,7 +484,7 @@ func EncodeReply(rep Reply) []byte {
 			w.U8(1)
 		}
 		w.String(rep.Err)
-		return w.Bytes()
+		return
 	}
 	w.U8(0)
 	w.Varint(uint64(rep.Rounds))
@@ -441,7 +500,33 @@ func EncodeReply(rep Reply) []byte {
 		w.F64(qr.Value)
 		w.Items(qr.Items)
 	}
+}
+
+// EncodeReply builds a KindReply frame payload.
+func EncodeReply(rep Reply) []byte {
+	var w Writer
+	AppendReply(&w, rep)
 	return w.Bytes()
+}
+
+// AppendReply appends a KindReply frame payload to w (for pooled writers).
+func AppendReply(w *Writer, rep Reply) {
+	w.U8(KindReply)
+	rep.append(w)
+}
+
+// EncodeReplyTagged builds a KindReplyTagged frame payload.
+func EncodeReplyTagged(tag uint64, rep Reply) []byte {
+	var w Writer
+	AppendReplyTagged(&w, tag, rep)
+	return w.Bytes()
+}
+
+// AppendReplyTagged appends a KindReplyTagged frame payload to w.
+func AppendReplyTagged(w *Writer, tag uint64, rep Reply) {
+	w.U8(KindReplyTagged)
+	w.Varint(tag)
+	rep.append(w)
 }
 
 // DecodeReply reads a Reply body; the kind byte must already be consumed.

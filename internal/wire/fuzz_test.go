@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"distknn/internal/keys"
@@ -88,6 +89,62 @@ func FuzzDecodeReply(f *testing.F) {
 		}
 		if !bytes.Equal(EncodeReply(rep2), enc) {
 			t.Fatalf("reply is not a re-encoding fixed point")
+		}
+	})
+}
+
+// FuzzDecodeTaggedFrame covers the multiplexed query/reply kinds: the tag
+// varint plus the shared body decoders, whole frames at a time.
+func FuzzDecodeTaggedFrame(f *testing.F) {
+	q := Query{Op: OpKNN, L: 10, Tag: PointScalar, Points: [][]byte{EncodeScalarPoint(12345)}}
+	f.Add(EncodeQueryTagged(0, q))
+	f.Add(EncodeQueryTagged(math.MaxUint64, q))
+	f.Add(EncodeReplyTagged(7, Reply{Err: "nope"}))
+	f.Add(EncodeReplyTagged(300, Reply{
+		Rounds: 1, Leader: 0,
+		Results: []QueryReply{{Items: []points.Item{{Key: keys.Key{Dist: 1, ID: 2}}}}},
+	}))
+	f.Add(EncodeReplyTagged(5, Reply{Err: "degraded", Degraded: true}))
+	f.Add([]byte{KindQueryTagged, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		switch r.U8() {
+		case KindQueryTagged:
+			tag := r.Varint()
+			q, err := DecodeQuery(r)
+			if err != nil || r.Err() != nil {
+				return
+			}
+			enc := EncodeQueryTagged(tag, q)
+			r2 := skipKind(t, enc, KindQueryTagged)
+			if got := r2.Varint(); got != tag {
+				t.Fatalf("tag %d re-decoded as %d", tag, got)
+			}
+			q2, err := DecodeQuery(r2)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !bytes.Equal(EncodeQueryTagged(tag, q2), enc) {
+				t.Fatalf("tagged query is not a re-encoding fixed point")
+			}
+		case KindReplyTagged:
+			tag := r.Varint()
+			rep, err := DecodeReply(r)
+			if err != nil || r.Err() != nil {
+				return
+			}
+			enc := EncodeReplyTagged(tag, rep)
+			r2 := skipKind(t, enc, KindReplyTagged)
+			if got := r2.Varint(); got != tag {
+				t.Fatalf("tag %d re-decoded as %d", tag, got)
+			}
+			rep2, err := DecodeReply(r2)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !bytes.Equal(EncodeReplyTagged(tag, rep2), enc) {
+				t.Fatalf("tagged reply is not a re-encoding fixed point")
+			}
 		}
 	})
 }

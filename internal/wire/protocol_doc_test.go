@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"strings"
@@ -72,6 +73,7 @@ func docExamples() []struct {
 		{"bit vector point", EncodeBitVectorPoint(points.BitVector{5, 1})},
 		{"query", EncodeQuery(q)},
 		{"vector batch query", EncodeQuery(vq)},
+		{"tagged query", EncodeQueryTagged(300, q)},
 		{"dispatch", EncodeDispatch(1, q)},
 		{"ready", rdy.Bytes()},
 		{"result", EncodeNodeResult(NodeResult{
@@ -105,6 +107,16 @@ func docExamples() []struct {
 		})},
 		{"error reply", EncodeReply(Reply{Err: "l=0 out of range [1, 10000]"})},
 		{"degraded reply", EncodeReply(Reply{Err: "cluster degraded (1 of 2 nodes): waiting for node(s) [1]", Degraded: true})},
+		{"tagged reply", EncodeReplyTagged(300, Reply{
+			Rounds: 26, Messages: 44, Bytes: 745, Leader: 0,
+			Results: []QueryReply{{
+				QueryOutcome: QueryOutcome{
+					Boundary: keys.Key{Dist: 5, ID: 2}, Survivors: 20, Iterations: 4,
+				},
+				Items: []points.Item{{Key: keys.Key{Dist: 3, ID: 1}, Label: 2}},
+			}},
+		})},
+		{"tagged degraded reply", EncodeReplyTagged(301, Reply{Err: "cluster degraded (1 of 2 nodes): waiting for node(s) [1]", Degraded: true})},
 	}
 }
 
@@ -294,6 +306,58 @@ func TestFrameRoundTrips(t *testing.T) {
 		if err != nil || got.Err != "nope" {
 			t.Fatalf("error reply round trip: %+v %v", got, err)
 		}
+	}
+}
+
+// TestTaggedFrameRoundTrips checks the multiplexed query/reply pair: the
+// tag survives the trip and the body decodes with the untagged decoders.
+func TestTaggedFrameRoundTrips(t *testing.T) {
+	q := Query{Op: OpKNN, L: 7, Tag: PointScalar, Points: [][]byte{EncodeScalarPoint(42)}}
+	for _, tag := range []uint64{0, 1, 300, math.MaxUint64} {
+		r := NewReader(EncodeQueryTagged(tag, q))
+		if kind := r.U8(); kind != KindQueryTagged {
+			t.Fatalf("kind %d", kind)
+		}
+		if got := r.Varint(); got != tag {
+			t.Fatalf("tag %d, want %d", got, tag)
+		}
+		got, err := DecodeQuery(r)
+		if err != nil || got.Op != q.Op || got.L != q.L || len(got.Points) != 1 {
+			t.Fatalf("tagged query round trip: %+v %v", got, err)
+		}
+	}
+	rep := Reply{
+		Rounds: 3, Messages: 5, Bytes: 99, Leader: 1,
+		Results: []QueryReply{{
+			QueryOutcome: QueryOutcome{Boundary: keys.Key{Dist: 8, ID: 3}, Survivors: 12, Iterations: 2},
+			Items:        []points.Item{{Key: keys.Key{Dist: 4, ID: 9}, Label: 1}},
+		}},
+	}
+	r := NewReader(EncodeReplyTagged(77, rep))
+	if kind := r.U8(); kind != KindReplyTagged {
+		t.Fatalf("kind %d", kind)
+	}
+	if got := r.Varint(); got != 77 {
+		t.Fatalf("tag %d", got)
+	}
+	got, err := DecodeReply(r)
+	if err != nil || got.Rounds != rep.Rounds || len(got.Results) != 1 ||
+		got.Results[0].QueryOutcome != rep.Results[0].QueryOutcome ||
+		got.Results[0].Items[0] != rep.Results[0].Items[0] {
+		t.Fatalf("tagged reply round trip: %+v %v", got, err)
+	}
+	// Degraded errors survive tagging too.
+	r = NewReader(EncodeReplyTagged(5, Reply{Err: "degraded", Degraded: true}))
+	r.U8()
+	r.Varint()
+	if got, err := DecodeReply(r); err != nil || !got.Degraded || got.Err != "degraded" {
+		t.Fatalf("tagged degraded reply: %+v %v", got, err)
+	}
+	// The tagged and untagged encoders share one body encoding: stripping
+	// kind+tag from a tagged frame yields exactly the untagged body.
+	tagged := EncodeQueryTagged(1, q)
+	if !strings.HasSuffix(hexBytes(tagged), hexBytes(EncodeQuery(q)[1:])) {
+		t.Fatalf("tagged body drifted from untagged body")
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"distknn/internal/keys"
 	"distknn/internal/points"
@@ -38,6 +39,20 @@ func (w *Writer) Bytes() []byte { return w.buf }
 
 // Len returns the encoded size in bytes.
 func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset empties the writer, keeping its capacity for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Grow preallocates capacity for at least n more bytes, so a writer whose
+// final size is known (or bounded) encodes with a single allocation.
+func (w *Writer) Grow(n int) {
+	if cap(w.buf)-len(w.buf) >= n {
+		return
+	}
+	buf := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(buf, w.buf)
+	w.buf = buf
+}
 
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
@@ -239,33 +254,153 @@ func (r *Reader) Items() []points.Item {
 // arbitrarily large allocation.
 const MaxFrame = 64 << 20
 
+// maxPooledCap bounds the capacity of buffers retained by the pools below.
+// A rare giant frame (up to MaxFrame) is served by a one-off allocation
+// instead of pinning megabytes inside a pool forever.
+const maxPooledCap = 1 << 20
+
+// writerPool recycles Writers across frames. Encoding a message into a
+// pooled writer and flushing it with EndFrame is the zero-allocation
+// counterpart of Encode* + WriteFrame.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns an empty Writer from the pool. Release it with
+// PutWriter once the encoded bytes are no longer referenced; the caller
+// must not retain w.Bytes() past that point.
+func GetWriter() *Writer {
+	return writerPool.Get().(*Writer)
+}
+
+// PutWriter resets w and returns it to the pool.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > maxPooledCap {
+		return
+	}
+	w.Reset()
+	writerPool.Put(w)
+}
+
+// BeginFrame reserves the 4-byte stream-framing header at the front of an
+// empty writer. Encode the payload with the ordinary Writer methods, then
+// flush header and payload in one Write with EndFrame — no copy, no
+// per-frame allocation when the writer is pooled.
+func (w *Writer) BeginFrame() {
+	w.buf = append(w.buf, 0, 0, 0, 0)
+}
+
+// EndFrame patches the length header reserved by BeginFrame and writes the
+// whole frame to dst in a single Write (one syscall on a socket, and no
+// torn header/body interleaving from concurrent writers). The writer still
+// holds the frame afterwards; Reset or PutWriter it before reuse.
+func (w *Writer) EndFrame(dst io.Writer) error {
+	if len(w.buf) < 4 {
+		return errors.New("wire: EndFrame without BeginFrame")
+	}
+	frame, err := w.FinishFrame()
+	if err != nil {
+		return err
+	}
+	_, err = dst.Write(frame)
+	return err
+}
+
+// FinishFrame patches the length header reserved by BeginFrame and returns
+// the complete frame without writing it, for callers that fan one frame out
+// to several destinations. The bytes alias the writer: write them everywhere
+// before Reset or PutWriter.
+func (w *Writer) FinishFrame() ([]byte, error) {
+	if len(w.buf) < 4 {
+		return nil, errors.New("wire: FinishFrame without BeginFrame")
+	}
+	payload := len(w.buf) - 4
+	if payload > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", payload)
+	}
+	binary.LittleEndian.PutUint32(w.buf, uint32(payload))
+	return w.buf, nil
+}
+
+// frameScratch recycles the header+payload staging buffers used by
+// WriteFrame for callers that hold an already-encoded payload.
+var frameScratch = sync.Pool{New: func() any { return new([]byte) }}
+
 // WriteFrame writes a length-prefixed payload to w. Header and payload go
 // out in a single Write, so a frame over a socket costs one syscall (and
-// cannot be torn between header and body by a concurrent writer).
+// cannot be torn between header and body by a concurrent writer). The
+// staging buffer is pooled: steady-state frame writes do not allocate.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
-	buf := make([]byte, 4+len(payload))
+	bp := frameScratch.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0)
 	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
-	copy(buf[4:], payload)
+	buf = append(buf, payload...)
 	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledCap {
+		*bp = buf[:0]
+		frameScratch.Put(bp)
+	}
 	return err
 }
 
-// ReadFrame reads one length-prefixed payload from r.
+// ReadFrame reads one length-prefixed payload from r, allocating a fresh
+// buffer (none at all for an empty frame). Hot loops should hold a
+// per-connection buffer and use ReadFrameInto instead.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto reads one length-prefixed payload from r into buf,
+// growing it only when the frame exceeds its capacity. The returned slice
+// aliases (a possibly grown) buf; pass it back as the next call's buf to
+// amortize the allocation to zero. The caller owns the buffer: reuse it
+// only once the previous payload is fully consumed or copied.
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	// The header is read into the reusable buffer itself (and overwritten
+	// by the payload right after): a stack array would escape through the
+	// io.Reader interface and cost an allocation per frame.
+	if cap(buf) < 4 {
+		buf = make([]byte, 4, 512)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr)
 	if n > MaxFrame {
 		return nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	if uint64(cap(buf)) < uint64(n) {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// framePool recycles frame payload buffers for paths that hand a decoded
+// frame to another goroutine (the decoded view aliases the payload, so a
+// simple per-connection buffer cannot be reused until that work finishes).
+// The reader checks a buffer out, the consumer returns it when done.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetFrameBuf checks a reusable frame buffer out of the pool. Pass it to
+// ReadFrameInto, hand the payload (which aliases it) to the consumer, and
+// have the consumer release it with PutFrameBuf when the decoded frame is
+// dead.
+func GetFrameBuf() []byte {
+	return *framePool.Get().(*[]byte)
+}
+
+// PutFrameBuf returns a buffer obtained from GetFrameBuf (possibly grown
+// by ReadFrameInto) to the pool.
+func PutFrameBuf(buf []byte) {
+	if cap(buf) > maxPooledCap {
+		return
+	}
+	buf = buf[:0]
+	framePool.Put(&buf)
 }

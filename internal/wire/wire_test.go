@@ -199,3 +199,109 @@ func TestFrameTruncatedPayload(t *testing.T) {
 		t.Errorf("truncated payload must fail")
 	}
 }
+
+func TestReadFrameIntoReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	for _, p := range [][]byte{bytes.Repeat([]byte{7}, 64), {1, 2}, {}, bytes.Repeat([]byte{9}, 128)} {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scratch, err := ReadFrameInto(&buf, nil)
+	if err != nil || len(scratch) != 64 {
+		t.Fatalf("first frame: %d bytes, %v", len(scratch), err)
+	}
+	first := &scratch[0]
+	// The 2-byte and empty frames must reuse the 64-byte buffer in place.
+	scratch2, err := ReadFrameInto(&buf, scratch)
+	if err != nil || len(scratch2) != 2 {
+		t.Fatalf("second frame: %d bytes, %v", len(scratch2), err)
+	}
+	if &scratch2[0] != first {
+		t.Errorf("small frame did not reuse the buffer")
+	}
+	empty, err := ReadFrameInto(&buf, scratch2)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty frame: %d bytes, %v", len(empty), err)
+	}
+	// A larger frame grows the buffer.
+	big, err := ReadFrameInto(&buf, empty)
+	if err != nil || len(big) != 128 || big[0] != 9 {
+		t.Fatalf("grown frame: %d bytes, %v", len(big), err)
+	}
+}
+
+func TestWriterFrameBuild(t *testing.T) {
+	w := GetWriter()
+	defer PutWriter(w)
+	w.BeginFrame()
+	w.U8(42)
+	w.String("hello")
+	var buf bytes.Buffer
+	if err := w.EndFrame(&buf); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(payload)
+	if got := r.U8(); got != 42 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left over", r.Remaining())
+	}
+	// An empty payload is a legal frame.
+	w.Reset()
+	w.BeginFrame()
+	buf.Reset()
+	if err := w.EndFrame(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := ReadFrame(&buf); err != nil || len(p) != 0 {
+		t.Errorf("empty frame: %d bytes, %v", len(p), err)
+	}
+	// EndFrame without BeginFrame is an error, not a corrupt header.
+	w.Reset()
+	if err := w.EndFrame(&buf); err == nil {
+		t.Errorf("EndFrame without BeginFrame must fail")
+	}
+}
+
+func TestFrameBufPool(t *testing.T) {
+	buf := GetFrameBuf()
+	var stream bytes.Buffer
+	if err := WriteFrame(&stream, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrameInto(&stream, buf)
+	if err != nil || !bytes.Equal(payload, []byte{1, 2, 3}) {
+		t.Fatalf("payload %v, %v", payload, err)
+	}
+	PutFrameBuf(payload)
+	// Oversized buffers are dropped rather than pinned in the pool.
+	PutFrameBuf(make([]byte, 2<<20))
+}
+
+func TestWriterGrowAndReset(t *testing.T) {
+	var w Writer
+	w.Grow(100)
+	if cap(w.Bytes()) < 100 {
+		t.Errorf("Grow(100) left cap %d", cap(w.Bytes()))
+	}
+	w.U64(7)
+	w.Grow(8) // already fits: must not move the buffer
+	w.U64(9)
+	r := NewReader(w.Bytes())
+	if r.U64() != 7 || r.U64() != 9 {
+		t.Errorf("Grow corrupted contents")
+	}
+	w.Reset()
+	if w.Len() != 0 || cap(w.Bytes()) < 100 {
+		t.Errorf("Reset lost capacity: len %d cap %d", w.Len(), cap(w.Bytes()))
+	}
+}

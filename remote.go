@@ -435,10 +435,12 @@ func (f *Frontend) Close() error { return f.fe.Close() }
 // per-query frame, syscall and epoch overhead is amortized across the
 // batch.
 //
-// A RemoteCluster is safe for concurrent use; queries on one connection
-// are serialized, but the frontend's epoch scheduler pipelines epochs
-// from distinct connections, so independent clients (or one client per
-// goroutine) overlap on the mesh. QueryStats are the real mesh costs:
+// A RemoteCluster is safe for concurrent use, and its single connection is
+// multiplexed: every query travels as a tagged frame, so any number of
+// calls can be in flight at once and complete out of order. One client
+// process can therefore saturate the frontend's whole pipelining window —
+// issue queries from concurrent goroutines, or use KNNAsync to hold many
+// outstanding without a goroutine per call. QueryStats are the real mesh costs:
 // Rounds is the slowest node's round count and Messages/Bytes are
 // cluster-wide totals (election rounds were paid once, in the setup
 // epoch) — for a query the frontend transparently coalesced into a shared
@@ -551,6 +553,39 @@ func (rc *RemoteCluster[P]) KNN(q P, l int) ([]Item, *QueryStats, error) {
 		return nil, nil, err
 	}
 	return rep.Results[0].Items, remoteStats(rep, rep.Results[0]), nil
+}
+
+// KNNHandle is one in-flight asynchronous KNN query (see KNNAsync).
+type KNNHandle struct {
+	done  chan struct{}
+	items []Item
+	stats *QueryStats
+	err   error
+}
+
+// Done returns a channel closed when the query completes, for select loops.
+func (h *KNNHandle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the query completes and returns its outcome. It may be
+// called any number of times.
+func (h *KNNHandle) Wait() ([]Item, *QueryStats, error) {
+	<-h.done
+	return h.items, h.stats, h.err
+}
+
+// KNNAsync starts a KNN query and returns immediately with a handle for
+// collecting the answer. Each outstanding query is one tagged frame on the
+// shared multiplexed connection, so a caller that keeps W handles in flight
+// fills a frontend scheduling window of W by itself; replies complete out
+// of order and results are bit-identical to the same queries issued
+// serially.
+func (rc *RemoteCluster[P]) KNNAsync(q P, l int) *KNNHandle {
+	h := &KNNHandle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.items, h.stats, h.err = rc.KNN(q, l)
+	}()
+	return h
 }
 
 // Classify returns the majority label among the ℓ nearest neighbors of q

@@ -5,8 +5,12 @@ Speaks docs/PROTOCOL.md with nothing but the Python standard library:
 frames a single-point KNN query and a batched KNN query at a frontend,
 decodes the replies, and cross-checks them — the batch's per-query answers
 must be bit-identical to the solo answers, items must arrive in ascending
-(distance, id) order, and every reply must carry exactly l items. It is
-CI's proof that the spec is complete enough for a non-Go client.
+(distance, id) order, and every reply must carry exactly l items. It then
+exercises the multiplexed path: every point again as a tagged query, all
+of them written before any reply is read, with the replies matched back
+by tag (the spec allows any completion order) and required bit-identical
+to the untagged answers. It is CI's proof that the spec is complete
+enough for a non-Go client.
 
 Usage: interop_client.py HOST:PORT [l] [point...]
 """
@@ -15,6 +19,7 @@ import struct
 import sys
 
 KIND_QUERY, KIND_REPLY = 8, 9
+KIND_QUERY_TAGGED, KIND_REPLY_TAGGED = 12, 13
 OP_KNN, TAG_SCALAR = 1, 1
 
 
@@ -84,15 +89,15 @@ def read_frame(sock):
     return payload
 
 
-def knn_query(sock, points, l):
-    body = bytes([KIND_QUERY, OP_KNN]) + varint(l) + bytes([TAG_SCALAR]) + varint(len(points))
+def query_body(points, l):
+    body = bytes([OP_KNN]) + varint(l) + bytes([TAG_SCALAR]) + varint(len(points))
     for p in points:
         enc = struct.pack("<Q", p)
         body += varint(len(enc)) + enc
-    send_frame(sock, body)
-    r = Reader(read_frame(sock))
-    if r.u8() != KIND_REPLY:
-        raise ValueError("expected a reply frame")
+    return body
+
+
+def decode_reply(r):
     status = r.u8()
     if status:
         raise ValueError("remote error (status %d): %s" % (status, r.string()))
@@ -113,6 +118,35 @@ def knn_query(sock, points, l):
     if rounds < 1 or leader < 0:
         raise ValueError("implausible epoch cost: rounds=%d leader=%d" % (rounds, leader))
     return results
+
+
+def knn_query(sock, points, l):
+    send_frame(sock, bytes([KIND_QUERY]) + query_body(points, l))
+    r = Reader(read_frame(sock))
+    if r.u8() != KIND_REPLY:
+        raise ValueError("expected a reply frame")
+    return decode_reply(r)
+
+
+def knn_tagged(sock, tagged_points, l):
+    """Send every (tag, point) as a tagged query before reading any reply,
+    then collect the tagged replies in whatever order they arrive."""
+    for tag, p in tagged_points:
+        send_frame(sock, bytes([KIND_QUERY_TAGGED]) + varint(tag) + query_body([p], l))
+    pending = {tag for tag, _ in tagged_points}
+    by_tag = {}
+    for _ in tagged_points:
+        r = Reader(read_frame(sock))
+        if r.u8() != KIND_REPLY_TAGGED:
+            raise ValueError("expected a tagged reply frame")
+        tag = r.varint()
+        if tag not in pending:
+            raise ValueError("reply for unknown or duplicate tag %d" % tag)
+        pending.discard(tag)
+        by_tag[tag] = decode_reply(r)
+    if pending:
+        raise ValueError("never answered tags %r" % sorted(pending))
+    return by_tag
 
 
 def check(results, points, l):
@@ -141,7 +175,16 @@ def main():
         check(batch, points, l)
         if batch != solo:
             raise ValueError("batched answers differ from solo answers")
-    print("interop: %d solo + 1 batched query verified (l=%d), batch bit-identical to solo" % (len(points), l))
+        # Multiplexed path: every point as a tagged query, all outstanding
+        # at once on the same connection the untagged queries used.
+        tagged = knn_tagged(sock, [(300 + i, p) for i, p in enumerate(points)], l)
+        for i, p in enumerate(points):
+            results = tagged[300 + i]
+            check(results, [p], l)
+            if results[0] != solo[i]:
+                raise ValueError("tagged answer for point %d differs from the untagged one" % p)
+    print("interop: %d solo + 1 batched + %d tagged-outstanding queries verified (l=%d), all bit-identical"
+          % (len(points), len(points), l))
 
 
 if __name__ == "__main__":
