@@ -12,10 +12,24 @@
 // batch — dispatched by the frontend to remote clients (knnquery -connect,
 // or the distknn.DialScalarCluster / DialVectorCluster API). With -dim > 0
 // the nodes hold d-dimensional vector shards indexed by k-d trees instead
-// of the paper's scalar workload. The frontend's epoch scheduler pipelines
-// up to -window query epochs on the mesh concurrently, and with
-// -server-batch it coalesces concurrently arriving single queries into
-// lockstep batch epochs (flushed at 64 points or after -linger).
+// of the paper's scalar workload (-vmetric picks the served vector metric:
+// l2, l1, linf or cosine). The frontend's epoch scheduler pipelines up to
+// -window query epochs on the mesh concurrently, and with -server-batch it
+// coalesces concurrently arriving single queries into lockstep batch epochs
+// (flushed at 64 points or after -linger).
+//
+// With -anchor the nodes partition the same global dataset by a
+// deterministic seeded k-center clustering instead of uniform ID blocks,
+// and report tight centroid+radius summaries; a frontend started with
+// -prune uses those summaries for metric-index pruned dispatch —
+// single-point KNN/Classify queries contact only the nodes whose shard
+// ball can intersect the query's neighbor ball, with answers bit-identical
+// to full scatter:
+//
+//	knnnode -serve -coordinator -addr 127.0.0.1:7100 -k 2 -seed 1 -prune
+//	knnnode -serve -join 127.0.0.1:7100 -points 100000 -anchor
+//	knnnode -serve -join 127.0.0.1:7100 -points 100000 -anchor
+//	knnquery -connect 127.0.0.1:7100 -l 10
 //
 // Nodes spanning hosts listen on -mesh and may announce a different
 // reachable address with -advertise (e.g. -mesh 0.0.0.0:7101 -advertise
@@ -95,6 +109,9 @@ func main() {
 		window      = flag.Int("window", 0, "with -serve -coordinator: query epochs pipelined in flight at once (0 = default 8, 1 = serialized)")
 		serverBatch = flag.Bool("server-batch", false, "with -serve -coordinator: coalesce concurrently arriving single queries into lockstep batch epochs")
 		linger      = flag.Duration("linger", 0, "with -serve -coordinator -server-batch: max wait for a partial coalesced batch (0 = default 500µs)")
+		prune       = flag.Bool("prune", false, "with -serve -coordinator: metric-index pruned dispatch — single-point KNN/Classify queries contact only the nodes whose shard ball can hold a neighbor (answers stay bit-identical; pair with -anchor nodes for tight balls)")
+		anchor      = flag.Bool("anchor", false, "with -serve -join or -serve -local: anchor-clustered shards (deterministic k-center partition of the same global dataset) instead of uniform ID blocks")
+		vmetric     = flag.String("vmetric", "l2", "vector metric served when -dim > 0: l2|l1|linf|cosine")
 	)
 	flag.Parse()
 
@@ -103,14 +120,42 @@ func main() {
 		q = xrand.NewStream(*seed, 1<<40).Uint64N(points.PaperDomain)
 	}
 	opts := distknn.NodeOptions{Advertise: *advertise}
+	vectorPT := func() distknn.PointType[distknn.Vector] {
+		switch *vmetric {
+		case "l2":
+			return distknn.VectorPoints()
+		case "l1":
+			return distknn.L1Points()
+		case "linf":
+			return distknn.LInfPoints()
+		case "cosine":
+			return distknn.CosinePoints()
+		default:
+			fatalf("unknown vector metric %q (want l2|l1|linf|cosine)", *vmetric)
+			panic("unreachable")
+		}
+	}
 
 	switch {
 	case *serve && *coordinator:
-		fe, err := distknn.NewFrontendOptions(*addr, *k, *seed, distknn.FrontendOptions{
+		fopts := distknn.FrontendOptions{
 			Window:      *window,
 			ServerBatch: *serverBatch,
 			Linger:      *linger,
-		})
+		}
+		if *prune {
+			// The pruner must match the point type the nodes will declare;
+			// a mismatched one fails its distance computations and the
+			// frontend silently serves full scatter, so answers stay right
+			// either way. Cosine refuses a pruner entirely (no triangle
+			// inequality) — -prune then serves plain full scatter.
+			if *dim > 0 {
+				fopts.Pruner = vectorPT().Pruner()
+			} else {
+				fopts.Pruner = distknn.ScalarPoints().Pruner()
+			}
+		}
+		fe, err := distknn.NewFrontendOptions(*addr, *k, *seed, fopts)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -121,11 +166,20 @@ func main() {
 	case *serve && *join != "":
 		serveSession := func() error {
 			if *dim > 0 {
-				fmt.Printf("resident vector node joining %s (%d %d-dim points/node)\n", *join, *perNode, *dim)
-				return distknn.ServeVectorNode(*join, *meshAddr, distknn.UniformVectorShards(*seed, *perNode, *dim), opts)
+				shards := distknn.UniformVectorShards(*seed, *perNode, *dim)
+				if *anchor {
+					shards = distknn.AnchorVectorShards(*seed, *perNode, *dim)
+				}
+				fmt.Printf("resident vector node joining %s (%d %d-dim points/node, metric=%s, anchor=%v)\n",
+					*join, *perNode, *dim, *vmetric, *anchor)
+				return distknn.ServeTypedNode(vectorPT(), *join, *meshAddr, shards, opts)
 			}
-			fmt.Printf("resident node joining %s (%d points/node)\n", *join, *perNode)
-			return distknn.ServeScalarNode(*join, *meshAddr, distknn.PaperShards(*seed, *perNode), opts)
+			shards := distknn.PaperShards(*seed, *perNode)
+			if *anchor {
+				shards = distknn.AnchorShards(*seed, *perNode)
+			}
+			fmt.Printf("resident node joining %s (%d points/node, anchor=%v)\n", *join, *perNode, *anchor)
+			return distknn.ServeTypedNode(distknn.ScalarPoints(), *join, *meshAddr, shards, opts)
 		}
 		for attempt := 0; ; attempt++ {
 			err := serveSession()
@@ -151,7 +205,11 @@ func main() {
 		}
 		fmt.Println("node shut down cleanly")
 	case *serve && *local:
-		serveLocalDemo(*k, *seed, *perNode, *dim, *l, *queries, *batch)
+		serveLocalDemo(demoConfig{
+			k: *k, seed: *seed, perNode: *perNode, dim: *dim, l: *l,
+			queries: *queries, batch: *batch,
+			prune: *prune, anchor: *anchor, vectorPT: vectorPT,
+		})
 	case *coordinator:
 		c, err := tcp.NewCoordinator(*addr, *k, *seed)
 		if err != nil {
@@ -196,58 +254,88 @@ func main() {
 	}
 }
 
+// demoConfig carries the -serve -local knobs.
+type demoConfig struct {
+	k               int
+	seed            uint64
+	perNode, dim, l int
+	queries, batch  int
+	prune, anchor   bool
+	vectorPT        func() distknn.PointType[distknn.Vector]
+}
+
 // serveLocalDemo runs the whole serving deployment in one process —
 // frontend, k resident nodes, and a client — answers `queries` queries over
 // the standing mesh (in dispatched batches of `batch`), and prints the
-// aggregate cost.
-func serveLocalDemo(k int, seed uint64, perNode, dim, l, queries, batch int) {
-	if queries < 1 {
-		queries = 1
+// aggregate cost. With -prune (and batch 1) single-point queries travel
+// through the metric-index pruned dispatch; -anchor partitions the same
+// global dataset by the deterministic k-center clustering so the shard
+// balls are tight.
+func serveLocalDemo(cfg demoConfig) {
+	if cfg.queries < 1 {
+		cfg.queries = 1
 	}
-	if batch < 1 {
-		batch = 1
+	if cfg.batch < 1 {
+		cfg.batch = 1
 	}
 	kind := "scalar"
-	if dim > 0 {
-		kind = fmt.Sprintf("%d-dim vector", dim)
+	if cfg.dim > 0 {
+		kind = fmt.Sprintf("%d-dim vector", cfg.dim)
 	}
-	fmt.Printf("local serving cluster: k=%d, %d %s points/node, l=%d, %d queries in batches of %d\n",
-		k, perNode, kind, l, queries, batch)
-	if dim > 0 {
-		srv, err := distknn.ServeVectorLocal(k, seed, distknn.UniformVectorShards(seed, perNode, dim), distknn.NodeOptions{})
+	fmt.Printf("local serving cluster: k=%d, %d %s points/node, l=%d, %d queries in batches of %d (prune=%v anchor=%v)\n",
+		cfg.k, cfg.perNode, kind, cfg.l, cfg.queries, cfg.batch, cfg.prune, cfg.anchor)
+	if cfg.dim > 0 {
+		pt := cfg.vectorPT()
+		shards := distknn.UniformVectorShards(cfg.seed, cfg.perNode, cfg.dim)
+		if cfg.anchor {
+			shards = distknn.AnchorVectorShards(cfg.seed, cfg.perNode, cfg.dim)
+		}
+		fopts := distknn.FrontendOptions{}
+		if cfg.prune {
+			fopts.Pruner = pt.Pruner()
+		}
+		srv, err := distknn.ServeTypedLocalOptions(pt, cfg.k, cfg.seed, shards, distknn.NodeOptions{}, fopts)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		rc, err := distknn.DialVectorCluster(srv.Addr())
+		rc, err := distknn.DialTypedCluster(pt, srv.Addr())
 		if err != nil {
 			srv.Close()
 			fatalf("%v", err)
 		}
 		gen := func(i int) distknn.Vector {
-			rng := xrand.NewStream(seed, 1<<40+uint64(i))
-			v := make(distknn.Vector, dim)
+			rng := xrand.NewStream(cfg.seed, 1<<40+uint64(i))
+			v := make(distknn.Vector, cfg.dim)
 			for j := range v {
 				v[j] = rng.Float64()
 			}
 			return v
 		}
-		runDemo(srv, rc, gen, l, queries, batch, func(d uint64) string {
+		runDemo(srv, rc, gen, cfg.l, cfg.queries, cfg.batch, func(d uint64) string {
 			return fmt.Sprintf("%.6f", keys.DecodeFloat(d))
 		})
 	} else {
-		srv, err := distknn.ServeLocal(k, seed, distknn.PaperShards(seed, perNode), distknn.NodeOptions{})
+		shards := distknn.PaperShards(cfg.seed, cfg.perNode)
+		if cfg.anchor {
+			shards = distknn.AnchorShards(cfg.seed, cfg.perNode)
+		}
+		fopts := distknn.FrontendOptions{}
+		if cfg.prune {
+			fopts.Pruner = distknn.ScalarPoints().Pruner()
+		}
+		srv, err := distknn.ServeTypedLocalOptions(distknn.ScalarPoints(), cfg.k, cfg.seed, shards, distknn.NodeOptions{}, fopts)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		rc, err := distknn.DialScalarCluster(srv.Addr())
+		rc, err := distknn.DialTypedCluster(distknn.ScalarPoints(), srv.Addr())
 		if err != nil {
 			srv.Close()
 			fatalf("%v", err)
 		}
 		gen := func(i int) distknn.Scalar {
-			return distknn.Scalar(xrand.NewStream(seed, 1<<40+uint64(i)).Uint64N(points.PaperDomain))
+			return distknn.Scalar(xrand.NewStream(cfg.seed, 1<<40+uint64(i)).Uint64N(points.PaperDomain))
 		}
-		runDemo(srv, rc, gen, l, queries, batch, func(d uint64) string {
+		runDemo(srv, rc, gen, cfg.l, cfg.queries, cfg.batch, func(d uint64) string {
 			return fmt.Sprintf("%d", d)
 		})
 	}

@@ -12,7 +12,9 @@
 // With -connect it skips building anything and becomes a remote client of a
 // TCP serving cluster (started with knnnode -serve): one query by default,
 // the -serve throughput driver, or -batch batched dispatch — for scalar
-// clusters and, with -metric vector -dim d, vector clusters.
+// clusters and, with -metric vector -dim d, vector clusters (-metric also
+// accepts l1, linf and cosine to match a cluster served with knnnode
+// -vmetric).
 //
 // Examples:
 //
@@ -59,7 +61,7 @@ func main() {
 		l         = flag.Int("l", 10, "number of nearest neighbors")
 		seed      = flag.Uint64("seed", 1, "dataset and protocol seed")
 		algoName  = flag.String("algo", "alg2", "algorithm: alg2|direct|simple|saukas-song|binsearch")
-		metric    = flag.String("metric", "scalar", "point type: scalar|vector")
+		metric    = flag.String("metric", "scalar", "point type: scalar|vector; with -connect also l1|linf|cosine")
 		dim       = flag.Int("dim", 4, "vector dimension (for -metric vector)")
 		bandwidth = flag.Int("bandwidth", 0, "link bandwidth in bytes/round (0 = 64)")
 		compare   = flag.Bool("compare", false, "run every algorithm and compare costs")
@@ -113,13 +115,22 @@ func main() {
 			defer rc.Close()
 			fmt.Printf("remote scalar cluster at %s; l=%d\n\n", *connect, *l)
 			drive(rc, genScalar, scalarDist, *l, *queries, *workers, *batchSize, *serve, *show, *seed, rng)
-		case "vector":
-			rc, err := distknn.DialTypedClusterOptions(distknn.VectorPoints(), *connect, copts)
+		case "vector", "l1", "linf", "cosine":
+			pt := distknn.VectorPoints()
+			switch *metric {
+			case "l1":
+				pt = distknn.L1Points()
+			case "linf":
+				pt = distknn.LInfPoints()
+			case "cosine":
+				pt = distknn.CosinePoints()
+			}
+			rc, err := distknn.DialTypedClusterOptions(pt, *connect, copts)
 			if err != nil {
 				fatalf("%v", err)
 			}
 			defer rc.Close()
-			fmt.Printf("remote vector cluster at %s; dim=%d l=%d\n\n", *connect, dims, *l)
+			fmt.Printf("remote %s cluster at %s; dim=%d l=%d\n\n", *metric, *connect, dims, *l)
 			drive(rc, genVector, vectorDist, *l, *queries, *workers, *batchSize, *serve, *show, *seed, rng)
 		default:
 			fatalf("unknown metric %q", *metric)

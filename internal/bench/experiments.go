@@ -42,6 +42,7 @@ var Experiments = []Experiment{
 	{"tcpvector", "Vector workload over loopback TCP vs in-process, with and without batching", TCPVector},
 	{"tcpsched", "Frontend epoch scheduler: pipelined epochs + server-side batching under concurrent clients", TCPSched},
 	{"tcpmux", "Multiplexed client: outstanding-query sweep on one tagged connection vs serial clients", TCPMux},
+	{"tcpprune", "Metric-index pruned dispatch: anchor-clustered shards, scatter only where the ball can intersect", TCPPrune},
 }
 
 // ByID finds an experiment by its id.

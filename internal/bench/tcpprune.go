@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"distknn"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+// TCPPrune measures what the metric-index pruned dispatch buys the serving
+// stack: the same anchor-clustered shards answered through a full-scatter
+// frontend and through a pruning one, on two workloads —
+//
+//   - clustered: points drawn from k well-separated Gaussian blobs, shards
+//     tracking the blobs, queries landing near blob centers. The favorable
+//     regime: most shards' balls provably cannot intersect the query's, so
+//     the frontend contacts far fewer than k nodes per query;
+//   - uniform: the same machinery over uniform data, where k-center balls
+//     overlap heavily and pruning buys little — the honest control.
+//
+// Every query's answer is checked bit-identical across the two frontends
+// while the clock runs; a row that prunes itself into a wrong answer fails
+// the experiment rather than reporting a flattering number. avg_nodes is the
+// mean count of nodes contacted per query (pruned replies report it as their
+// Messages stat; full scatter always contacts all k).
+func TCPPrune(p Params) ([]*Table, error) {
+	p = p.withDefaults()
+	l := 16
+	queries := 192
+	perNode := 512
+	dim := 3
+	sigma := 0.02
+	ks := []int{4, 8}
+	if p.Quick {
+		l = 4
+		queries = 48
+		perNode = 128
+		ks = []int{4}
+	}
+	if len(p.Ks) > 0 {
+		ks = p.Ks
+	}
+	if len(p.Ls) > 0 {
+		l = p.Ls[0]
+	}
+	seed := p.Seed
+
+	t := &Table{
+		ID: "E15",
+		Title: fmt.Sprintf("tcpprune — metric-index pruned dispatch vs full scatter (%d pts/node, %d queries, l=%d)",
+			perNode, queries, l),
+		Note: "answers are verified bit-identical between the two frontends on every query; " +
+			"avg_nodes is nodes contacted per query (full scatter always contacts k); " +
+			"frac_pruned is the fraction of queries that skipped at least one node",
+		Header: []string{"workload", "k", "mode", "wall_ms", "qps", "speedup_vs_full", "avg_nodes", "frac_pruned"},
+	}
+
+	type workload struct {
+		name    string
+		shards  func(k int) distknn.ShardProvider[distknn.Vector]
+		queryAt func(k, i int) distknn.Vector
+	}
+	uniformQuery := func(i int) distknn.Vector {
+		rng := xrand.NewStream(seed, 1<<40+uint64(i))
+		q := make(distknn.Vector, dim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		return q
+	}
+	workloads := []workload{
+		{
+			name: "clustered",
+			shards: func(k int) distknn.ShardProvider[distknn.Vector] {
+				return distknn.AnchorGaussianShards(seed, perNode, dim, sigma)
+			},
+			queryAt: func(k, i int) distknn.Vector {
+				_, centers := points.GenGaussianClusters(xrand.NewStream(seed, 0), k*perNode, dim, k, sigma)
+				rng := xrand.NewStream(seed, 1<<41+uint64(i))
+				c := centers[i%k]
+				q := make(distknn.Vector, dim)
+				for j := range q {
+					q[j] = c[j] + rng.NormFloat64()*sigma
+				}
+				return q
+			},
+		},
+		{
+			name: "uniform",
+			shards: func(k int) distknn.ShardProvider[distknn.Vector] {
+				return distknn.AnchorVectorShards(seed, perNode, dim)
+			},
+			queryAt: func(k, i int) distknn.Vector { return uniformQuery(i) },
+		},
+	}
+
+	for _, w := range workloads {
+		for _, k := range ks {
+			shards := w.shards(k)
+			serve := func(pruner distknn.Pruner) (*distknn.LocalServer, *distknn.RemoteCluster[distknn.Vector], error) {
+				srv, err := distknn.ServeTypedLocalOptions(distknn.VectorPoints(), k, seed, shards,
+					distknn.NodeOptions{}, distknn.FrontendOptions{Pruner: pruner})
+				if err != nil {
+					return nil, nil, err
+				}
+				rc, err := distknn.DialTypedCluster(distknn.VectorPoints(), srv.Addr())
+				if err != nil {
+					srv.Close()
+					return nil, nil, err
+				}
+				return srv, rc, nil
+			}
+			fullSrv, full, err := serve(nil)
+			if err != nil {
+				return nil, fmt.Errorf("tcpprune %s k=%d full: %w", w.name, k, err)
+			}
+			prunedSrv, pruned, err := serve(distknn.VectorPoints().Pruner())
+			if err != nil {
+				fullSrv.Close()
+				return nil, fmt.Errorf("tcpprune %s k=%d pruned: %w", w.name, k, err)
+			}
+
+			qs := make([]distknn.Vector, queries)
+			for i := range qs {
+				qs[i] = w.queryAt(k, i)
+			}
+			// Warm both stacks off the clock.
+			if _, _, err := full.KNN(qs[0], l); err == nil {
+				_, _, err = pruned.KNN(qs[0], l)
+			}
+			if err != nil {
+				fullSrv.Close()
+				prunedSrv.Close()
+				return nil, fmt.Errorf("tcpprune %s k=%d warm-up: %w", w.name, k, err)
+			}
+
+			run := func(rc *distknn.RemoteCluster[distknn.Vector]) (time.Duration, []distknn.Key, float64, int, error) {
+				boundaries := make([]distknn.Key, queries)
+				contacted := 0.0
+				prunedQueries := 0
+				start := time.Now()
+				for i, q := range qs {
+					_, stats, err := rc.KNN(q, l)
+					if err != nil {
+						return 0, nil, 0, 0, fmt.Errorf("query %d: %w", i, err)
+					}
+					boundaries[i] = stats.Boundary
+					if stats.Bytes == 0 && stats.Messages <= int64(k) {
+						contacted += float64(stats.Messages)
+						if stats.Messages < int64(k) {
+							prunedQueries++
+						}
+					} else {
+						contacted += float64(k)
+					}
+				}
+				return time.Since(start), boundaries, contacted / float64(queries), prunedQueries, nil
+			}
+
+			fullWall, fullBounds, _, _, err := run(full)
+			if err == nil {
+				var prunedWall time.Duration
+				var prunedBounds []distknn.Key
+				var avgNodes float64
+				var prunedQueries int
+				prunedWall, prunedBounds, avgNodes, prunedQueries, err = run(pruned)
+				if err == nil {
+					for i := range fullBounds {
+						if prunedBounds[i] != fullBounds[i] {
+							err = fmt.Errorf("query %d: pruned boundary %v != full %v", i, prunedBounds[i], fullBounds[i])
+							break
+						}
+					}
+					if err == nil {
+						fullQPS := float64(queries) / fullWall.Seconds()
+						prunedQPS := float64(queries) / prunedWall.Seconds()
+						t.AddRow(w.name, d(k), "full", f(fullWall.Seconds()*1e3), f(fullQPS), f(1.0), f(float64(k)), f(0))
+						t.AddRow(w.name, d(k), "pruned", f(prunedWall.Seconds()*1e3), f(prunedQPS), f(prunedQPS/fullQPS),
+							f(avgNodes), f(float64(prunedQueries)/float64(queries)))
+					}
+				}
+			}
+			fullSrv.Close()
+			prunedSrv.Close()
+			if err != nil {
+				return nil, fmt.Errorf("tcpprune %s k=%d: %w", w.name, k, err)
+			}
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -201,6 +201,37 @@ func LInf(a, b Vector) uint64 {
 	return keys.MustEncodeFloat(m)
 }
 
+// Cosine returns the cosine distance 1 − cos(a, b), float64-encoded. The
+// dot product and both squared norms accumulate sequentially in one pass
+// (the same strictly-ordered summation discipline as L2, so keys replay
+// bit-identically), and rounding that would push the distance below zero is
+// clamped. Two zero vectors are at distance 0; a single zero vector is at
+// the maximum distance 2 (nothing points "the same way" as nothing).
+//
+// Cosine distance violates the triangle inequality, so it cannot drive
+// metric-index pruning — serve it with full scatter only.
+func Cosine(a, b Vector) uint64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	var d float64
+	switch {
+	case na == 0 && nb == 0:
+		d = 0
+	case na == 0 || nb == 0:
+		d = 2
+	default:
+		d = 1 - dot/math.Sqrt(na*nb)
+		if d < 0 {
+			d = 0
+		}
+	}
+	return keys.MustEncodeFloat(d)
+}
+
 // BitVector is a bit-packed point for Hamming distance (e.g. binary feature
 // sketches), 64 features per word.
 type BitVector []uint64

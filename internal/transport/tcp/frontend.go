@@ -1,7 +1,9 @@
 package tcp
 
 import (
+	"bytes"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -44,6 +46,10 @@ type Frontend struct {
 	seed uint64
 
 	sched *scheduler
+	// pruner is the metric-space geometry of the served point type
+	// (FrontendOptions.Pruner); non-nil enables pruned dispatch once every
+	// seat has reported a metric-index summary.
+	pruner Pruner
 
 	ready    chan struct{} // closed once serving (or failed); see readyErr
 	readyErr error         // written before ready closes on failure
@@ -87,6 +93,12 @@ type feSlot struct {
 	conn       net.Conn
 	present    bool
 	lastLoss   error // why the seat is absent, for degraded replies
+	// summary is the seat's metric-index shard summary, reported with every
+	// ready frame. It is a property of the seat's data, not of a connection
+	// incarnation: the deterministic shard rebuild makes a re-joining
+	// node's summary bit-identical (the re-join handshake enforces it), so
+	// it survives — and keeps gating pruning decisions across — churn.
+	summary wire.ShardSummary
 }
 
 // NewFrontend starts the serving listener on addr for a k-node cluster with
@@ -108,6 +120,7 @@ func NewFrontendOptions(addr string, k int, seed uint64, opts FrontendOptions) (
 	}
 	f := &Frontend{
 		ln: ln, k: k, seed: seed,
+		pruner:  opts.Pruner,
 		ready:   make(chan struct{}),
 		leader:  -1,
 		clients: make(map[net.Conn]struct{}),
@@ -237,6 +250,7 @@ func (f *Frontend) Serve() error {
 	leader, tag := -1, uint8(0)
 	var total int64
 	shardLens := make([]int64, f.k)
+	summaries := make([]wire.ShardSummary, f.k)
 	haveFirst := false
 	var setupErr error
 	setupOrigin := false
@@ -282,6 +296,24 @@ func (f *Frontend) Serve() error {
 			}
 			shardLens[id] = shardLen
 			total += shardLen
+			// Every ready frame is immediately followed by the node's
+			// metric-index summary frame.
+			spayload, serr := wire.ReadFrame(conn)
+			if serr != nil {
+				record(false, fmt.Errorf("tcp: frontend read summary from node %d: %w", id, serr))
+				continue
+			}
+			sr := wire.NewReader(spayload)
+			if skind := sr.U8(); skind != wire.KindSummary {
+				record(false, fmt.Errorf("tcp: expected summary from node %d, got kind %d", id, skind))
+				continue
+			}
+			sum, serr := wire.DecodeShardSummary(sr)
+			if serr != nil || sum.Node != id {
+				record(false, fmt.Errorf("tcp: bad summary from node %d (%v)", id, serr))
+				continue
+			}
+			summaries[id] = sum
 		default:
 			record(false, fmt.Errorf("tcp: expected ready from node %d, got kind %d", id, kind))
 		}
@@ -293,7 +325,7 @@ func (f *Frontend) Serve() error {
 	f.mu.Lock()
 	f.slots = make([]*feSlot, f.k)
 	for id, conn := range conns {
-		s := &feSlot{id: id, conn: conn, present: true}
+		s := &feSlot{id: id, conn: conn, present: true, summary: summaries[id]}
 		f.slots[id] = s
 		go f.pump(s, s.gen, conn)
 	}
@@ -534,6 +566,31 @@ func (f *Frontend) handleRejoin(conn net.Conn, wantID int, addr string) {
 		deny(fmt.Sprintf("point tag %d, cluster serves %d", nodeTag, f.tag))
 		return
 	}
+	// The ready report is followed by the rebuilt shard's metric summary; a
+	// deterministic shard provider must reproduce the summary bit-for-bit,
+	// exactly like the shard length above — otherwise the frontend's pruning
+	// geometry would silently diverge from the node's data.
+	spayload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	sr := wire.NewReader(spayload)
+	if skind := sr.U8(); skind != wire.KindSummary {
+		deny(fmt.Sprintf("expected summary, got kind %d", skind))
+		return
+	}
+	sum, err := wire.DecodeShardSummary(sr)
+	switch {
+	case err != nil || sum.Node != slot.id:
+		deny("bad summary frame")
+		return
+	case sum.Has != slot.summary.Has,
+		math.Float64bits(sum.Radius) != math.Float64bits(slot.summary.Radius),
+		!bytes.Equal(sum.Center, slot.summary.Center):
+		deny(fmt.Sprintf("metric summary differs from the one seat %d held — rebuilt data must match", slot.id))
+		return
+	}
 	conn.SetDeadline(time.Time{})
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -547,6 +604,23 @@ func (f *Frontend) handleRejoin(conn net.Conn, wantID int, addr string) {
 	slot.present = true
 	slot.lastLoss = nil
 	go f.pump(slot, slot.gen, conn)
+}
+
+// prunableLocked reports whether pruned dispatch is available: a pruner is
+// configured and every seat reported a usable metric summary at setup.
+// Presence does not matter here — an absent seat only blocks the pruned
+// queries whose ball reaches its shard (runPruned checks per dispatch).
+// Callers hold f.mu.
+func (f *Frontend) prunableLocked() bool {
+	if f.pruner == nil || f.slots == nil {
+		return false
+	}
+	for _, s := range f.slots {
+		if !s.summary.Has {
+			return false
+		}
+	}
+	return true
 }
 
 // Leader returns the cluster's elected leader (-1 before the session is

@@ -2,10 +2,12 @@ package tcp
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"distknn/internal/metricindex"
 	"distknn/internal/points"
 	"distknn/internal/wire"
 )
@@ -59,6 +61,17 @@ var dispatchTimeout = 5 * time.Second
 // flood-protection link kill on a healthy but lagging node.
 const maxWindow = 64
 
+// Pruner gives the frontend the metric-space geometry of the served point
+// type, over wire encodings: the true distance between an encoded query
+// point and an encoded shard centroid, and the true distance an encoded
+// distance key represents. The distances must satisfy the triangle
+// inequality — the admission test is only sound for true metrics.
+// metricindex.WirePruner implements this for any served point type.
+type Pruner interface {
+	CenterDist(query, center []byte) (float64, error)
+	KeyDist(dist uint64) float64
+}
+
 // FrontendOptions tunes the frontend's epoch scheduler.
 type FrontendOptions struct {
 	// Window is the maximum number of query epochs in flight at once.
@@ -78,6 +91,16 @@ type FrontendOptions struct {
 	// MaxServerBatch caps a coalesced batch (default 64, at most
 	// wire.MaxBatch). A full bucket flushes immediately.
 	MaxServerBatch int
+	// Pruner enables metric-index pruned dispatch: a single-point KNN or
+	// Classify query probes the shard nearest the query first, derives an
+	// upper bound on its ℓ-th neighbor distance from the probe's local
+	// top-ℓ, and is then dispatched only to the shards whose centroid ball
+	// can intersect that bound — no mesh epoch, answers bit-identical to
+	// full scatter. Queries the path cannot prune (batches, Regress — its
+	// float summation order is not reproducible at the frontend — or any
+	// query while a seat lacks a metric summary) run as ordinary scatter
+	// epochs. Nil disables pruning.
+	Pruner Pruner
 }
 
 func (o FrontendOptions) withDefaults() FrontendOptions {
@@ -141,6 +164,11 @@ func newScheduler(f *Frontend, opts FrontendOptions) *scheduler {
 type epochJob struct {
 	epoch uint64
 	q     wire.Query
+	// direct marks one phase of a pruned query: the epoch ran without a
+	// mesh round, its merged items stay raw (sorted, untruncated, for any
+	// op) for the pruned path's own aggregation, and its window slot is
+	// owned by runPruned across both phases rather than by this job.
+	direct bool
 
 	expect    []uint64 // per node id: expected gen+1, or 0 once accounted
 	expectN   int      // seats still owing a frame
@@ -208,6 +236,9 @@ func closingReply() wire.Reply {
 
 // submit answers one validated client query through the scheduler.
 func (sched *scheduler) submit(q wire.Query) wire.Reply {
+	if rep, ok := sched.runPruned(q); ok {
+		return rep
+	}
 	if sched.batching && len(q.Points) == 1 {
 		return sched.coalesce(q)
 	}
@@ -506,14 +537,16 @@ func (sched *scheduler) maybeFinishLocked(job *epochJob) {
 		job.rep.Leader = sched.f.leader
 		for qi := range job.rep.Results {
 			points.SortItems(job.rep.Results[qi].Items)
-			if job.q.Op != wire.OpKNN {
+			if job.q.Op != wire.OpKNN && !job.direct {
 				job.rep.Results[qi].Items = nil
 			}
 		}
 	}
 	delete(sched.inflight, job.epoch)
-	sched.count--
-	sched.cond.Broadcast()
+	if !job.direct {
+		sched.count--
+		sched.cond.Broadcast()
+	}
 	close(job.done)
 }
 
@@ -668,4 +701,283 @@ func bucketReply(b *bucket, idx int) wire.Reply {
 		Leader:   b.rep.Leader,
 		Results:  []wire.QueryReply{b.rep.Results[idx]},
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Metric-index pruned dispatch
+// ---------------------------------------------------------------------------
+
+// runPruned answers q through the pruned dispatch path when it is eligible:
+// a Pruner is configured, every seat reported a metric summary, the query
+// is a single point, and its op's aggregation is reproducible at the
+// frontend (KNN and Classify; Regress's float summation is order-sensitive,
+// so it always runs as a full-scatter epoch). ok=false sends the caller to
+// the ordinary scatter path.
+//
+// Churn semantics differ deliberately from full scatter. A scatter epoch
+// needs every seat, so any absent seat fails it fast — but a pruned query
+// only needs the seats its query ball can reach: an absent seat whose shard
+// the admission test prunes does not fail the query, while an absent seat
+// that is selected (as the probe or by admission) fails it with the usual
+// retryable degraded reply.
+func (sched *scheduler) runPruned(q wire.Query) (wire.Reply, bool) {
+	f := sched.f
+	if f.pruner == nil || len(q.Points) != 1 || (q.Op != wire.OpKNN && q.Op != wire.OpClassify) {
+		return wire.Reply{}, false
+	}
+	f.mu.Lock()
+	if !f.prunableLocked() {
+		f.mu.Unlock()
+		return wire.Reply{}, false
+	}
+	// Summaries are immutable for a seat's lifetime (a re-joining node must
+	// reproduce its summary bit-for-bit), so the geometry is snapshotted
+	// once and used lock-free below.
+	radius := make([]float64, f.k)
+	center := make([][]byte, f.k)
+	for i, s := range f.slots {
+		radius[i] = s.summary.Radius
+		center[i] = s.summary.Center
+	}
+	f.mu.Unlock()
+	dist := make([]float64, f.k)
+	for i := range center {
+		d, err := f.pruner.CenterDist(q.Points[0], center[i])
+		if err != nil {
+			// The geometry cannot speak for this query (e.g. a dimension
+			// mismatch); full scatter runs the node-side validation and
+			// reports its error.
+			return wire.Reply{}, false
+		}
+		dist[i] = d
+	}
+
+	// One window slot covers both phases: the probe and the gather are
+	// halves of one query, and parking the gather behind fresh admissions
+	// could deadlock a full window of half-done pruned queries.
+	sched.mu.Lock()
+	for !sched.closed && sched.count >= sched.window {
+		sched.cond.Wait()
+	}
+	if sched.closed {
+		sched.mu.Unlock()
+		return closingReply(), true
+	}
+	sched.count++
+	sched.mu.Unlock()
+	rep := sched.pruned(q, dist, radius)
+	sched.mu.Lock()
+	if !sched.closed {
+		sched.count--
+		sched.cond.Broadcast()
+	}
+	sched.mu.Unlock()
+	return rep, true
+}
+
+// pruned runs one admitted pruned query: probe the nearest present shard
+// for an upper bound, admit the remaining shards against it, gather their
+// local top-ℓ shares, and aggregate at the frontend. The answer is
+// bit-identical to full scatter: the merged local top-ℓ of the admitted
+// shards provably contains the global top-ℓ (metricindex.Admit), keys are
+// unique (distance, ID) pairs so the sorted merge has exactly one outcome,
+// and the Classify aggregation replicates core.Classify's
+// smallest-max-label vote. Cost reporting follows the path's own shape:
+// Rounds counts dispatch waves (1 or 2), Messages the nodes contacted;
+// Bytes stays 0 (no mesh traffic) and the BSP selection stats (Survivors,
+// Iterations, FellBack) do not apply.
+func (sched *scheduler) pruned(q wire.Query, dist, radius []float64) wire.Reply {
+	f := sched.f
+
+	// Phase 1: probe the present seat nearest the query (ties toward the
+	// lower id); its local ℓ-th distance bounds the global one from above.
+	f.mu.Lock()
+	if f.slots == nil || f.closed.Load() {
+		f.mu.Unlock()
+		return closingReply()
+	}
+	probe := -1
+	for _, s := range f.slots {
+		if s.present && (probe == -1 || dist[s.id] < dist[probe]) {
+			probe = s.id
+		}
+	}
+	if probe == -1 {
+		rep, _ := f.degradedLocked("waiting for")
+		f.mu.Unlock()
+		return rep
+	}
+	f.mu.Unlock()
+	job, rep := sched.dispatchDirect(q, []int{probe})
+	if job == nil {
+		return rep
+	}
+	<-job.done
+	if job.rep.Err != "" {
+		return job.rep
+	}
+	items := job.rep.Results[0].Items
+	ub := math.Inf(1)
+	if len(items) >= q.L {
+		ub = f.pruner.KeyDist(items[q.L-1].Key.Dist)
+	}
+
+	// Phase 2: gather from every other shard whose centroid ball can
+	// intersect the query's ℓ-NN ball. With no bound (the probe shard held
+	// fewer than ℓ points) every shard is admitted and the pruned query
+	// degenerates to a no-mesh scatter — still correct, just not cheaper.
+	var gatherIDs []int
+	for id := 0; id < f.k; id++ {
+		if id != probe && metricindex.Admit(dist[id], radius[id], ub) {
+			gatherIDs = append(gatherIDs, id)
+		}
+	}
+	rounds := 1
+	if len(gatherIDs) > 0 {
+		rounds = 2
+		job2, rep2 := sched.dispatchDirect(q, gatherIDs)
+		if job2 == nil {
+			return rep2
+		}
+		<-job2.done
+		if job2.rep.Err != "" {
+			return job2.rep
+		}
+		items = append(items, job2.rep.Results[0].Items...)
+		points.SortItems(items)
+	}
+	if len(items) > q.L {
+		items = items[:q.L]
+	}
+
+	qr := wire.QueryReply{Items: items}
+	qr.Boundary = items[len(items)-1].Key
+	if q.Op == wire.OpClassify {
+		qr.Value = classifyItems(items)
+		qr.Items = nil
+	}
+	return wire.Reply{
+		Rounds:   rounds,
+		Messages: int64(1 + len(gatherIDs)),
+		Leader:   f.leader,
+		Results:  []wire.QueryReply{qr},
+	}
+}
+
+// classifyItems replicates core.Classify's aggregation over the merged
+// global winners: the most frequent label, ties toward the smallest.
+func classifyItems(items []points.Item) float64 {
+	hist := make(map[float64]int64, 4)
+	for _, it := range items {
+		hist[it.Label]++
+	}
+	labels := make([]float64, 0, len(hist))
+	for label := range hist {
+		labels = append(labels, label)
+	}
+	sort.Float64s(labels)
+	var best float64
+	var bestCount int64 = -1
+	for _, label := range labels {
+		if hist[label] > bestCount {
+			best, bestCount = label, hist[label]
+		}
+	}
+	return best
+}
+
+// dispatchDirect assigns an epoch ordinal and ships a direct (no-mesh)
+// dispatch of q to exactly the target seats, registering a collation job
+// that expects one result frame per target. It mirrors dispatch with one
+// deliberate difference: only the targets must be present. A missing target
+// fails the query with the retryable degraded reply naming it; any other
+// absent seat is invisible here, because the admission test already proved
+// its shard irrelevant to this query.
+func (sched *scheduler) dispatchDirect(q wire.Query, targets []int) (*epochJob, wire.Reply) {
+	f := sched.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.slots == nil || f.closed.Load() {
+		return nil, closingReply()
+	}
+	var absent []int
+	var lossCause error
+	for _, id := range targets {
+		if s := f.slots[id]; !s.present {
+			absent = append(absent, id)
+			if lossCause == nil {
+				lossCause = s.lastLoss
+			}
+		}
+	}
+	if len(absent) > 0 {
+		msg := fmt.Sprintf("cluster degraded (%d of %d nodes): pruned query needs node(s) %v", f.k-len(absent), f.k, absent)
+		if lossCause != nil {
+			msg += fmt.Sprintf(" (%v)", lossCause)
+		}
+		return nil, wire.Reply{Err: msg, Degraded: true}
+	}
+	f.epoch++
+	epoch := f.epoch
+	dw := wire.GetWriter()
+	dw.BeginFrame()
+	wire.AppendDispatchDirect(dw, epoch, q)
+	frame, ferr := dw.FinishFrame()
+	if ferr != nil {
+		wire.PutWriter(dw)
+		return nil, wire.Reply{Err: fmt.Sprintf("dispatch too large: %v", ferr)}
+	}
+	defer wire.PutWriter(dw)
+	job := &epochJob{
+		epoch:  epoch,
+		q:      q,
+		direct: true,
+		expect: make([]uint64, f.k),
+		rep:    wire.Reply{Results: make([]wire.QueryReply, len(q.Points))},
+		done:   make(chan struct{}),
+	}
+	sched.mu.Lock()
+	if sched.closed {
+		sched.mu.Unlock()
+		return nil, closingReply()
+	}
+	sched.inflight[epoch] = job
+	for _, id := range targets {
+		job.expectSet(id, f.slots[id].gen)
+	}
+	sched.mu.Unlock()
+	// Concurrent bounded writes, exactly like dispatch: a target that
+	// stopped draining its control connection loses its seat within one
+	// deadline instead of wedging the frontend.
+	writeErrs := make([]error, len(targets))
+	var writes sync.WaitGroup
+	for i, id := range targets {
+		writes.Add(1)
+		go func(i int, s *feSlot) {
+			defer writes.Done()
+			s.conn.SetWriteDeadline(time.Now().Add(dispatchTimeout))
+			_, writeErrs[i] = s.conn.Write(frame)
+			if writeErrs[i] == nil {
+				s.conn.SetWriteDeadline(time.Time{})
+			}
+		}(i, f.slots[id])
+	}
+	writes.Wait()
+	sched.mu.Lock()
+	for i, id := range targets {
+		if err := writeErrs[i]; err != nil {
+			s := f.slots[id]
+			cause := fmt.Errorf("dispatch to node %d: %v", s.id, err)
+			gen := s.gen
+			f.markAbsentLocked(s, gen, cause)
+			if job.expectMatch(s.id, gen) && !job.finished {
+				job.expectClear(s.id)
+				job.fail(s.id, cause)
+			}
+			sched.seatLostLocked(s.id, gen, cause)
+		}
+	}
+	sched.maybeFinishLocked(job)
+	sched.mu.Unlock()
+	return job, wire.Reply{}
 }

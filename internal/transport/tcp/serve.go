@@ -54,6 +54,11 @@ type SessionInfo struct {
 	// PointTag is the wire encoding this node's shard understands
 	// (wire.PointScalar, …); the frontend rejects mismatched queries.
 	PointTag uint8
+	// Summary is the shard's metric-index summary (centroid + radius),
+	// reported right after the ready frame. A zero value (Has false)
+	// means the shard has no metric geometry and disables pruned dispatch
+	// for the session.
+	Summary wire.ShardSummary
 }
 
 // QueryResult is one node's local outcome for one query of a batched
@@ -85,10 +90,17 @@ type QueryResult struct {
 // per-call state local and treat state written in Setup/Rejoin (the shard,
 // the leader) as read-only during queries. A Handler instance belongs to
 // one node.
+// Direct answers one query point of a pruned (no-mesh) dispatch: the node
+// returns its local top-ℓ winners straight from its shard, with no BSP
+// epoch and no Env — the frontend merges the shares of the contacted nodes
+// itself. The frontend only sends direct dispatches to sessions whose every
+// node reported a metric-index summary, so a Handler that leaves
+// SessionInfo.Summary unset never receives one (return an error).
 type Handler interface {
 	Setup(m kmachine.Env) (SessionInfo, error)
 	Rejoin(id, k, leader int) (SessionInfo, error)
 	Query(m kmachine.Env, q wire.Query, qi int) (QueryResult, error)
+	Direct(q wire.Query, qi int) (QueryResult, error)
 }
 
 // ServeNode joins the serving cluster at the frontend's address and stays
@@ -211,6 +223,13 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 	if err := wire.WriteFrame(coord, ready.Bytes()); err != nil {
 		return fmt.Errorf("tcp: node %d ready: %w (%v)", a.id, ErrSessionLost, err)
 	}
+	// The metric-index summary follows every ready frame — setup and
+	// re-join alike — so the frontend always has current centroid/radius
+	// geometry for each seated incarnation before it serves queries on it.
+	info.Summary.Node = a.id
+	if err := wire.WriteFrame(coord, wire.EncodeShardSummary(info.Summary)); err != nil {
+		return fmt.Errorf("tcp: node %d summary: %w (%v)", a.id, ErrSessionLost, err)
+	}
 
 	// Dispatched epochs execute concurrently — the frontend's scheduler
 	// pipelines up to its window of query epochs, and each one runs on its
@@ -282,6 +301,22 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 				runDispatchedEpoch(er, epochSeed, q, h, a.id, info.Leader, writeCtrl, coord)
 				wire.PutFrameBuf(payload)
 			}()
+		case wire.KindDispatchDirect:
+			// A pruned epoch never touches the mesh: no beginEpoch (the
+			// demultiplexer's monotonic-ordinal invariant is for mesh
+			// epochs only — direct ordinals interleave freely), no seed,
+			// no peers. The node answers straight from its shard.
+			epoch := r.Varint()
+			q, err := wire.DecodeQuery(r)
+			if err != nil {
+				return fmt.Errorf("tcp: node %d bad direct dispatch: %w", a.id, err)
+			}
+			epochs.Add(1)
+			go func() {
+				defer epochs.Done()
+				runDirectEpoch(epoch, q, h, a.id, writeCtrl, coord)
+				wire.PutFrameBuf(payload)
+			}()
 		default:
 			return fmt.Errorf("tcp: node %d got unexpected control kind %d", a.id, kind)
 		}
@@ -350,6 +385,40 @@ func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
 			nr.Queries[qi].Iterations = qr.Iterations
 			nr.Queries[qi].Value = qr.Value
 		}
+	}
+	w := wire.GetWriter()
+	w.BeginFrame()
+	wire.AppendNodeResult(w, nr)
+	if werr := writeCtrl(w); werr != nil {
+		coord.Close()
+	}
+}
+
+// runDirectEpoch answers one pruned (no-mesh) epoch: the node's local
+// top-ℓ winners per query point, reported as a winners-only NodeResult
+// (IsLeader false; zero mesh cost — the frontend accounts a pruned query's
+// cost itself). A failed query reports a recoverable (non-fatal) error.
+func runDirectEpoch(epoch uint64, q wire.Query, h Handler,
+	id int, writeCtrl func(*wire.Writer) error, coord net.Conn) {
+	nr := wire.NodeResult{
+		Epoch:   epoch,
+		Node:    id,
+		Queries: make([]wire.NodeQueryResult, len(q.Points)),
+	}
+	for qi := range q.Points {
+		res, err := h.Direct(q, qi)
+		if err != nil {
+			w := wire.GetWriter()
+			w.BeginFrame()
+			wire.AppendNodeError(w, wire.NodeError{
+				Epoch: epoch, Origin: true, LostPeer: -1, Msg: err.Error(),
+			})
+			if werr := writeCtrl(w); werr != nil {
+				coord.Close()
+			}
+			return
+		}
+		nr.Queries[qi].Winners = res.Winners
 	}
 	w := wire.GetWriter()
 	w.BeginFrame()

@@ -61,6 +61,18 @@ func (h *echoHandler) Query(m kmachine.Env, q wire.Query, qi int) (QueryResult, 
 	return out, nil
 }
 
+// Direct satisfies the Handler interface; the echo handlers never report a
+// metric summary, so no frontend in these tests direct-dispatches to them.
+func (h *echoHandler) Direct(q wire.Query, qi int) (QueryResult, error) {
+	v, err := wire.DecodeScalarPoint(q.Points[qi])
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{
+		Winners: []points.Item{{Key: keys.Key{Dist: v * 10, ID: 1}}},
+	}, nil
+}
+
 func scalarQuery(op uint8, l int, vs ...uint64) wire.Query {
 	pts := make([][]byte, len(vs))
 	for i, v := range vs {

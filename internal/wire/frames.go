@@ -59,6 +59,21 @@ const (
 	// KindReplyTagged: frontend → client, the answer to one tagged query.
 	// Body: Varint tag, then a Reply body.
 	KindReplyTagged = 13
+	// KindSummary: node → frontend, the node's metric-index shard summary,
+	// sent immediately after every KindReady (both the setup and the
+	// re-join handshake). Body: Varint node id, U8 has; if has is 1:
+	// F64 radius, then String centroid point bytes (the shard's anchor in
+	// the session's point encoding). has 0 means the shard has no metric
+	// summary (the point type is not a metric, or the shard is empty) and
+	// disables pruned dispatch for the whole session.
+	KindSummary = 14
+	// KindDispatchDirect: frontend → node, one pruned (no-mesh) query
+	// epoch: the node answers its local top-ℓ for each query point from
+	// its own shard without starting a BSP epoch — no election-derived
+	// rounds, no mesh traffic — and replies with a winners-only KindResult
+	// (IsLeader 0, Rounds/Messages/Bytes 0). Body: Varint epoch, then a
+	// Query body (identical layout to KindDispatch).
+	KindDispatchDirect = 15
 )
 
 // Session modes carried in the KindAssign frame.
@@ -158,6 +173,21 @@ func EncodeDispatch(epoch uint64, q Query) []byte {
 // AppendDispatch appends a KindDispatch frame payload to w.
 func AppendDispatch(w *Writer, epoch uint64, q Query) {
 	w.U8(KindDispatch)
+	w.Varint(epoch)
+	q.append(w)
+}
+
+// EncodeDispatchDirect builds a KindDispatchDirect frame payload for one
+// pruned (no-mesh) epoch.
+func EncodeDispatchDirect(epoch uint64, q Query) []byte {
+	var w Writer
+	AppendDispatchDirect(&w, epoch, q)
+	return w.Bytes()
+}
+
+// AppendDispatchDirect appends a KindDispatchDirect frame payload to w.
+func AppendDispatchDirect(w *Writer, epoch uint64, q Query) {
+	w.U8(KindDispatchDirect)
 	w.Varint(epoch)
 	q.append(w)
 }
@@ -346,6 +376,70 @@ func DecodeRejoinAssign(r *Reader) (RejoinAssign, error) {
 		return RejoinAssign{}, err
 	}
 	return ra, nil
+}
+
+// ShardSummary is one node's metric-index summary of its shard: the
+// centroid (anchor) point in the session's wire encoding and the shard's
+// true-distance radius around it. The frontend keeps one per seat and runs
+// the triangle-inequality admission test against them to prune query
+// dispatches; Has false (no centroid — the point type is not a metric, or
+// the shard is empty without an explicit anchor) disables pruning for the
+// session. It is the body of a KindSummary frame, reported right after
+// every KindReady.
+type ShardSummary struct {
+	Node   int
+	Has    bool
+	Radius float64
+	Center []byte
+}
+
+// EncodeShardSummary builds a KindSummary frame payload.
+func EncodeShardSummary(s ShardSummary) []byte {
+	var w Writer
+	AppendShardSummary(&w, s)
+	return w.Bytes()
+}
+
+// AppendShardSummary appends a KindSummary frame payload to w.
+func AppendShardSummary(w *Writer, s ShardSummary) {
+	w.U8(KindSummary)
+	w.Varint(uint64(s.Node))
+	w.U8(b2u(s.Has))
+	if s.Has {
+		w.F64(s.Radius)
+		w.Varint(uint64(len(s.Center)))
+		w.Raw(s.Center)
+	}
+}
+
+// DecodeShardSummary reads a ShardSummary body; the kind byte must already
+// be consumed. The centroid bytes are copied out of the reader's buffer (a
+// summary outlives its handshake frame).
+func DecodeShardSummary(r *Reader) (ShardSummary, error) {
+	s := ShardSummary{Node: int(r.Varint())}
+	switch has := r.U8(); has {
+	case 0:
+	case 1:
+		s.Has = true
+		s.Radius = r.F64()
+		n := r.Varint()
+		if r.Err() == nil && n > uint64(r.Remaining()) {
+			return ShardSummary{}, fmt.Errorf("wire: summary centroid length %d exceeds payload", n)
+		}
+		s.Center = append([]byte(nil), r.Raw(int(n))...)
+	default:
+		if err := r.Err(); err != nil {
+			return ShardSummary{}, err
+		}
+		return ShardSummary{}, fmt.Errorf("wire: unknown summary has flag %d", has)
+	}
+	if err := r.Err(); err != nil {
+		return ShardSummary{}, err
+	}
+	if s.Has && (s.Radius < 0 || s.Radius != s.Radius) {
+		return ShardSummary{}, fmt.Errorf("wire: summary radius %g out of range", s.Radius)
+	}
+	return s, nil
 }
 
 // QueryOutcome is one query's slice of an epoch outcome. Inside a

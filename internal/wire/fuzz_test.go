@@ -191,6 +191,32 @@ func FuzzDecodeRejoinAssign(f *testing.F) {
 	})
 }
 
+func FuzzDecodeShardSummary(f *testing.F) {
+	f.Add(EncodeShardSummary(ShardSummary{Node: 1, Has: true, Radius: 0.25, Center: EncodeScalarPoint(12345)})[1:])
+	f.Add(EncodeShardSummary(ShardSummary{Node: 0, Has: true, Radius: 0, Center: nil})[1:])
+	f.Add(EncodeShardSummary(ShardSummary{Node: 2})[1:])
+	f.Add([]byte{})
+	f.Add([]byte{1, 2})                              // truncated after the has flag
+	f.Add([]byte{0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 255}) // centroid length beyond payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeShardSummary(NewReader(data))
+		if err != nil {
+			return
+		}
+		if s.Has && (s.Radius < 0 || s.Radius != s.Radius) {
+			t.Fatalf("decoder admitted out-of-range radius %g", s.Radius)
+		}
+		enc := EncodeShardSummary(s)
+		s2, err := DecodeShardSummary(skipKind(t, enc, KindSummary))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeShardSummary(s2), enc) {
+			t.Fatalf("shard summary is not a re-encoding fixed point")
+		}
+	})
+}
+
 func FuzzPointCodecs(f *testing.F) {
 	f.Add(EncodeScalarPoint(12345))
 	f.Add(EncodeVectorPoint(points.Vector{0.5, 1.5}))

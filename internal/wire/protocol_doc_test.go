@@ -76,6 +76,9 @@ func docExamples() []struct {
 		{"tagged query", EncodeQueryTagged(300, q)},
 		{"dispatch", EncodeDispatch(1, q)},
 		{"ready", rdy.Bytes()},
+		{"summary", EncodeShardSummary(ShardSummary{Node: 1, Has: true, Radius: 0.25, Center: EncodeScalarPoint(12345)})},
+		{"empty summary", EncodeShardSummary(ShardSummary{Node: 2})},
+		{"dispatch direct", EncodeDispatchDirect(1, q)},
 		{"result", EncodeNodeResult(NodeResult{
 			Epoch: 1, Node: 0, Rounds: 26, Messages: 44, Bytes: 745,
 			IsLeader: true,

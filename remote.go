@@ -2,13 +2,16 @@ package distknn
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
 	"distknn/internal/core"
 	"distknn/internal/election"
 	"distknn/internal/kdtree"
+	"distknn/internal/keys"
 	"distknn/internal/kmachine"
+	"distknn/internal/metricindex"
 	"distknn/internal/points"
 	"distknn/internal/transport/tcp"
 	"distknn/internal/wire"
@@ -78,6 +81,15 @@ type Shard[P any] struct {
 	// across nodes — IDs are the global tie-breaker, so a collision
 	// silently merges two points.
 	FirstID uint64
+	// IDs optionally assigns one explicit global ID per point, for
+	// providers whose shards are not contiguous ID ranges (the
+	// anchor-clustered providers). When set, FirstID is ignored. IDs must
+	// stay unique across the cluster.
+	IDs []uint64
+	// Center optionally pins the shard's metric-index centroid — the
+	// anchor of an anchor-clustered shard. When nil, the node summarizes
+	// the shard around an approximate medoid instead.
+	Center *P
 }
 
 // ShardProvider builds the shard for machine id of k. It runs on the node
@@ -101,12 +113,62 @@ type PointType[P any] struct {
 	// check validates a decoded query point against the shard (e.g. the
 	// vector dimension); nil means no validation.
 	check func(set *points.Set[P], q P) error
+	// keyDist converts an encoded distance key back to the true metric
+	// distance (e.g. the square root of a decoded squared L2 key). The
+	// true distances must satisfy the triangle inequality; nil marks a
+	// distance that is not a metric (cosine) and disables metric-index
+	// pruning for the type.
+	keyDist func(uint64) float64
+	// compat validates that a query point is comparable to a shard
+	// centroid (e.g. equal dimensions) for frontend-side pruning; nil
+	// means always comparable.
+	compat func(q, c P) error
+}
+
+// Pruner is the metric-space geometry a frontend needs for pruned dispatch;
+// build one with PointType.Pruner and pass it in FrontendOptions.
+type Pruner = tcp.Pruner
+
+// Pruner returns the frontend-side pruning geometry of the point type, or
+// nil when the type's distance is not a true metric (cosine) — a nil Pruner
+// in FrontendOptions simply keeps every query on the full-scatter path.
+func (pt PointType[P]) Pruner() Pruner {
+	if pt.keyDist == nil {
+		return nil
+	}
+	return &metricindex.WirePruner[P]{
+		Codec:  pt.codec,
+		Metric: pt.metric,
+		Key:    pt.keyDist,
+		Compat: pt.compat,
+	}
+}
+
+// vectorDimCheck rejects a query whose dimension differs from the shard's.
+func vectorDimCheck(set *points.Set[Vector], q Vector) error {
+	if set.Len() > 0 && len(q) != len(set.Pts[0]) {
+		return fmt.Errorf("query dimension %d, shard dimension %d", len(q), len(set.Pts[0]))
+	}
+	return nil
+}
+
+// vectorCompat rejects a query whose dimension differs from a shard
+// centroid's, before the frontend measures their distance.
+func vectorCompat(q, c Vector) error {
+	if len(q) != len(c) {
+		return fmt.Errorf("query dimension %d, shard centroid dimension %d", len(q), len(c))
+	}
+	return nil
 }
 
 // ScalarPoints is the paper's workload: one-dimensional integer points
 // under |a−b| distance, answered from a streaming scan.
 func ScalarPoints() PointType[Scalar] {
-	return PointType[Scalar]{codec: wire.ScalarCodec, metric: points.ScalarMetric}
+	return PointType[Scalar]{
+		codec:   wire.ScalarCodec,
+		metric:  points.ScalarMetric,
+		keyDist: func(d uint64) float64 { return float64(d) },
+	}
 }
 
 // VectorPoints is the d-dimensional Euclidean workload: every node indexes
@@ -124,12 +186,51 @@ func VectorPoints() PointType[Vector] {
 			}
 			return tree.KNN, nil
 		},
-		check: func(set *points.Set[Vector], q Vector) error {
-			if set.Len() > 0 && len(q) != len(set.Pts[0]) {
-				return fmt.Errorf("query dimension %d, shard dimension %d", len(q), len(set.Pts[0]))
-			}
-			return nil
-		},
+		check: vectorDimCheck,
+		// L2 keys encode the squared distance; the true metric distance is
+		// its square root.
+		keyDist: func(d uint64) float64 { return math.Sqrt(keys.DecodeFloat(d)) },
+		compat:  vectorCompat,
+	}
+}
+
+// L1Points is the Manhattan-distance vector workload, answered from the
+// streaming top-ℓ scan. Served results are bit-identical to an in-process
+// NewCluster built over the merged data with points.L1.
+func L1Points() PointType[Vector] {
+	return PointType[Vector]{
+		codec:   wire.VectorCodec,
+		metric:  points.L1,
+		check:   vectorDimCheck,
+		keyDist: keys.DecodeFloat,
+		compat:  vectorCompat,
+	}
+}
+
+// LInfPoints is the Chebyshev-distance (L∞) vector workload, answered from
+// the streaming top-ℓ scan. Served results are bit-identical to an
+// in-process NewCluster built over the merged data with points.LInf.
+func LInfPoints() PointType[Vector] {
+	return PointType[Vector]{
+		codec:   wire.VectorCodec,
+		metric:  points.LInf,
+		check:   vectorDimCheck,
+		keyDist: keys.DecodeFloat,
+		compat:  vectorCompat,
+	}
+}
+
+// CosinePoints is the cosine-distance vector workload (1 − cosine
+// similarity), answered from the streaming top-ℓ scan. Cosine distance
+// violates the triangle inequality, so the type deliberately carries no
+// pruning geometry — its Pruner is nil and clusters serving it always run
+// full-scatter epochs. Served results are bit-identical to an in-process
+// NewCluster built over the merged data with points.Cosine.
+func CosinePoints() PointType[Vector] {
+	return PointType[Vector]{
+		codec:  wire.VectorCodec,
+		metric: points.Cosine,
+		check:  vectorDimCheck,
 	}
 }
 
@@ -140,11 +241,18 @@ func VectorPoints() PointType[Vector] {
 // the same global data with points.Hamming.
 func BitVectorPoints() PointType[BitVector] {
 	return PointType[BitVector]{
-		codec:  wire.BitVectorCodec,
-		metric: points.Hamming,
+		codec:   wire.BitVectorCodec,
+		metric:  points.Hamming,
+		keyDist: func(d uint64) float64 { return float64(d) },
 		check: func(set *points.Set[BitVector], q BitVector) error {
 			if set.Len() > 0 && len(q) != len(set.Pts[0]) {
 				return fmt.Errorf("query has %d words, shard has %d", len(q), len(set.Pts[0]))
+			}
+			return nil
+		},
+		compat: func(q, c BitVector) error {
+			if len(q) != len(c) {
+				return fmt.Errorf("query has %d words, shard centroid has %d", len(q), len(c))
 			}
 			return nil
 		},
@@ -207,6 +315,84 @@ func UniformBitVectorShards(seed uint64, perNode, words int) ShardProvider[BitVe
 	}
 }
 
+// anchorShard carves cluster id out of the deterministic k-center
+// clustering of a global dataset: the shard holds the cluster's members
+// with their global IDs (point j is ID j+1, matching the uniform
+// providers' numbering of the same data) and pins the cluster's anchor as
+// its centroid. Every node recomputes the identical clustering from the
+// shared seed, so the result stays a pure function of (id, k) and a
+// re-joining node rebuilds a bit-identical shard.
+func anchorShard[P any](pts []P, labels []float64, metric points.Metric[P], seed uint64, id, k int) (Shard[P], error) {
+	cl := metricindex.KCenter(pts, metric, k, seed)
+	var sh Shard[P]
+	if id >= len(cl.Anchors) {
+		return sh, nil // k > n: more seats than points; the shard is empty
+	}
+	for j, c := range cl.Assign {
+		if c != id {
+			continue
+		}
+		sh.Points = append(sh.Points, pts[j])
+		sh.Labels = append(sh.Labels, labels[j])
+		sh.IDs = append(sh.IDs, uint64(j)+1)
+	}
+	anchor := pts[cl.Anchors[id]]
+	sh.Center = &anchor
+	return sh, nil
+}
+
+// AnchorShards is the anchor-clustered counterpart of PaperShards: the same
+// global dataset (the concatenation of the k per-node streams, so IDs and
+// labels match PaperShards point for point) partitioned by a deterministic
+// seeded k-center clustering instead of uniform ID blocks. Shard id holds
+// cluster id's members and pins its anchor as the centroid, giving the
+// frontend's pruned dispatch tight balls to test query ranges against —
+// answers are bit-identical to any other partition of the same data.
+func AnchorShards(seed uint64, perNode int) ShardProvider[Scalar] {
+	return func(id, k int) (Shard[Scalar], error) {
+		pts := make([]points.Scalar, 0, k*perNode)
+		labels := make([]float64, 0, k*perNode)
+		for node := 0; node < k; node++ {
+			set := points.GenUniformScalars(xrand.NewStream(seed, uint64(node)), perNode, points.PaperDomain)
+			pts = append(pts, set.Pts...)
+			labels = append(labels, set.Labels...)
+		}
+		return anchorShard(pts, labels, points.ScalarMetric, seed, id, k)
+	}
+}
+
+// AnchorVectorShards is the anchor-clustered counterpart of
+// UniformVectorShards: the same global vector dataset (IDs and cycling
+// labels match point for point) partitioned by a deterministic seeded
+// k-center clustering, with each shard's anchor pinned as its centroid.
+func AnchorVectorShards(seed uint64, perNode, dim int) ShardProvider[Vector] {
+	return func(id, k int) (Shard[Vector], error) {
+		pts := make([]points.Vector, 0, k*perNode)
+		labels := make([]float64, 0, k*perNode)
+		for node := 0; node < k; node++ {
+			set := points.GenUniformVectors(xrand.NewStream(seed, uint64(node)), perNode, dim)
+			pts = append(pts, set.Pts...)
+			for j := range set.Pts {
+				labels = append(labels, float64((node*perNode+j)%4))
+			}
+		}
+		return anchorShard(pts, labels, points.L2, seed, id, k)
+	}
+}
+
+// AnchorGaussianShards is the anchor-clustered Gaussian workload: k·perNode
+// points drawn from k isotropic Gaussian blobs (labels are blob indices),
+// partitioned by a seeded k-center clustering with anchors as centroids.
+// This is the favorable regime for pruned dispatch — shards track the blobs,
+// so a query near one blob provably cannot have neighbors in most others —
+// and the clustered half of the knnbench tcpprune experiment.
+func AnchorGaussianShards(seed uint64, perNode, dim int, sigma float64) ShardProvider[Vector] {
+	return func(id, k int) (Shard[Vector], error) {
+		set, _ := points.GenGaussianClusters(xrand.NewStream(seed, 0), k*perNode, dim, k, sigma)
+		return anchorShard(set.Pts, set.Labels, points.L2, seed, id, k)
+	}
+}
+
 // typedHandler adapts a PointType + ShardProvider + options to the
 // transport's per-epoch Handler interface.
 type typedHandler[P any] struct {
@@ -214,13 +400,15 @@ type typedHandler[P any] struct {
 	shards ShardProvider[P]
 	opts   NodeOptions
 
-	set    *points.Set[P]
-	topL   func(q P, l int) []Item
-	leader int
+	set     *points.Set[P]
+	topL    func(q P, l int) []Item
+	leader  int
+	summary wire.ShardSummary
 }
 
-// load builds (or rebuilds) the node's shard and local index for machine
-// id of k — the data half of Setup, shared with the Rejoin path.
+// load builds (or rebuilds) the node's shard, local index and metric
+// summary for machine id of k — the data half of Setup, shared with the
+// Rejoin path.
 func (h *typedHandler[P]) load(id, k int) error {
 	shard, err := h.shards(id, k)
 	if err != nil {
@@ -230,6 +418,12 @@ func (h *typedHandler[P]) load(id, k int) error {
 	if err != nil {
 		return fmt.Errorf("distknn: %w", err)
 	}
+	if shard.IDs != nil {
+		if len(shard.IDs) != len(shard.Points) {
+			return fmt.Errorf("distknn: node %d shard has %d IDs for %d points", id, len(shard.IDs), len(shard.Points))
+		}
+		copy(h.set.IDs, shard.IDs)
+	}
 	if h.pt.index != nil {
 		h.topL, err = h.pt.index(h.set)
 		if err != nil {
@@ -238,7 +432,34 @@ func (h *typedHandler[P]) load(id, k int) error {
 	} else {
 		h.topL = h.set.TopLItems
 	}
+	h.summary = h.summarize(shard)
 	return nil
+}
+
+// summarize computes the shard's metric-index summary: its centroid (the
+// provider's explicit Center, or an approximate medoid of the shard) and
+// the true-distance radius around it. Has stays false — which disables
+// pruned dispatch for the whole session — when the point type has no
+// pruning geometry (cosine) or when an anchorless shard is empty.
+func (h *typedHandler[P]) summarize(shard Shard[P]) wire.ShardSummary {
+	if h.pt.keyDist == nil {
+		return wire.ShardSummary{}
+	}
+	var center P
+	if shard.Center != nil {
+		center = *shard.Center
+	} else {
+		m := metricindex.ApproxMedoid(shard.Points, h.pt.metric)
+		if m < 0 {
+			return wire.ShardSummary{}
+		}
+		center = shard.Points[m]
+	}
+	return wire.ShardSummary{
+		Has:    true,
+		Radius: metricindex.Radius(shard.Points, center, h.pt.metric, h.pt.keyDist),
+		Center: h.pt.codec.Encode(center),
+	}
 }
 
 func (h *typedHandler[P]) Setup(m kmachine.Env) (tcp.SessionInfo, error) {
@@ -253,7 +474,7 @@ func (h *typedHandler[P]) Setup(m kmachine.Env) (tcp.SessionInfo, error) {
 	if err != nil {
 		return tcp.SessionInfo{}, err
 	}
-	return tcp.SessionInfo{Leader: h.leader, ShardLen: h.set.Len(), PointTag: h.pt.codec.Tag}, nil
+	return tcp.SessionInfo{Leader: h.leader, ShardLen: h.set.Len(), PointTag: h.pt.codec.Tag, Summary: h.summary}, nil
 }
 
 // Rejoin rebuilds the shard for a node taking over an absent seat of a
@@ -261,14 +482,14 @@ func (h *typedHandler[P]) Setup(m kmachine.Env) (tcp.SessionInfo, error) {
 // by the frontend — so the call is local. Because ShardProvider is a
 // deterministic function of (id, k), the rebuilt shard is identical to the
 // one the seat held before, which the frontend verifies via the reported
-// shard size (and which keeps served answers bit-identical to an
-// uninterrupted cluster).
+// shard size and metric summary (and which keeps served answers
+// bit-identical to an uninterrupted cluster).
 func (h *typedHandler[P]) Rejoin(id, k, leader int) (tcp.SessionInfo, error) {
 	if err := h.load(id, k); err != nil {
 		return tcp.SessionInfo{}, err
 	}
 	h.leader = leader
-	return tcp.SessionInfo{Leader: leader, ShardLen: h.set.Len(), PointTag: h.pt.codec.Tag}, nil
+	return tcp.SessionInfo{Leader: leader, ShardLen: h.set.Len(), PointTag: h.pt.codec.Tag, Summary: h.summary}, nil
 }
 
 // Query answers one point of the dispatched batch. Calls for different
@@ -312,6 +533,22 @@ func (h *typedHandler[P]) Query(m kmachine.Env, q wire.Query, qi int) (tcp.Query
 		return tcp.QueryResult{}, fmt.Errorf("query %d: %w", qi, err)
 	}
 	return out, nil
+}
+
+// Direct answers one query point of a pruned (no-mesh) dispatch: the
+// node's local top-ℓ straight from its index, with no BSP epoch — the
+// frontend merges the contacted nodes' shares itself.
+func (h *typedHandler[P]) Direct(q wire.Query, qi int) (tcp.QueryResult, error) {
+	qp, err := h.pt.codec.Decode(q.Points[qi])
+	if err != nil {
+		return tcp.QueryResult{}, fmt.Errorf("query %d: %w", qi, err)
+	}
+	if h.pt.check != nil {
+		if err := h.pt.check(h.set, qp); err != nil {
+			return tcp.QueryResult{}, fmt.Errorf("query %d: %w", qi, err)
+		}
+	}
+	return tcp.QueryResult{Winners: h.topL(qp, q.L)}, nil
 }
 
 // ServeTypedNode runs one resident serving node for any served point type:
@@ -377,6 +614,15 @@ type FrontendOptions struct {
 	// MaxServerBatch caps a coalesced batch (default 64, at most
 	// wire.MaxBatch); a full batch flushes immediately.
 	MaxServerBatch int
+	// Pruner enables metric-index pruned dispatch for single-point KNN and
+	// Classify queries: probe the shard nearest the query, bound its ℓ-th
+	// neighbor distance, and contact only the shards whose centroid ball
+	// can intersect that bound — answers stay bit-identical to full
+	// scatter. Pass the served PointType's Pruner(); nil (or a point type
+	// without pruning geometry, like cosine) keeps every query on the
+	// full-scatter path. Pruning pays off when shards are metrically tight,
+	// e.g. built by the anchor-clustered shard providers.
+	Pruner Pruner
 }
 
 func (o FrontendOptions) lower() tcp.FrontendOptions {
@@ -385,6 +631,7 @@ func (o FrontendOptions) lower() tcp.FrontendOptions {
 		ServerBatch:    o.ServerBatch,
 		Linger:         o.Linger,
 		MaxServerBatch: o.MaxServerBatch,
+		Pruner:         o.Pruner,
 	}
 }
 

@@ -6,22 +6,16 @@ import (
 
 	"distknn"
 	"distknn/internal/points"
+	"distknn/internal/testutil"
 	"distknn/internal/xrand"
 )
 
 // mergedBitVectorData reassembles the global bit-vector dataset exactly as
 // the UniformBitVectorShards hold it (same order, hence same IDs after
 // NewCluster assigns 1..n).
-func mergedBitVectorData(seed uint64, k, perNode, words int) ([]distknn.BitVector, []float64) {
-	shards := distknn.UniformBitVectorShards(seed, perNode, words)
-	var vecs []distknn.BitVector
-	var labels []float64
-	for id := 0; id < k; id++ {
-		s, _ := shards(id, k)
-		vecs = append(vecs, s.Points...)
-		labels = append(labels, s.Labels...)
-	}
-	return vecs, labels
+func mergedBitVectorData(t *testing.T, seed uint64, k, perNode, words int) ([]distknn.BitVector, []float64) {
+	t.Helper()
+	return testutil.Merged(t, distknn.UniformBitVectorShards(seed, perNode, words), k)
 }
 
 func bitVectorQueryAt(seed uint64, words, i int) distknn.BitVector {
@@ -35,21 +29,8 @@ func bitVectorQueryAt(seed uint64, words, i int) distknn.BitVector {
 
 func startBitVectorRemote(t *testing.T, k int, seed uint64, perNode, words int) *distknn.RemoteCluster[distknn.BitVector] {
 	t.Helper()
-	srv, err := distknn.ServeBitVectorLocal(k, seed, distknn.UniformBitVectorShards(seed, perNode, words), distknn.NodeOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rc, err := distknn.DialBitVectorCluster(srv.Addr())
-	if err != nil {
-		srv.Close()
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		rc.Close()
-		if err := srv.Close(); err != nil {
-			t.Errorf("close: %v", err)
-		}
-	})
+	_, rc := testutil.StartCluster(t, distknn.BitVectorPoints(), k, seed,
+		distknn.UniformBitVectorShards(seed, perNode, words), distknn.NodeOptions{}, distknn.FrontendOptions{})
 	return rc
 }
 
@@ -69,7 +50,7 @@ func TestRemoteBitVectorMatchesInProcess(t *testing.T) {
 	)
 	rc := startBitVectorRemote(t, k, seed, perNode, words)
 
-	vecs, labels := mergedBitVectorData(seed, k, perNode, words)
+	vecs, labels := mergedBitVectorData(t, seed, k, perNode, words)
 	local, err := distknn.NewCluster(vecs, labels, points.Hamming, distknn.Options{Machines: k, Seed: seed})
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 
 	"distknn"
 	"distknn/internal/points"
+	"distknn/internal/testutil"
 	"distknn/internal/xrand"
 )
 
@@ -33,38 +34,19 @@ func remoteShards(seed uint64, perNode int) distknn.ShardProvider[distknn.Scalar
 
 // mergedData reassembles the global dataset exactly as the shards hold it
 // (same order, hence same IDs after NewScalarCluster assigns 1..n).
-func mergedData(seed uint64, k, perNode int) ([]uint64, []float64) {
-	shards := remoteShards(seed, perNode)
-	var values []uint64
-	var labels []float64
-	for id := 0; id < k; id++ {
-		s, _ := shards(id, k)
-		for _, p := range s.Points {
-			values = append(values, uint64(p))
-		}
-		labels = append(labels, s.Labels...)
+func mergedData(t *testing.T, seed uint64, k, perNode int) ([]uint64, []float64) {
+	t.Helper()
+	pts, labels := testutil.Merged(t, remoteShards(seed, perNode), k)
+	values := make([]uint64, len(pts))
+	for i, p := range pts {
+		values[i] = uint64(p)
 	}
 	return values, labels
 }
 
 func startRemote(t *testing.T, k int, seed uint64, perNode int, opts distknn.NodeOptions) (*distknn.LocalServer, *distknn.RemoteCluster[distknn.Scalar]) {
 	t.Helper()
-	srv, err := distknn.ServeLocal(k, seed, remoteShards(seed, perNode), opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rc, err := distknn.DialCluster(srv.Addr())
-	if err != nil {
-		srv.Close()
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		rc.Close()
-		if err := srv.Close(); err != nil {
-			t.Errorf("close: %v", err)
-		}
-	})
-	return srv, rc
+	return testutil.StartCluster(t, distknn.ScalarPoints(), k, seed, remoteShards(seed, perNode), opts, distknn.FrontendOptions{})
 }
 
 // TestRemoteClusterMatchesInProcess is the headline acceptance test: a
@@ -81,7 +63,7 @@ func TestRemoteClusterMatchesInProcess(t *testing.T) {
 	)
 	_, rc := startRemote(t, k, seed, perNode, distknn.NodeOptions{})
 
-	values, labels := mergedData(seed, k, perNode)
+	values, labels := mergedData(t, seed, k, perNode)
 	local, err := distknn.NewScalarCluster(values, labels, distknn.Options{Machines: k, Seed: seed})
 	if err != nil {
 		t.Fatal(err)
@@ -247,7 +229,7 @@ func TestTCPServeSmoke(t *testing.T) {
 		l       = 5
 	)
 	_, rc := startRemote(t, k, seed, perNode, distknn.NodeOptions{})
-	values, labels := mergedData(seed, k, perNode)
+	values, labels := mergedData(t, seed, k, perNode)
 	set, err := points.NewSet(values, labels, func(a, b uint64) uint64 {
 		if a > b {
 			return a - b

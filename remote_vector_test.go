@@ -6,22 +6,16 @@ import (
 
 	"distknn"
 	"distknn/internal/points"
+	"distknn/internal/testutil"
 	"distknn/internal/xrand"
 )
 
 // mergedVectorData reassembles the global vector dataset exactly as the
 // UniformVectorShards hold it (same order, hence same IDs after
 // NewVectorCluster assigns 1..n).
-func mergedVectorData(seed uint64, k, perNode, dim int) ([]distknn.Vector, []float64) {
-	shards := distknn.UniformVectorShards(seed, perNode, dim)
-	var vecs []distknn.Vector
-	var labels []float64
-	for id := 0; id < k; id++ {
-		s, _ := shards(id, k)
-		vecs = append(vecs, s.Points...)
-		labels = append(labels, s.Labels...)
-	}
-	return vecs, labels
+func mergedVectorData(t *testing.T, seed uint64, k, perNode, dim int) ([]distknn.Vector, []float64) {
+	t.Helper()
+	return testutil.Merged(t, distknn.UniformVectorShards(seed, perNode, dim), k)
 }
 
 func vectorQueryAt(seed uint64, dim, i int) distknn.Vector {
@@ -35,22 +29,8 @@ func vectorQueryAt(seed uint64, dim, i int) distknn.Vector {
 
 func startVectorRemote(t *testing.T, k int, seed uint64, perNode, dim int) (*distknn.LocalServer, *distknn.RemoteCluster[distknn.Vector]) {
 	t.Helper()
-	srv, err := distknn.ServeVectorLocal(k, seed, distknn.UniformVectorShards(seed, perNode, dim), distknn.NodeOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rc, err := distknn.DialVectorCluster(srv.Addr())
-	if err != nil {
-		srv.Close()
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		rc.Close()
-		if err := srv.Close(); err != nil {
-			t.Errorf("close: %v", err)
-		}
-	})
-	return srv, rc
+	return testutil.StartCluster(t, distknn.VectorPoints(), k, seed,
+		distknn.UniformVectorShards(seed, perNode, dim), distknn.NodeOptions{}, distknn.FrontendOptions{})
 }
 
 // TestRemoteVectorMatchesInProcess is the vector acceptance test: a
@@ -68,7 +48,7 @@ func TestRemoteVectorMatchesInProcess(t *testing.T) {
 	)
 	_, rc := startVectorRemote(t, k, seed, perNode, dim)
 
-	vecs, labels := mergedVectorData(seed, k, perNode, dim)
+	vecs, labels := mergedVectorData(t, seed, k, perNode, dim)
 	local, err := distknn.NewVectorCluster(vecs, labels, distknn.Options{Machines: k, Seed: seed})
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +183,7 @@ func TestRemoteBatchMatchesPerQuery(t *testing.T) {
 	}
 
 	// And the in-process KNNBatch over the merged dataset agrees.
-	values, labels := mergedData(seed, k, perNode)
+	values, labels := mergedData(t, seed, k, perNode)
 	local, err := distknn.NewScalarCluster(values, labels, distknn.Options{Machines: k, Seed: seed})
 	if err != nil {
 		t.Fatal(err)
@@ -285,7 +265,7 @@ func TestVectorTCPSmoke(t *testing.T) {
 		l       = 4
 	)
 	_, rc := startVectorRemote(t, k, seed, perNode, dim)
-	vecs, labels := mergedVectorData(seed, k, perNode, dim)
+	vecs, labels := mergedVectorData(t, seed, k, perNode, dim)
 	set, err := points.NewSet(vecs, labels, points.L2, 1)
 	if err != nil {
 		t.Fatal(err)
