@@ -21,10 +21,12 @@
 // With -anchor the nodes partition the same global dataset by a
 // deterministic seeded k-center clustering instead of uniform ID blocks,
 // and report tight centroid+radius summaries; a frontend started with
-// -prune uses those summaries for metric-index pruned dispatch —
-// single-point KNN/Classify queries contact only the nodes whose shard
-// ball can intersect the query's neighbor ball, with answers bit-identical
-// to full scatter:
+// -prune uses those summaries for metric-index pruned dispatch — every
+// query, single-point or batched, KNN, Classify or Regress, contacts only
+// the nodes whose shard ball can intersect its neighbor ball (a batch
+// probes all its points in one shared wave, then each node receives just
+// the sub-batch of points that admit it), with answers bit-identical to
+// full scatter; -probes widens the bounding wave for overlapping clusters:
 //
 //	knnnode -serve -coordinator -addr 127.0.0.1:7100 -k 2 -seed 1 -prune
 //	knnnode -serve -join 127.0.0.1:7100 -points 100000 -anchor
@@ -109,7 +111,8 @@ func main() {
 		window      = flag.Int("window", 0, "with -serve -coordinator: query epochs pipelined in flight at once (0 = default 8, 1 = serialized)")
 		serverBatch = flag.Bool("server-batch", false, "with -serve -coordinator: coalesce concurrently arriving single queries into lockstep batch epochs")
 		linger      = flag.Duration("linger", 0, "with -serve -coordinator -server-batch: max wait for a partial coalesced batch (0 = default 500µs)")
-		prune       = flag.Bool("prune", false, "with -serve -coordinator: metric-index pruned dispatch — single-point KNN/Classify queries contact only the nodes whose shard ball can hold a neighbor (answers stay bit-identical; pair with -anchor nodes for tight balls)")
+		prune       = flag.Bool("prune", false, "with -serve -coordinator: metric-index pruned dispatch — every query (single or batched, KNN/Classify/Regress) contacts only the nodes whose shard ball can hold a neighbor (answers stay bit-identical; pair with -anchor nodes for tight balls)")
+		probes      = flag.Int("probes", 0, "with -serve -coordinator -prune: nearest shards each point probes for its bound (0 = default 1; more tightens the bound on overlapping clusters)")
 		anchor      = flag.Bool("anchor", false, "with -serve -join or -serve -local: anchor-clustered shards (deterministic k-center partition of the same global dataset) instead of uniform ID blocks")
 		vmetric     = flag.String("vmetric", "l2", "vector metric served when -dim > 0: l2|l1|linf|cosine")
 	)
@@ -154,6 +157,7 @@ func main() {
 			} else {
 				fopts.Pruner = distknn.ScalarPoints().Pruner()
 			}
+			fopts.Probes = *probes
 		}
 		fe, err := distknn.NewFrontendOptions(*addr, *k, *seed, fopts)
 		if err != nil {

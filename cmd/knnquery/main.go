@@ -212,6 +212,9 @@ func drive[P any](c queryCluster[P], gen func(*rand.Rand) P, distStr func(keys.K
 func printResult(items []distknn.Item, stats *distknn.QueryStats, show int, distStr func(keys.Key) string) {
 	fmt.Printf("leader=machine %d  rounds=%d  messages=%d  traffic=%dB",
 		stats.Leader, stats.Rounds, stats.Messages, stats.Bytes)
+	if stats.Contacts > 0 {
+		fmt.Printf("  contacted-nodes=%d", stats.Contacts)
+	}
 	if stats.Survivors > 0 {
 		fmt.Printf("  prune-survivors=%d", stats.Survivors)
 	}
@@ -306,7 +309,7 @@ func runBatch[P any](c queryCluster[P], gen func(*rand.Rand) P, l, total, batch 
 	if _, _, err := c.KNN(query(0), l); err != nil {
 		fatalf("batch warm-up: %v", err)
 	}
-	var rounds, msgs, traffic int64
+	var rounds, msgs, traffic, contacts int64
 	epochs := 0
 	start := time.Now()
 	for i := 0; i < total; i += batch {
@@ -325,6 +328,7 @@ func runBatch[P any](c queryCluster[P], gen func(*rand.Rand) P, l, total, batch 
 		rounds += int64(stats.Rounds)
 		msgs += stats.Messages
 		traffic += stats.Bytes
+		contacts += stats.Contacts
 		epochs++
 	}
 	wall := time.Since(start)
@@ -333,6 +337,9 @@ func runBatch[P any](c queryCluster[P], gen func(*rand.Rand) P, l, total, batch 
 	fmt.Printf("  throughput  %.0f queries/s\n", float64(total)/wall.Seconds())
 	fmt.Printf("  per query   rounds=%.1f  messages=%.1f  traffic=%.0fB\n",
 		float64(rounds)/float64(total), float64(msgs)/float64(total), float64(traffic)/float64(total))
+	if contacts > 0 {
+		fmt.Printf("  pruned      contacted-nodes/query=%.2f\n", float64(contacts)/float64(total))
+	}
 }
 
 func fatalf(format string, args ...any) {

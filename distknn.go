@@ -198,6 +198,13 @@ type QueryStats struct {
 	FellBack  bool
 	// Iterations counts selection pivot steps.
 	Iterations int
+	// Contacts is the total number of (shard, sub-batch) contacts a remote
+	// pruned dispatch made — Σ over the query batch of the number of nodes
+	// each point was sent to, so Contacts divided by the batch size is the
+	// contacted-nodes-per-query figure. 0 for full-scatter epochs and
+	// in-process clusters, where every query reaches every machine by
+	// construction.
+	Contacts int64
 }
 
 // electionStream is the seed-derivation stream reserved for the

@@ -43,6 +43,7 @@ var Experiments = []Experiment{
 	{"tcpsched", "Frontend epoch scheduler: pipelined epochs + server-side batching under concurrent clients", TCPSched},
 	{"tcpmux", "Multiplexed client: outstanding-query sweep on one tagged connection vs serial clients", TCPMux},
 	{"tcpprune", "Metric-index pruned dispatch: anchor-clustered shards, scatter only where the ball can intersect", TCPPrune},
+	{"tcpprunebatch", "Batched pruned dispatch: KNNBatch epochs answered as probe + sub-batch admission waves", TCPPruneBatch},
 }
 
 // ByID finds an experiment by its id.

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"distknn"
+	"distknn/internal/points"
+	"distknn/internal/xrand"
+)
+
+// TCPPruneBatch measures the batched pruned dispatch: the highest-throughput
+// client path (KNNBatch lockstep epochs) over anchor-clustered shards,
+// answered through a full-scatter frontend and through a pruning one, across
+// batch sizes. A pruned batch runs as two direct waves — every point probes
+// its nearest shard, then each shard receives only the sub-batch of points
+// whose admission ball intersects it — so the contacted-nodes-per-query
+// figure of E15 should survive batching while the batch amortization of E11b
+// keeps the QPS win. The workloads mirror E15: clustered is the favorable
+// regime, uniform the honest control where pruning is expected to buy
+// nothing (its value is that it must also cost ~nothing).
+//
+// Every batch's per-query boundaries are checked bit-identical across the
+// two frontends while the clock runs. avg_nodes is the mean number of nodes
+// contacted per query, read from the Contacts stat the pruned path reports
+// (full scatter always contacts all k). The clustered workload doubles as
+// the CI tripwire: if its pruned run contacts ≥ k−1 nodes per query the
+// pruning machinery is silently disabled, and the experiment returns an
+// error instead of a table.
+func TCPPruneBatch(p Params) ([]*Table, error) {
+	p = p.withDefaults()
+	l := 16
+	queries := 192
+	perNode := 512
+	dim := 3
+	sigma := 0.02
+	k := 8
+	batches := []int{1, 4, 16, 64}
+	if p.Quick {
+		l = 4
+		queries = 64
+		perNode = 128
+		k = 4
+		batches = []int{1, 16}
+	}
+	if len(p.Ks) > 0 {
+		k = p.Ks[0]
+	}
+	if len(p.Ls) > 0 {
+		l = p.Ls[0]
+	}
+	seed := p.Seed
+
+	t := &Table{
+		ID: "E16",
+		Title: fmt.Sprintf("tcpprunebatch — batched pruned dispatch vs full scatter (k=%d, %d pts/node, %d queries, l=%d)",
+			k, perNode, queries, l),
+		Note: "answers are verified bit-identical between the two frontends on every query; " +
+			"avg_nodes is nodes contacted per query (full scatter always contacts k); " +
+			"the clustered workload fails the experiment outright if pruning is silently disabled (avg_nodes >= k-1)",
+		Header: []string{"workload", "batch", "mode", "wall_ms", "qps", "speedup_vs_full", "avg_nodes"},
+	}
+
+	type workload struct {
+		name    string
+		shards  distknn.ShardProvider[distknn.Vector]
+		queryAt func(i int) distknn.Vector
+	}
+	workloads := []workload{
+		{
+			name:   "clustered",
+			shards: distknn.AnchorGaussianShards(seed, perNode, dim, sigma),
+			queryAt: func(i int) distknn.Vector {
+				_, centers := points.GenGaussianClusters(xrand.NewStream(seed, 0), k*perNode, dim, k, sigma)
+				rng := xrand.NewStream(seed, 1<<41+uint64(i))
+				c := centers[i%k]
+				q := make(distknn.Vector, dim)
+				for j := range q {
+					q[j] = c[j] + rng.NormFloat64()*sigma
+				}
+				return q
+			},
+		},
+		{
+			name:   "uniform",
+			shards: distknn.AnchorVectorShards(seed, perNode, dim),
+			queryAt: func(i int) distknn.Vector {
+				rng := xrand.NewStream(seed, 1<<40+uint64(i))
+				q := make(distknn.Vector, dim)
+				for j := range q {
+					q[j] = rng.Float64()
+				}
+				return q
+			},
+		},
+	}
+
+	for _, w := range workloads {
+		serve := func(pruner distknn.Pruner) (*distknn.LocalServer, *distknn.RemoteCluster[distknn.Vector], error) {
+			srv, err := distknn.ServeTypedLocalOptions(distknn.VectorPoints(), k, seed, w.shards,
+				distknn.NodeOptions{}, distknn.FrontendOptions{Pruner: pruner})
+			if err != nil {
+				return nil, nil, err
+			}
+			rc, err := distknn.DialTypedCluster(distknn.VectorPoints(), srv.Addr())
+			if err != nil {
+				srv.Close()
+				return nil, nil, err
+			}
+			return srv, rc, nil
+		}
+		fullSrv, full, err := serve(nil)
+		if err != nil {
+			return nil, fmt.Errorf("tcpprunebatch %s full: %w", w.name, err)
+		}
+		prunedSrv, pruned, err := serve(distknn.VectorPoints().Pruner())
+		if err != nil {
+			fullSrv.Close()
+			return nil, fmt.Errorf("tcpprunebatch %s pruned: %w", w.name, err)
+		}
+
+		qs := make([]distknn.Vector, queries)
+		for i := range qs {
+			qs[i] = w.queryAt(i)
+		}
+		// Warm both stacks off the clock.
+		if _, _, err := full.KNN(qs[0], l); err == nil {
+			_, _, err = pruned.KNN(qs[0], l)
+		}
+		if err == nil {
+			for _, batch := range batches {
+				run := func(rc *distknn.RemoteCluster[distknn.Vector]) (time.Duration, []distknn.Key, float64, error) {
+					boundaries := make([]distknn.Key, 0, queries)
+					contacted := 0.0
+					start := time.Now()
+					for at := 0; at < queries; at += batch {
+						chunk := qs[at:min(at+batch, queries)]
+						res, stats, err := rc.KNNBatch(chunk, l)
+						if err != nil {
+							return 0, nil, 0, fmt.Errorf("batch at %d: %w", at, err)
+						}
+						for _, br := range res {
+							boundaries = append(boundaries, br.Boundary)
+						}
+						if stats.Contacts > 0 {
+							contacted += float64(stats.Contacts)
+						} else {
+							contacted += float64(k * len(chunk))
+						}
+					}
+					return time.Since(start), boundaries, contacted / float64(queries), nil
+				}
+				fullWall, fullBounds, _, err := run(full)
+				if err != nil {
+					fullSrv.Close()
+					prunedSrv.Close()
+					return nil, fmt.Errorf("tcpprunebatch %s batch=%d full: %w", w.name, batch, err)
+				}
+				prunedWall, prunedBounds, avgNodes, err := run(pruned)
+				if err == nil {
+					for i := range fullBounds {
+						if prunedBounds[i] != fullBounds[i] {
+							err = fmt.Errorf("query %d: pruned boundary %v != full %v", i, prunedBounds[i], fullBounds[i])
+							break
+						}
+					}
+				}
+				if err == nil && w.name == "clustered" && avgNodes >= float64(k-1) {
+					err = fmt.Errorf("pruning silently disabled: clustered avg_nodes %.2f >= k-1 = %d", avgNodes, k-1)
+				}
+				if err != nil {
+					fullSrv.Close()
+					prunedSrv.Close()
+					return nil, fmt.Errorf("tcpprunebatch %s batch=%d: %w", w.name, batch, err)
+				}
+				fullQPS := float64(queries) / fullWall.Seconds()
+				prunedQPS := float64(queries) / prunedWall.Seconds()
+				t.AddRow(w.name, d(batch), "full", f(fullWall.Seconds()*1e3), f(fullQPS), f(1.0), f(float64(k)))
+				t.AddRow(w.name, d(batch), "pruned", f(prunedWall.Seconds()*1e3), f(prunedQPS), f(prunedQPS/fullQPS), f(avgNodes))
+			}
+		}
+		fullSrv.Close()
+		prunedSrv.Close()
+		if err != nil {
+			return nil, fmt.Errorf("tcpprunebatch %s: %w", w.name, err)
+		}
+	}
+	return []*Table{t}, nil
+}

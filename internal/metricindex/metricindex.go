@@ -153,6 +153,27 @@ func Admit(centerDist, radius, ub float64) bool {
 	return centerDist <= bound+admitSlack*(bound+centerDist)
 }
 
+// AdmitSub runs the admission test for one shard against a whole batch: it
+// returns, in ascending order, the batch indices i for which the shard may
+// hold one of the ℓ nearest neighbors of point i — Admit over the point's
+// centroid distance centerDist[i] and its per-point upper bound ub[i] —
+// skipping points whose mask entry is true (already sent to the shard by an
+// earlier wave). A nil mask skips nothing. The result is the shard's
+// sub-batch of a pruned batch dispatch; an empty result means the shard is
+// provably irrelevant to every remaining point and is not contacted at all.
+func AdmitSub(centerDist, ub []float64, radius float64, mask []bool) []int {
+	var sub []int
+	for i := range centerDist {
+		if mask != nil && mask[i] {
+			continue
+		}
+		if Admit(centerDist[i], radius, ub[i]) {
+			sub = append(sub, i)
+		}
+	}
+	return sub
+}
+
 // WirePruner gives a frontend the metric-space geometry of one served point
 // type, over wire encodings: it decodes query and centroid points with the
 // type's codec, measures their true distance, and converts encoded distance

@@ -91,16 +91,24 @@ type FrontendOptions struct {
 	// MaxServerBatch caps a coalesced batch (default 64, at most
 	// wire.MaxBatch). A full bucket flushes immediately.
 	MaxServerBatch int
-	// Pruner enables metric-index pruned dispatch: a single-point KNN or
-	// Classify query probes the shard nearest the query first, derives an
-	// upper bound on its ℓ-th neighbor distance from the probe's local
-	// top-ℓ, and is then dispatched only to the shards whose centroid ball
-	// can intersect that bound — no mesh epoch, answers bit-identical to
-	// full scatter. Queries the path cannot prune (batches, Regress — its
-	// float summation order is not reproducible at the frontend — or any
-	// query while a seat lacks a metric summary) run as ordinary scatter
-	// epochs. Nil disables pruning.
+	// Pruner enables metric-index pruned dispatch for every query shape —
+	// KNN, Classify and Regress, single points and batches alike. Each
+	// point of a query first probes its nearest shard(s) for an upper bound
+	// on its ℓ-th neighbor distance, and a second wave then sends each
+	// remaining shard only the sub-batch of points whose admission ball can
+	// intersect it — no mesh epoch, shards contacted by zero points skipped
+	// entirely, answers bit-identical to full scatter (Regress replays the
+	// mesh's deterministic ascending-seat fold at the frontend). Queries the
+	// path cannot bound (any query while a seat lacks a metric summary, or
+	// whose geometry rejects a point) run as ordinary scatter epochs. Nil
+	// disables pruning.
 	Pruner Pruner
+	// Probes is the number of nearest shards each point contacts in the
+	// pruned path's first wave (default 1). A wider probe wave tightens the
+	// upper bound on overlapping clusters at the price of more wave-1
+	// contacts; answers are bit-identical for any value. Only meaningful
+	// with Pruner.
+	Probes int
 }
 
 func (o FrontendOptions) withDefaults() FrontendOptions {
@@ -119,6 +127,9 @@ func (o FrontendOptions) withDefaults() FrontendOptions {
 	if o.MaxServerBatch > wire.MaxBatch {
 		o.MaxServerBatch = wire.MaxBatch
 	}
+	if o.Probes < 1 {
+		o.Probes = 1
+	}
 	return o
 }
 
@@ -133,6 +144,7 @@ type scheduler struct {
 	linger   time.Duration
 	maxBatch int
 	batching bool
+	probes   int // pruned path: nearest shards per point in wave 1
 
 	mu       sync.Mutex
 	cond     *sync.Cond // admission waits here for a free window slot
@@ -150,6 +162,7 @@ func newScheduler(f *Frontend, opts FrontendOptions) *scheduler {
 		linger:   opts.Linger,
 		maxBatch: opts.MaxServerBatch,
 		batching: opts.ServerBatch,
+		probes:   opts.Probes,
 		inflight: make(map[uint64]*epochJob),
 		buckets:  make(map[bucketKey]*bucket),
 	}
@@ -164,11 +177,20 @@ func newScheduler(f *Frontend, opts FrontendOptions) *scheduler {
 type epochJob struct {
 	epoch uint64
 	q     wire.Query
-	// direct marks one phase of a pruned query: the epoch ran without a
-	// mesh round, its merged items stay raw (sorted, untruncated, for any
-	// op) for the pruned path's own aggregation, and its window slot is
-	// owned by runPruned across both phases rather than by this job.
+	// direct marks one wave of a pruned query: the epoch ran without a
+	// mesh round, its node results are collected raw in shares (per-seat
+	// attribution intact, for the pruned path's own merge and aggregation),
+	// and its window slot is owned by runPruned across both waves rather
+	// than by this job.
 	direct bool
+	// sub maps each direct wave target to the original batch indices of the
+	// points it was sent — its expected result is one entry per index, in
+	// this order. Set on every direct job; nil on scatter epochs (every
+	// node answers the full batch).
+	sub map[int][]int
+	// shares collects a direct wave's raw per-node results for the pruned
+	// path. Guarded by scheduler.mu until done closes, immutable after.
+	shares []wire.NodeResult
 
 	expect    []uint64 // per node id: expected gen+1, or 0 once accounted
 	expectN   int      // seats still owing a frame
@@ -213,13 +235,20 @@ func (job *epochJob) fail(id int, cause error) {
 }
 
 // merge folds one node's result into the job: per query its winner share,
-// the leader's outcome, and the epoch cost (max rounds, total traffic).
+// the leader's outcome, and the epoch cost (max rounds, total traffic). A
+// direct wave's results are instead kept whole in shares — the pruned path
+// needs each item's source seat for its deterministic Regress fold, so the
+// flattening merge below would lose exactly the attribution it depends on.
 func (job *epochJob) merge(nr wire.NodeResult) {
 	if nr.Rounds > job.rep.Rounds {
 		job.rep.Rounds = nr.Rounds
 	}
 	job.rep.Messages += nr.Messages
 	job.rep.Bytes += nr.Bytes
+	if job.direct {
+		job.shares = append(job.shares, nr)
+		return
+	}
 	for qi, qr := range nr.Queries {
 		job.rep.Results[qi].Items = append(job.rep.Results[qi].Items, qr.Winners...)
 		if nr.IsLeader {
@@ -234,13 +263,22 @@ func closingReply() wire.Reply {
 	return wire.Reply{Err: "frontend shutting down; query aborted (safe to retry)", Degraded: true}
 }
 
-// submit answers one validated client query through the scheduler.
+// submit answers one validated client query through the scheduler. Single
+// queries on a batching frontend coalesce first — the shared bucket epoch
+// (like any client batch) then routes through the pruned path, so server-side
+// batching and pruning compose instead of excluding each other.
 func (sched *scheduler) submit(q wire.Query) wire.Reply {
-	if rep, ok := sched.runPruned(q); ok {
-		return rep
-	}
 	if sched.batching && len(q.Points) == 1 {
 		return sched.coalesce(q)
+	}
+	return sched.execute(q)
+}
+
+// execute runs one (possibly batched) query: through the metric-index pruned
+// path when the whole batch is boundable, else as a full-scatter epoch.
+func (sched *scheduler) execute(q wire.Query) wire.Reply {
+	if rep, ok := sched.runPruned(q); ok {
+		return rep
 	}
 	return sched.run(q)
 }
@@ -418,7 +456,13 @@ func (sched *scheduler) deliver(id int, gen uint64, payload []byte) {
 			break // leftover of a finished or failed epoch
 		}
 		nr, derr := wire.DecodeNodeResult(r)
-		if derr != nil || nr.Node != id || len(nr.Queries) != len(job.q.Points) {
+		// A direct wave may have sent this node only a sub-batch; its
+		// result must cover exactly the points it was sent.
+		want := len(job.q.Points)
+		if job.sub != nil {
+			want = len(job.sub[id])
+		}
+		if derr != nil || nr.Node != id || len(nr.Queries) != want {
 			cause := fmt.Errorf("node %d sent a malformed result (%v)", id, derr)
 			job.expectClear(id)
 			job.fail(id, cause)
@@ -613,11 +657,15 @@ type bucket struct {
 func (sched *scheduler) coalesce(q wire.Query) wire.Reply {
 	// Degraded fast-fail before joining a bucket: during an outage a
 	// query answers immediately instead of lingering in a batch that is
-	// doomed to the same degraded reply.
+	// doomed to the same degraded reply. A prunable session skips the fast
+	// fail — its buckets run through the pruned path, which only needs the
+	// seats the queries' admission balls reach, so an absent seat does not
+	// doom the bucket.
 	sched.f.mu.Lock()
+	prunable := sched.f.prunableLocked()
 	rep, ok := sched.f.degradedLocked("waiting for")
 	sched.f.mu.Unlock()
-	if !ok {
+	if !ok && !prunable {
 		return rep
 	}
 	key := bucketKey{op: q.Op, l: q.L, tag: q.Tag}
@@ -672,11 +720,11 @@ func (sched *scheduler) flush(key bucketKey, b *bucket) {
 // retryable for everyone) falls back to re-running each participant's
 // query as its own solo epoch, isolating the error to the offender.
 func (sched *scheduler) runBucket(b *bucket) {
-	rep := sched.run(b.q)
+	rep := sched.execute(b.q)
 	if rep.Err != "" && !rep.Degraded && len(b.q.Points) > 1 {
 		b.solo = make([]wire.Reply, len(b.q.Points))
 		for i, p := range b.q.Points {
-			b.solo[i] = sched.run(wire.Query{Op: b.q.Op, L: b.q.L, Tag: b.q.Tag, Points: [][]byte{p}})
+			b.solo[i] = sched.execute(wire.Query{Op: b.q.Op, L: b.q.L, Tag: b.q.Tag, Points: [][]byte{p}})
 		}
 	}
 	b.rep = rep
@@ -708,21 +756,21 @@ func bucketReply(b *bucket, idx int) wire.Reply {
 // ---------------------------------------------------------------------------
 
 // runPruned answers q through the pruned dispatch path when it is eligible:
-// a Pruner is configured, every seat reported a metric summary, the query
-// is a single point, and its op's aggregation is reproducible at the
-// frontend (KNN and Classify; Regress's float summation is order-sensitive,
-// so it always runs as a full-scatter epoch). ok=false sends the caller to
-// the ordinary scatter path.
+// a Pruner is configured, every seat reported a metric summary, and the
+// geometry can bound every point of the batch. Every query shape rides it —
+// KNN, Classify and Regress, single points and whole batches alike — with
+// answers bit-identical to full scatter. ok=false sends the caller to the
+// ordinary scatter path.
 //
 // Churn semantics differ deliberately from full scatter. A scatter epoch
-// needs every seat, so any absent seat fails it fast — but a pruned query
-// only needs the seats its query ball can reach: an absent seat whose shard
-// the admission test prunes does not fail the query, while an absent seat
-// that is selected (as the probe or by admission) fails it with the usual
-// retryable degraded reply.
+// needs every seat, so any absent seat fails it fast — but a pruned batch
+// only needs the seats its points' balls can reach: an absent seat whose
+// shard the admission test prunes for every point does not fail the query,
+// while an absent seat that is selected (as a probe or by admission) fails
+// it with the usual retryable degraded reply.
 func (sched *scheduler) runPruned(q wire.Query) (wire.Reply, bool) {
 	f := sched.f
-	if f.pruner == nil || len(q.Points) != 1 || (q.Op != wire.OpKNN && q.Op != wire.OpClassify) {
+	if f.pruner == nil {
 		return wire.Reply{}, false
 	}
 	f.mu.Lock()
@@ -740,19 +788,24 @@ func (sched *scheduler) runPruned(q wire.Query) (wire.Reply, bool) {
 		center[i] = s.summary.Center
 	}
 	f.mu.Unlock()
-	dist := make([]float64, f.k)
-	for i := range center {
-		d, err := f.pruner.CenterDist(q.Points[0], center[i])
-		if err != nil {
-			// The geometry cannot speak for this query (e.g. a dimension
-			// mismatch); full scatter runs the node-side validation and
-			// reports its error.
-			return wire.Reply{}, false
+	// dist[id][pi] is the true distance from batch point pi to shard id's
+	// centroid.
+	dist := make([][]float64, f.k)
+	for id := range center {
+		dist[id] = make([]float64, len(q.Points))
+		for pi, p := range q.Points {
+			d, err := f.pruner.CenterDist(p, center[id])
+			if err != nil {
+				// The geometry cannot speak for this point (e.g. a dimension
+				// mismatch); full scatter runs the node-side validation and
+				// reports its error.
+				return wire.Reply{}, false
+			}
+			dist[id][pi] = d
 		}
-		dist[i] = d
 	}
 
-	// One window slot covers both phases: the probe and the gather are
+	// One window slot covers both waves: the probe and the gather are
 	// halves of one query, and parking the gather behind fresh admissions
 	// could deadlock a full window of half-done pruned queries.
 	sched.mu.Lock()
@@ -765,7 +818,7 @@ func (sched *scheduler) runPruned(q wire.Query) (wire.Reply, bool) {
 	}
 	sched.count++
 	sched.mu.Unlock()
-	rep := sched.pruned(q, dist, radius)
+	rep := sched.prunedBatch(q, dist, radius)
 	sched.mu.Lock()
 	if !sched.closed {
 		sched.count--
@@ -775,40 +828,96 @@ func (sched *scheduler) runPruned(q wire.Query) (wire.Reply, bool) {
 	return rep, true
 }
 
-// pruned runs one admitted pruned query: probe the nearest present shard
-// for an upper bound, admit the remaining shards against it, gather their
-// local top-ℓ shares, and aggregate at the frontend. The answer is
-// bit-identical to full scatter: the merged local top-ℓ of the admitted
-// shards provably contains the global top-ℓ (metricindex.Admit), keys are
-// unique (distance, ID) pairs so the sorted merge has exactly one outcome,
-// and the Classify aggregation replicates core.Classify's
-// smallest-max-label vote. Cost reporting follows the path's own shape:
-// Rounds counts dispatch waves (1 or 2), Messages the nodes contacted;
+// srcItem is one gathered winner together with the seat that holds it. The
+// source seat is what lets the frontend replay the mesh's aggregation
+// orders exactly — most visibly Regress's per-seat fold (regressItems).
+type srcItem struct {
+	points.Item
+	seat int
+}
+
+// sortSrcItems orders gathered winners by key. Keys are unique (distance,
+// ID) pairs, so the order is total and the merge has exactly one outcome
+// regardless of which shards contributed which items.
+func sortSrcItems(items []srcItem) {
+	sort.Slice(items, func(i, j int) bool { return items[i].Key.Less(items[j].Key) })
+}
+
+// prunedBatch runs one admitted pruned query batch as up to two waves of
+// direct no-mesh epochs. Wave 1: every point probes its Probes nearest
+// present shards; the probe winners bound each point's global ℓ-th neighbor
+// distance from above. Wave 2: each shard receives exactly the sub-batch of
+// points whose admission ball can still intersect its centroid ball
+// (metricindex.AdmitSub) — a shard admitted by zero points is skipped
+// entirely. The frontend then merges and aggregates per point. Answers are
+// bit-identical to full scatter: the merged local top-ℓ of the contacted
+// shards provably contains each point's global top-ℓ (metricindex.Admit),
+// keys are unique (distance, ID) pairs so the sorted merge has exactly one
+// outcome, Classify replicates core.Classify's smallest-max-label vote, and
+// Regress replays the mesh's deterministic fold over per-seat partial sums
+// (regressItems). Cost reporting follows the path's own shape: Rounds
+// counts dispatch waves (1 or 2), Messages the total per-point shard
+// contacts — Σ over the batch of the number of shards each point was sent
+// to, so Messages/len(Points) is the contacted-nodes-per-query figure;
 // Bytes stays 0 (no mesh traffic) and the BSP selection stats (Survivors,
 // Iterations, FellBack) do not apply.
-func (sched *scheduler) pruned(q wire.Query, dist, radius []float64) wire.Reply {
+func (sched *scheduler) prunedBatch(q wire.Query, dist [][]float64, radius []float64) wire.Reply {
 	f := sched.f
+	n := len(q.Points)
 
-	// Phase 1: probe the present seat nearest the query (ties toward the
-	// lower id); its local ℓ-th distance bounds the global one from above.
+	// Wave 1: per point, pick the present seats nearest the point (ties
+	// toward the lower id) and group the picks into per-seat sub-batches.
 	f.mu.Lock()
 	if f.slots == nil || f.closed.Load() {
 		f.mu.Unlock()
 		return closingReply()
 	}
-	probe := -1
+	var present []int
 	for _, s := range f.slots {
-		if s.present && (probe == -1 || dist[s.id] < dist[probe]) {
-			probe = s.id
+		if s.present {
+			present = append(present, s.id)
 		}
 	}
-	if probe == -1 {
+	if len(present) == 0 {
 		rep, _ := f.degradedLocked("waiting for")
 		f.mu.Unlock()
 		return rep
 	}
 	f.mu.Unlock()
-	job, rep := sched.dispatchDirect(q, []int{probe})
+	probes := sched.probes
+	if probes > len(present) {
+		probes = len(present)
+	}
+	// contacted[id][pi] records that point pi was sent to seat id in wave
+	// 1, so wave 2's admission skips the pair; nil until seat id is probed
+	// by any point.
+	contacted := make([][]bool, f.k)
+	wave1 := make([][]int, f.k)
+	chosen := make([]bool, f.k)
+	for pi := 0; pi < n; pi++ {
+		for t := 0; t < probes; t++ {
+			best := -1
+			for _, id := range present {
+				if !chosen[id] && (best == -1 || dist[id][pi] < dist[best][pi]) {
+					best = id
+				}
+			}
+			chosen[best] = true
+			if contacted[best] == nil {
+				contacted[best] = make([]bool, n)
+			}
+			contacted[best][pi] = true
+			wave1[best] = append(wave1[best], pi)
+		}
+		for _, id := range present {
+			chosen[id] = false
+		}
+	}
+	var contacts int64
+	for _, sub := range wave1 {
+		contacts += int64(len(sub))
+	}
+	job, rep := sched.dispatchDirectWave(q, wave1)
 	if job == nil {
 		return rep
 	}
@@ -816,26 +925,34 @@ func (sched *scheduler) pruned(q wire.Query, dist, radius []float64) wire.Reply 
 	if job.rep.Err != "" {
 		return job.rep
 	}
-	items := job.rep.Results[0].Items
-	ub := math.Inf(1)
-	if len(items) >= q.L {
-		ub = f.pruner.KeyDist(items[q.L-1].Key.Dist)
+	got := make([][]srcItem, n)
+	collectShares(got, job)
+	ub := make([]float64, n)
+	for pi := range got {
+		sortSrcItems(got[pi])
+		ub[pi] = math.Inf(1)
+		if len(got[pi]) >= q.L {
+			ub[pi] = f.pruner.KeyDist(got[pi][q.L-1].Key.Dist)
+		}
 	}
 
-	// Phase 2: gather from every other shard whose centroid ball can
-	// intersect the query's ℓ-NN ball. With no bound (the probe shard held
-	// fewer than ℓ points) every shard is admitted and the pruned query
+	// Wave 2: each shard gets the sub-batch of points whose ℓ-NN ball can
+	// intersect its centroid ball. With no bound for a point (its probe
+	// shards held fewer than ℓ points) every shard admits it and that point
 	// degenerates to a no-mesh scatter — still correct, just not cheaper.
-	var gatherIDs []int
+	wave2 := make([][]int, f.k)
+	wave2Any := false
 	for id := 0; id < f.k; id++ {
-		if id != probe && metricindex.Admit(dist[id], radius[id], ub) {
-			gatherIDs = append(gatherIDs, id)
+		wave2[id] = metricindex.AdmitSub(dist[id], ub, radius[id], contacted[id])
+		if len(wave2[id]) > 0 {
+			wave2Any = true
+			contacts += int64(len(wave2[id]))
 		}
 	}
 	rounds := 1
-	if len(gatherIDs) > 0 {
+	if wave2Any {
 		rounds = 2
-		job2, rep2 := sched.dispatchDirect(q, gatherIDs)
+		job2, rep2 := sched.dispatchDirectWave(q, wave2)
 		if job2 == nil {
 			return rep2
 		}
@@ -843,30 +960,59 @@ func (sched *scheduler) pruned(q wire.Query, dist, radius []float64) wire.Reply 
 		if job2.rep.Err != "" {
 			return job2.rep
 		}
-		items = append(items, job2.rep.Results[0].Items...)
-		points.SortItems(items)
-	}
-	if len(items) > q.L {
-		items = items[:q.L]
+		collectShares(got, job2)
+		for pi := range got {
+			sortSrcItems(got[pi])
+		}
 	}
 
-	qr := wire.QueryReply{Items: items}
-	qr.Boundary = items[len(items)-1].Key
-	if q.Op == wire.OpClassify {
-		qr.Value = classifyItems(items)
-		qr.Items = nil
+	results := make([]wire.QueryReply, n)
+	for pi := range results {
+		items := got[pi]
+		if len(items) > q.L {
+			items = items[:q.L]
+		}
+		qr := &results[pi]
+		qr.Boundary = items[len(items)-1].Key
+		switch q.Op {
+		case wire.OpKNN:
+			flat := make([]points.Item, len(items))
+			for i, it := range items {
+				flat[i] = it.Item
+			}
+			qr.Items = flat
+		case wire.OpClassify:
+			qr.Value = classifyItems(items)
+		case wire.OpRegress:
+			qr.Value = regressItems(items, f.k, f.leader)
+		}
 	}
 	return wire.Reply{
 		Rounds:   rounds,
-		Messages: int64(1 + len(gatherIDs)),
+		Messages: contacts,
 		Leader:   f.leader,
-		Results:  []wire.QueryReply{qr},
+		Results:  results,
+	}
+}
+
+// collectShares unpacks one direct wave's raw node results into the
+// per-point gather: a node's result entries map by position through the
+// sub-batch the wave sent it (deliver has already verified the counts
+// match).
+func collectShares(got [][]srcItem, job *epochJob) {
+	for _, nr := range job.shares {
+		sub := job.sub[nr.Node]
+		for si, qr := range nr.Queries {
+			for _, it := range qr.Winners {
+				got[sub[si]] = append(got[sub[si]], srcItem{Item: it, seat: nr.Node})
+			}
+		}
 	}
 }
 
 // classifyItems replicates core.Classify's aggregation over the merged
 // global winners: the most frequent label, ties toward the smallest.
-func classifyItems(items []points.Item) float64 {
+func classifyItems(items []srcItem) float64 {
 	hist := make(map[float64]int64, 4)
 	for _, it := range items {
 		hist[it.Label]++
@@ -886,15 +1032,62 @@ func classifyItems(items []points.Item) float64 {
 	return best
 }
 
-// dispatchDirect assigns an epoch ordinal and ships a direct (no-mesh)
-// dispatch of q to exactly the target seats, registering a collation job
-// that expects one result frame per target. It mirrors dispatch with one
+// regressItems replays core.Regress's leader-side fold bit-for-bit over the
+// merged global winners. In a full-scatter epoch each seat's winner share
+// is exactly its slice of the global top-ℓ in ascending key order: the
+// leader folds its own share item by item from zero, then adds the other
+// seats' partial sums — a seat with no winners sends an exact 0.0 — in the
+// mesh's deterministic delivery order, ascending seat id. The pruned path
+// holds the same items tagged with their source seats, so it rebuilds each
+// seat's partial in ascending key order (the iteration order of the sorted
+// merge) and folds the partials in the same sequence; a seat the admission
+// test pruned holds no global winners by the metric-index argument, so its
+// implied 0.0 partial matches full scatter too. float64 addition is neither
+// associative nor commutative under rounding, which is why the order is
+// pinned this precisely.
+func regressItems(items []srcItem, k, leader int) float64 {
+	partial := make([]float64, k)
+	count := make([]int64, k)
+	for _, it := range items {
+		partial[it.seat] += it.Label
+		count[it.seat]++
+	}
+	sum, total := partial[leader], count[leader]
+	for id := 0; id < k; id++ {
+		if id != leader {
+			sum += partial[id]
+			total += count[id]
+		}
+	}
+	return sum / float64(total)
+}
+
+// dispatchDirectWave assigns an epoch ordinal and ships one direct
+// (no-mesh) wave of a pruned query: seat id receives exactly the sub-batch
+// subs[id] of q's points, and a seat with an empty sub-batch is not
+// contacted at all. When every contacted seat receives the full batch —
+// always true for a single-point query — the wave is encoded once as a
+// KindDispatchDirect frame and fanned out; otherwise each target gets its
+// own KindDispatchDirectSub frame carrying its sub-batch and the points'
+// original indices. A collation job expecting one result frame per target
+// is registered before any write. The wave mirrors dispatch with one
 // deliberate difference: only the targets must be present. A missing target
 // fails the query with the retryable degraded reply naming it; any other
 // absent seat is invisible here, because the admission test already proved
-// its shard irrelevant to this query.
-func (sched *scheduler) dispatchDirect(q wire.Query, targets []int) (*epochJob, wire.Reply) {
+// its shard irrelevant to this wave.
+func (sched *scheduler) dispatchDirectWave(q wire.Query, subs [][]int) (*epochJob, wire.Reply) {
 	f := sched.f
+	var targets []int
+	full := true
+	for id, sub := range subs {
+		if len(sub) == 0 {
+			continue
+		}
+		targets = append(targets, id)
+		if len(sub) != len(q.Points) {
+			full = false
+		}
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.slots == nil || f.closed.Load() {
@@ -919,22 +1112,61 @@ func (sched *scheduler) dispatchDirect(q wire.Query, targets []int) (*epochJob, 
 	}
 	f.epoch++
 	epoch := f.epoch
-	dw := wire.GetWriter()
-	dw.BeginFrame()
-	wire.AppendDispatchDirect(dw, epoch, q)
-	frame, ferr := dw.FinishFrame()
-	if ferr != nil {
-		wire.PutWriter(dw)
-		return nil, wire.Reply{Err: fmt.Sprintf("dispatch too large: %v", ferr)}
+	// Frame building reuses the pooled writers of the scatter path. A full
+	// wave is the encode-once fan-out: one read-only frame shared by every
+	// write below. A sub-batched wave builds one frame per target (each
+	// carries different points); the writers stay checked out until the
+	// writes are done, because the framed bytes alias their buffers.
+	writers := make([]*wire.Writer, 0, len(targets))
+	defer func() {
+		for _, dw := range writers {
+			wire.PutWriter(dw)
+		}
+	}()
+	frames := make([][]byte, len(targets))
+	if full {
+		dw := wire.GetWriter()
+		dw.BeginFrame()
+		wire.AppendDispatchDirect(dw, epoch, q)
+		frame, ferr := dw.FinishFrame()
+		if ferr != nil {
+			wire.PutWriter(dw)
+			return nil, wire.Reply{Err: fmt.Sprintf("dispatch too large: %v", ferr)}
+		}
+		writers = append(writers, dw)
+		for i := range frames {
+			frames[i] = frame
+		}
+	} else {
+		var pts [][]byte
+		for i, id := range targets {
+			sub := subs[id]
+			pts = pts[:0]
+			for _, pi := range sub {
+				pts = append(pts, q.Points[pi])
+			}
+			dw := wire.GetWriter()
+			dw.BeginFrame()
+			wire.AppendDispatchDirectSub(dw, epoch, sub, wire.Query{Op: q.Op, L: q.L, Tag: q.Tag, Points: pts})
+			frame, ferr := dw.FinishFrame()
+			if ferr != nil {
+				wire.PutWriter(dw)
+				return nil, wire.Reply{Err: fmt.Sprintf("dispatch too large: %v", ferr)}
+			}
+			writers = append(writers, dw)
+			frames[i] = frame
+		}
 	}
-	defer wire.PutWriter(dw)
 	job := &epochJob{
 		epoch:  epoch,
 		q:      q,
 		direct: true,
+		sub:    make(map[int][]int, len(targets)),
 		expect: make([]uint64, f.k),
-		rep:    wire.Reply{Results: make([]wire.QueryReply, len(q.Points))},
 		done:   make(chan struct{}),
+	}
+	for _, id := range targets {
+		job.sub[id] = subs[id]
 	}
 	sched.mu.Lock()
 	if sched.closed {
@@ -946,23 +1178,34 @@ func (sched *scheduler) dispatchDirect(q wire.Query, targets []int) (*epochJob, 
 		job.expectSet(id, f.slots[id].gen)
 	}
 	sched.mu.Unlock()
-	// Concurrent bounded writes, exactly like dispatch: a target that
-	// stopped draining its control connection loses its seat within one
-	// deadline instead of wedging the frontend.
+	// Bounded writes, exactly like dispatch: a target that stopped draining
+	// its control connection loses its seat within one deadline instead of
+	// wedging the frontend. A one-target wave — the common case for a
+	// pruned single query — writes inline, skipping the goroutine fan-out
+	// and its allocations.
 	writeErrs := make([]error, len(targets))
-	var writes sync.WaitGroup
-	for i, id := range targets {
-		writes.Add(1)
-		go func(i int, s *feSlot) {
-			defer writes.Done()
-			s.conn.SetWriteDeadline(time.Now().Add(dispatchTimeout))
-			_, writeErrs[i] = s.conn.Write(frame)
-			if writeErrs[i] == nil {
-				s.conn.SetWriteDeadline(time.Time{})
-			}
-		}(i, f.slots[id])
+	if len(targets) == 1 {
+		s := f.slots[targets[0]]
+		s.conn.SetWriteDeadline(time.Now().Add(dispatchTimeout))
+		_, writeErrs[0] = s.conn.Write(frames[0])
+		if writeErrs[0] == nil {
+			s.conn.SetWriteDeadline(time.Time{})
+		}
+	} else {
+		var writes sync.WaitGroup
+		for i, id := range targets {
+			writes.Add(1)
+			go func(i int, s *feSlot) {
+				defer writes.Done()
+				s.conn.SetWriteDeadline(time.Now().Add(dispatchTimeout))
+				_, writeErrs[i] = s.conn.Write(frames[i])
+				if writeErrs[i] == nil {
+					s.conn.SetWriteDeadline(time.Time{})
+				}
+			}(i, f.slots[id])
+		}
+		writes.Wait()
 	}
-	writes.Wait()
 	sched.mu.Lock()
 	for i, id := range targets {
 		if err := writeErrs[i]; err != nil {

@@ -317,6 +317,23 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 				runDirectEpoch(epoch, q, h, a.id, writeCtrl, coord)
 				wire.PutFrameBuf(payload)
 			}()
+		case wire.KindDispatchDirectSub:
+			// One shard's sub-batch of a pruned batch epoch: answered exactly
+			// like a direct dispatch (no mesh, no seed), one winners-only
+			// result entry per sub-batch point in sub-batch order. The
+			// original batch indices are the frontend's bookkeeping — it maps
+			// this node's replies by position — so they are validated and
+			// dropped here.
+			epoch, _, q, err := wire.DecodeDispatchDirectSub(r)
+			if err != nil {
+				return fmt.Errorf("tcp: node %d bad sub-batch dispatch: %w", a.id, err)
+			}
+			epochs.Add(1)
+			go func() {
+				defer epochs.Done()
+				runDirectEpoch(epoch, q, h, a.id, writeCtrl, coord)
+				wire.PutFrameBuf(payload)
+			}()
 		default:
 			return fmt.Errorf("tcp: node %d got unexpected control kind %d", a.id, kind)
 		}

@@ -115,6 +115,39 @@ func BenchmarkReplyFramePath(b *testing.B) {
 	}
 }
 
+// BenchmarkDirectDispatchFramePath is the pruned dispatch's wave encoding:
+// a pooled writer frames one KindDispatchDirect fan-out frame plus one
+// KindDispatchDirectSub sub-batch frame per iteration, the way a two-wave
+// pruned batch builds them. The encode+frame side must stay at zero
+// steady-state allocs/op, like the scatter path it reuses.
+func BenchmarkDirectDispatchFramePath(b *testing.B) {
+	pts := make([][]byte, 16)
+	for i := range pts {
+		pts[i] = EncodeScalarPoint(uint64(1000 * i))
+	}
+	q := Query{Op: OpKNN, L: 10, Tag: PointScalar, Points: pts}
+	sub := []int{1, 3, 4, 7, 11}
+	subQ := Query{Op: OpKNN, L: 10, Tag: PointScalar, Points: pts[:len(sub)]}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := GetWriter()
+		w.BeginFrame()
+		AppendDispatchDirect(w, uint64(i), q)
+		if _, err := w.FinishFrame(); err != nil {
+			b.Fatal(err)
+		}
+		PutWriter(w)
+
+		w = GetWriter()
+		w.BeginFrame()
+		AppendDispatchDirectSub(w, uint64(i), sub, subQ)
+		if err := w.EndFrame(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		PutWriter(w)
+	}
+}
+
 // BenchmarkEncodeReplyLegacy is the pre-pooling baseline for comparison:
 // a fresh encode + copying WriteFrame per reply.
 func BenchmarkEncodeReplyLegacy(b *testing.B) {

@@ -41,6 +41,44 @@ func FuzzDecodeQuery(f *testing.F) {
 	})
 }
 
+// FuzzDecodeDispatchDirectSub covers the pruned sub-batch dispatch: the
+// epoch and original-index prefix plus the shared query body decoder.
+func FuzzDecodeDispatchDirectSub(f *testing.F) {
+	f.Add(EncodeDispatchDirectSub(1, []int{0, 2}, Query{
+		Op: OpKNN, L: 10, Tag: PointScalar,
+		Points: [][]byte{EncodeScalarPoint(12345), EncodeScalarPoint(5)},
+	})[1:])
+	f.Add(EncodeDispatchDirectSub(7, []int{3}, Query{
+		Op: OpRegress, L: 2, Tag: PointVector,
+		Points: [][]byte{EncodeVectorPoint(points.Vector{0.5, 1.5})},
+	})[1:])
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 0}) // index count beyond payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		epoch, index, q, err := DecodeDispatchDirectSub(NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(index) != len(q.Points) {
+			t.Fatalf("decoder admitted %d indices for %d points", len(index), len(q.Points))
+		}
+		for _, qi := range index {
+			if qi < 0 || qi >= MaxBatch {
+				t.Fatalf("decoder admitted out-of-range index %d", qi)
+			}
+		}
+		enc := EncodeDispatchDirectSub(epoch, index, q)
+		r2 := skipKind(t, enc, KindDispatchDirectSub)
+		epoch2, index2, q2, err := DecodeDispatchDirectSub(r2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeDispatchDirectSub(epoch2, index2, q2), enc) {
+			t.Fatalf("sub-batch dispatch is not a re-encoding fixed point")
+		}
+	})
+}
+
 func FuzzDecodeNodeResult(f *testing.F) {
 	f.Add(EncodeNodeResult(NodeResult{
 		Epoch: 1, Node: 0, Rounds: 26, Messages: 44, Bytes: 745, IsLeader: true,

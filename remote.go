@@ -614,15 +614,23 @@ type FrontendOptions struct {
 	// MaxServerBatch caps a coalesced batch (default 64, at most
 	// wire.MaxBatch); a full batch flushes immediately.
 	MaxServerBatch int
-	// Pruner enables metric-index pruned dispatch for single-point KNN and
-	// Classify queries: probe the shard nearest the query, bound its ℓ-th
-	// neighbor distance, and contact only the shards whose centroid ball
-	// can intersect that bound — answers stay bit-identical to full
-	// scatter. Pass the served PointType's Pruner(); nil (or a point type
-	// without pruning geometry, like cosine) keeps every query on the
-	// full-scatter path. Pruning pays off when shards are metrically tight,
-	// e.g. built by the anchor-clustered shard providers.
+	// Pruner enables metric-index pruned dispatch for every query shape —
+	// KNN, Classify and Regress, single points and whole batches: each
+	// point probes its nearest shard(s) to bound its ℓ-th neighbor
+	// distance, then only the shards whose centroid ball can intersect
+	// that bound receive the point, with a shard needed by no point of a
+	// batch skipped entirely — answers stay bit-identical to full scatter.
+	// Pass the served PointType's Pruner(); nil (or a point type without
+	// pruning geometry, like cosine) keeps every query on the full-scatter
+	// path. Pruning pays off when shards are metrically tight, e.g. built
+	// by the anchor-clustered shard providers.
 	Pruner Pruner
+	// Probes is how many nearest shards each point contacts in the pruned
+	// path's bounding wave (default 1). More probes tighten the admission
+	// bound on overlapping clusters at the cost of more wave-1 contacts;
+	// answers are bit-identical for any value. Only meaningful with
+	// Pruner.
+	Probes int
 }
 
 func (o FrontendOptions) lower() tcp.FrontendOptions {
@@ -632,6 +640,7 @@ func (o FrontendOptions) lower() tcp.FrontendOptions {
 		Linger:         o.Linger,
 		MaxServerBatch: o.MaxServerBatch,
 		Pruner:         o.Pruner,
+		Probes:         o.Probes,
 	}
 }
 
@@ -778,9 +787,12 @@ func (rc *RemoteCluster[P]) do(op uint8, qs []P, l int) (wire.Reply, error) {
 }
 
 // remoteStats folds the epoch-wide costs and one query's outcome into the
-// QueryStats shape the in-process Cluster reports.
+// QueryStats shape the in-process Cluster reports. A pruned dispatch is
+// recognizable by Bytes == 0 — it runs no mesh epoch, and its Messages count
+// node contacts rather than mesh messages — so that count is surfaced as
+// Contacts too.
 func remoteStats(rep wire.Reply, qr wire.QueryReply) *QueryStats {
-	return &QueryStats{
+	st := &QueryStats{
 		Rounds:     rep.Rounds,
 		Messages:   rep.Messages,
 		Bytes:      rep.Bytes,
@@ -790,6 +802,10 @@ func remoteStats(rep wire.Reply, qr wire.QueryReply) *QueryStats {
 		FellBack:   qr.FellBack,
 		Iterations: qr.Iterations,
 	}
+	if rep.Bytes == 0 {
+		st.Contacts = rep.Messages
+	}
+	return st
 }
 
 // KNN returns the exact ℓ nearest neighbors of q in ascending distance
@@ -880,6 +896,9 @@ func (rc *RemoteCluster[P]) KNNBatch(queries []P, l int) ([]BatchResult, *QueryS
 		stats.Messages += rep.Messages
 		stats.Bytes += rep.Bytes
 		stats.Leader = rep.Leader
+		if rep.Bytes == 0 {
+			stats.Contacts += rep.Messages
+		}
 	}
 	return out, stats, nil
 }

@@ -12,6 +12,7 @@ import (
 	"distknn/internal/metricindex"
 	"distknn/internal/points"
 	"distknn/internal/testutil"
+	"distknn/internal/wire"
 	"distknn/internal/xrand"
 )
 
@@ -182,8 +183,9 @@ func TestPrunedVectorBitIdentical(t *testing.T) {
 	}
 	compareClassify(t, pruned, full, cqs, l)
 
-	// Regression is deliberately not prunable (float summation order); the
-	// pruned frontend must fall back to full scatter and still agree.
+	// Regression rides the pruned path too, replaying the mesh's per-seat
+	// summation fold — TestPrunedRegressBitIdentical pins the bits; this is
+	// the smoke check that the values agree at all.
 	for i := 0; i < 5; i++ {
 		q := vectorQueryAt(seed, dim, 7000+i)
 		pv, _, err := pruned.Regress(q, l)
@@ -324,6 +326,318 @@ func TestPrunedDispatchConcurrent(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+}
+
+// comparePrunedBatch is the batch-epoch twin of comparePruned: it sends the
+// query stream through KNNBatch in chunks of `batch` to both frontends and
+// requires bit-identical neighbors and boundaries on every query. It also
+// audits the pruned stats convention for batches — Contacts is the total of
+// per-point node contacts, so it must sit in [chunk, k·chunk] whenever the
+// pruned path answered — and returns the total contacts across the stream
+// (counting k per query for chunks that fell back to scatter).
+func comparePrunedBatch[P any](t *testing.T, pruned, full *distknn.RemoteCluster[P], k int, queries []P, l, batch int) int64 {
+	t.Helper()
+	var contacts int64
+	for at := 0; at < len(queries); at += batch {
+		end := at + batch
+		if end > len(queries) {
+			end = len(queries)
+		}
+		chunk := queries[at:end]
+		pres, pstats, err := pruned.KNNBatch(chunk, l)
+		if err != nil {
+			t.Fatalf("pruned batch at %d: %v", at, err)
+		}
+		fres, _, err := full.KNNBatch(chunk, l)
+		if err != nil {
+			t.Fatalf("full batch at %d: %v", at, err)
+		}
+		if len(pres) != len(chunk) || len(fres) != len(chunk) {
+			t.Fatalf("batch at %d: %d pruned / %d full results for %d queries", at, len(pres), len(fres), len(chunk))
+		}
+		for i := range chunk {
+			if pres[i].Boundary != fres[i].Boundary {
+				t.Fatalf("batch query %d: pruned boundary %v != full %v", at+i, pres[i].Boundary, fres[i].Boundary)
+			}
+			if len(pres[i].Neighbors) != len(fres[i].Neighbors) {
+				t.Fatalf("batch query %d: pruned %d items, full %d", at+i, len(pres[i].Neighbors), len(fres[i].Neighbors))
+			}
+			for j := range fres[i].Neighbors {
+				if pres[i].Neighbors[j] != fres[i].Neighbors[j] {
+					t.Fatalf("batch query %d item %d: pruned %+v != full %+v", at+i, j, pres[i].Neighbors[j], fres[i].Neighbors[j])
+				}
+			}
+		}
+		if pstats.Contacts > 0 {
+			if pstats.Contacts < int64(len(chunk)) || pstats.Contacts > int64(k*len(chunk)) {
+				t.Fatalf("batch at %d: %d contacts for %d queries on %d nodes", at, pstats.Contacts, len(chunk), k)
+			}
+			contacts += pstats.Contacts
+		} else {
+			contacts += int64(k * len(chunk))
+		}
+	}
+	return contacts
+}
+
+// TestPrunedBatchScalarBitIdentical runs the KNNBatch metamorphic check on
+// anchor-clustered scalar shards across ragged batch sizes, including
+// batches that do not divide the stream.
+func TestPrunedBatchScalarBitIdentical(t *testing.T) {
+	const (
+		k       = 4
+		perNode = 120
+		seed    = 1009
+		queries = 61
+		l       = 9
+	)
+	pruned, full := prunedTwins(t, distknn.ScalarPoints(), k, seed, distknn.AnchorShards(seed, perNode))
+	qs := make([]distknn.Scalar, queries)
+	for i := range qs {
+		qs[i] = pruneScalarQuery(seed, i)
+	}
+	for _, batch := range []int{1, 2, 7, 16, queries} {
+		comparePrunedBatch(t, pruned, full, k, qs, l, batch)
+	}
+}
+
+// TestPrunedBatchVectorPrunes is the favorable-regime batch check: on
+// well-separated Gaussian blobs the batched pruned path must stay
+// bit-identical AND contact well under k nodes per query.
+func TestPrunedBatchVectorPrunes(t *testing.T) {
+	const (
+		k       = 6
+		perNode = 80
+		dim     = 3
+		sigma   = 0.02
+		seed    = 31337
+		queries = 48
+		l       = 7
+	)
+	shards := distknn.AnchorGaussianShards(seed, perNode, dim, sigma)
+	pruned, full := prunedTwins(t, distknn.VectorPoints(), k, seed, shards)
+	qs := gaussianQueries(seed, queries, k, perNode, dim, sigma)
+	for _, batch := range []int{3, 16} {
+		contacts := comparePrunedBatch(t, pruned, full, k, qs, l, batch)
+		if contacts >= int64(k*queries) {
+			t.Fatalf("batch=%d: %d contacts for %d queries on %d well-separated blobs — batch pruning never engaged",
+				batch, contacts, queries, k)
+		}
+		t.Logf("batch=%d: %.2f nodes contacted per query", batch, float64(contacts)/float64(queries))
+	}
+}
+
+// TestPrunedBatchBitVectorBitIdentical covers the batched medoid path:
+// Hamming shards summarized around approximate medoids barely prune, but a
+// batch's answers must not move.
+func TestPrunedBatchBitVectorBitIdentical(t *testing.T) {
+	const (
+		k       = 3
+		perNode = 100
+		words   = 2
+		seed    = 404
+		queries = 30
+		l       = 6
+	)
+	pruned, full := prunedTwins(t, distknn.BitVectorPoints(), k, seed, distknn.UniformBitVectorShards(seed, perNode, words))
+	qs := make([]distknn.BitVector, queries)
+	for i := range qs {
+		qs[i] = bitVectorQueryAt(seed, words, i)
+	}
+	for _, batch := range []int{4, 13} {
+		comparePrunedBatch(t, pruned, full, k, qs, l, batch)
+	}
+}
+
+// TestPrunedBatchMaxBatchBoundary pushes one KNNBatch across the
+// wire.MaxBatch chunking boundary: the client splits it into a full
+// wire-limit chunk plus a ragged tail, and every answer must still match
+// the full-scatter twin bit for bit.
+func TestPrunedBatchMaxBatchBoundary(t *testing.T) {
+	const (
+		k       = 3
+		perNode = 40
+		seed    = 52
+		l       = 3
+	)
+	pruned, full := prunedTwins(t, distknn.ScalarPoints(), k, seed, distknn.AnchorShards(seed, perNode))
+	qs := make([]distknn.Scalar, wire.MaxBatch+5)
+	for i := range qs {
+		qs[i] = pruneScalarQuery(seed, i)
+	}
+	comparePrunedBatch(t, pruned, full, k, qs, l, len(qs))
+}
+
+// TestPrunedRegressBitIdentical pins the pruned Regress fold: the mean is a
+// float64 summation whose rounding depends on evaluation order, so
+// bit-equality (math.Float64bits, not ==) across pruned and full scatter
+// proves the frontend replays the mesh's leader fold exactly — per-seat
+// partials in ascending key order, folded in ascending seat order with 0.0
+// for seats holding no winners. The Gaussian workload also checks that some
+// of those pruned Regress queries really skipped nodes.
+func TestPrunedRegressBitIdentical(t *testing.T) {
+	const (
+		k       = 6
+		perNode = 80
+		dim     = 3
+		sigma   = 0.02
+		seed    = 90210
+		queries = 40
+		l       = 7
+	)
+	shards := distknn.AnchorGaussianShards(seed, perNode, dim, sigma)
+	pruned, full := prunedTwins(t, distknn.VectorPoints(), k, seed, shards)
+	qs := gaussianQueries(seed, queries, k, perNode, dim, sigma)
+	prunedCount := 0
+	for i, q := range qs {
+		pv, pstats, err := pruned.Regress(q, l)
+		if err != nil {
+			t.Fatalf("pruned regress %d: %v", i, err)
+		}
+		fv, _, err := full.Regress(q, l)
+		if err != nil {
+			t.Fatalf("full regress %d: %v", i, err)
+		}
+		if math.Float64bits(pv) != math.Float64bits(fv) {
+			t.Fatalf("regress %d: pruned %x != full %x (%g vs %g)",
+				i, math.Float64bits(pv), math.Float64bits(fv), pv, fv)
+		}
+		if pstats.Bytes == 0 && pstats.Messages < int64(k) {
+			prunedCount++
+		}
+	}
+	if prunedCount == 0 {
+		t.Fatalf("no regress query of %d skipped a node on %d well-separated blobs", queries, k)
+	}
+
+	// The unfavorable scalar control: uniform data, wide balls, same bits.
+	spruned, sfull := prunedTwins(t, distknn.ScalarPoints(), 4, seed+1, distknn.AnchorShards(seed+1, 100))
+	for i := 0; i < 25; i++ {
+		q := pruneScalarQuery(seed+1, 600+i)
+		pv, _, err := spruned.Regress(q, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fv, _, err := sfull.Regress(q, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(pv) != math.Float64bits(fv) {
+			t.Fatalf("scalar regress %d: pruned %x != full %x", i, math.Float64bits(pv), math.Float64bits(fv))
+		}
+	}
+}
+
+// TestPrunedMultiProbeBitIdentical sweeps FrontendOptions.Probes: a wider
+// bounding wave changes where queries travel (and how tight the wave-2
+// admission is), never what they return — including a Probes beyond the
+// cluster size, which clamps to probing everything.
+func TestPrunedMultiProbeBitIdentical(t *testing.T) {
+	const (
+		k       = 5
+		perNode = 80
+		dim     = 3
+		sigma   = 0.03
+		seed    = 424242
+		queries = 30
+		l       = 6
+	)
+	shards := distknn.AnchorGaussianShards(seed, perNode, dim, sigma)
+	_, full := testutil.StartCluster(t, distknn.VectorPoints(), k, seed, shards,
+		distknn.NodeOptions{}, distknn.FrontendOptions{})
+	qs := gaussianQueries(seed, queries, k, perNode, dim, sigma)
+	for _, probes := range []int{2, k + 3} {
+		_, pruned := testutil.StartCluster(t, distknn.VectorPoints(), k, seed, shards,
+			distknn.NodeOptions{}, distknn.FrontendOptions{Pruner: distknn.VectorPoints().Pruner(), Probes: probes})
+		comparePruned(t, pruned, full, k, qs, l)
+		comparePrunedBatch(t, pruned, full, k, qs, l, 8)
+		for i := 0; i < 10; i++ {
+			pv, _, err := pruned.Regress(qs[i], l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fv, _, err := full.Regress(qs[i], l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(pv) != math.Float64bits(fv) {
+				t.Fatalf("probes=%d regress %d: pruned %x != full %x", probes, i, math.Float64bits(pv), math.Float64bits(fv))
+			}
+		}
+	}
+}
+
+// TestPrunedServerBatchBitIdentical composes the two batching layers:
+// a pruned frontend with server-side coalescing answers concurrently
+// arriving single queries as pruned batch epochs (the coalesced bucket
+// routes through the same two-wave path as a client batch), and every
+// answer must match the plain full-scatter twin bit for bit.
+func TestPrunedServerBatchBitIdentical(t *testing.T) {
+	const (
+		k       = 5
+		perNode = 80
+		dim     = 3
+		sigma   = 0.03
+		seed    = 1717
+		queries = 24
+		l       = 5
+	)
+	shards := distknn.AnchorGaussianShards(seed, perNode, dim, sigma)
+	_, full := testutil.StartCluster(t, distknn.VectorPoints(), k, seed, shards,
+		distknn.NodeOptions{}, distknn.FrontendOptions{})
+	_, pruned := testutil.StartCluster(t, distknn.VectorPoints(), k, seed, shards,
+		distknn.NodeOptions{}, distknn.FrontendOptions{
+			Pruner:      distknn.VectorPoints().Pruner(),
+			ServerBatch: true,
+			Linger:      2 * time.Millisecond,
+		})
+
+	qs := gaussianQueries(seed, queries, k, perNode, dim, sigma)
+	want := make([][]distknn.Item, queries)
+	wantVal := make([]uint64, queries)
+	for i, q := range qs {
+		items, _, err := full.KNN(q, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = items
+		v, _, err := full.Regress(q, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVal[i] = math.Float64bits(v)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range qs {
+				items, _, err := pruned.KNN(q, l)
+				if err != nil {
+					t.Errorf("coalesced pruned query %d: %v", i, err)
+					return
+				}
+				for j := range want[i] {
+					if items[j] != want[i][j] {
+						t.Errorf("query %d item %d: coalesced pruned %+v != full %+v", i, j, items[j], want[i][j])
+						return
+					}
+				}
+				v, _, err := pruned.Regress(q, l)
+				if err != nil {
+					t.Errorf("coalesced pruned regress %d: %v", i, err)
+					return
+				}
+				if math.Float64bits(v) != wantVal[i] {
+					t.Errorf("regress %d: coalesced pruned %x != full %x", i, math.Float64bits(v), wantVal[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // scalarGeom mirrors, client-side, the exact geometry the pruned frontend
@@ -528,5 +842,90 @@ func TestPrunedChurn(t *testing.T) {
 		if err := <-nodeDone; err != nil {
 			t.Fatalf("re-joined node exited with %v", err)
 		}
+	}
+}
+
+// TestPrunedBatchChurn is the batch half of the churn suite: a batch's
+// contact set is the union of its points' contact sets, so a dead seat that
+// no point of the batch probes or admits must not fail the batch — it keeps
+// answering bit-identically — while a batch that includes even one point
+// needing the dead seat fails whole with the retryable degraded error.
+func TestPrunedBatchChurn(t *testing.T) {
+	const (
+		k       = 5
+		perNode = 150
+		seed    = 6061
+		l       = 6
+	)
+	shards := distknn.AnchorShards(seed, perNode)
+	g := newScalarGeom(seed, k, perNode)
+
+	// Collect a batch of queries that all provably avoid some common seat W.
+	victimW := -1
+	var farBatch []distknn.Scalar
+	for w := 0; w < k && victimW < 0; w++ {
+		farBatch = farBatch[:0]
+		for i := 0; i < 800 && len(farBatch) < 7; i++ {
+			q := pruneScalarQuery(seed, 12000+i)
+			if !g.contacts(q, l)[w] {
+				farBatch = append(farBatch, q)
+			}
+		}
+		if len(farBatch) == 7 {
+			victimW = w
+		}
+	}
+	if victimW < 0 {
+		t.Fatal("workload yields no seat avoided by 7 queries — victim unfindable")
+	}
+
+	_, full := testutil.StartCluster(t, distknn.ScalarPoints(), k, seed, shards,
+		distknn.NodeOptions{}, distknn.FrontendOptions{})
+	srv, err := distknn.ServeTypedLocalOptions(distknn.ScalarPoints(), k, seed, shards,
+		distknn.NodeOptions{}, distknn.FrontendOptions{Pruner: distknn.ScalarPoints().Pruner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rc, err := distknn.DialTypedClusterOptions(distknn.ScalarPoints(), srv.Addr(), distknn.ClientOptions{NoRetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	checkBatch := func() {
+		t.Helper()
+		pres, _, err := rc.KNNBatch(farBatch, l)
+		if err != nil {
+			t.Fatalf("pruned batch: %v", err)
+		}
+		fres, _, err := full.KNNBatch(farBatch, l)
+		if err != nil {
+			t.Fatalf("full batch: %v", err)
+		}
+		for i := range farBatch {
+			if pres[i].Boundary != fres[i].Boundary {
+				t.Fatalf("batch query %d: pruned boundary %v != full %v", i, pres[i].Boundary, fres[i].Boundary)
+			}
+			for j := range fres[i].Neighbors {
+				if pres[i].Neighbors[j] != fres[i].Neighbors[j] {
+					t.Fatalf("batch query %d item %d: pruned %+v != full %+v", i, j, pres[i].Neighbors[j], fres[i].Neighbors[j])
+				}
+			}
+		}
+	}
+	checkBatch()
+
+	// Kill W. The far batch touches no dead seat and must keep answering.
+	if err := srv.EvictNode(victimW); err != nil {
+		t.Fatal(err)
+	}
+	checkBatch()
+
+	// A batch that smuggles in W's own anchor point needs the corpse: its
+	// admission ball reaches W (distance 0), so the whole batch degrades.
+	needy := append(append([]distknn.Scalar{}, farBatch...), g.centers[victimW])
+	if _, _, err := rc.KNNBatch(needy, l); err == nil || !errors.Is(err, distknn.ErrClusterDegraded) {
+		t.Fatalf("batch needing a dead node: got %v, want a degraded error", err)
 	}
 }
