@@ -1,0 +1,23 @@
+// Command knnlint is the repository's static-invariant gate: a vet tool
+// (usable via `go vet -vettool`) bundling the knnlint analyzer suite —
+// detsource, kindswitch, poolown, lockio and fpsum — which together keep
+// the cluster's determinism, wire-dispatch and data-plane contracts
+// enforceable at compile time. See docs/ARCHITECTURE.md, "Static
+// invariants".
+//
+// Usage:
+//
+//	go build -o bin/knnlint ./cmd/knnlint
+//	go vet -vettool=bin/knnlint ./...
+//
+// or locally via scripts/lint.sh, which runs the identical gate CI runs.
+package main
+
+import (
+	"distknn/internal/analysis/registry"
+	"distknn/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(registry.All()...)
+}

@@ -1,0 +1,253 @@
+// Package analyzertest runs knnlint analyzers over fixture packages, in
+// the style of golang.org/x/tools/go/analysis/analysistest but with no
+// dependency outside the standard library. Fixtures live under
+// testdata/src/<import path>/ and annotate the lines they expect
+// diagnostics on with trailing comments:
+//
+//	time.Now() // want `time.Now in determinism-critical package`
+//
+// A want comment holds one or more regular expressions (quoted or
+// backquoted); each must be matched by a diagnostic reported on the same
+// line, and every diagnostic must be claimed by a want. Block-comment form
+// (`/* want "..." */`) is for lines that already end in a line comment —
+// notably //knnlint:allow directives under hygiene test.
+//
+// Imports inside fixtures resolve against the same testdata/src tree, so
+// fixtures depend only on stub packages checked in next to them (stub
+// time, sync, net, math/rand/v2, and distknn/internal/wire) and the tests
+// stay hermetic: no export data, no GOPATH, no network.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"distknn/internal/analysis/knnlint"
+	"distknn/internal/analysis/registry"
+)
+
+// Run loads each fixture package beneath srcRoot/src, applies the single
+// analyzer a through the knnlint driver (so //knnlint:allow filtering and
+// directive hygiene run exactly as in cmd/knnlint), and checks the
+// reported diagnostics against the fixtures' want comments.
+func Run(t *testing.T, srcRoot string, a *knnlint.Analyzer, importPaths ...string) {
+	t.Helper()
+	var known []string
+	for _, reg := range registry.All() {
+		known = append(known, reg.Name)
+	}
+	l := newLoader(filepath.Join(srcRoot, "src"))
+	for _, path := range importPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := knnlint.Run(l.fset, pkg.files, pkg.pkg, pkg.info,
+			[]*knnlint.Analyzer{a}, known)
+		if err != nil {
+			t.Fatalf("running %s over %s: %v", a.Name, path, err)
+		}
+		checkDiags(t, l.fset, pkg.files, diags)
+	}
+}
+
+// want is one expected-diagnostic annotation.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	text    string
+	matched bool
+}
+
+func checkDiags(t *testing.T, fset *token.FileSet, files []*ast.File, diags []knnlint.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	byLine := make(map[string][]*want)
+	for i := range wants {
+		w := &wants[i]
+		byLine[key(w.file, w.line)] = append(byLine[key(w.file, w.line)], w)
+	}
+	for _, d := range diags {
+		claimed := false
+		for _, w := range byLine[key(d.Pos.Filename, d.Pos.Line)] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// collectWants extracts every want annotation from the files' comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var ws []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body := c.Text
+				if strings.HasPrefix(body, "//") {
+					body = body[2:]
+				} else {
+					body = strings.TrimSuffix(strings.TrimPrefix(body, "/*"), "*/")
+				}
+				body = strings.TrimSpace(body)
+				rest, ok := strings.CutPrefix(body, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, rest) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					ws = append(ws, want{file: pos.Filename, line: pos.Line, rx: rx, text: pat})
+				}
+			}
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].file != ws[j].file {
+			return ws[i].file < ws[j].file
+		}
+		return ws[i].line < ws[j].line
+	})
+	return ws
+}
+
+// splitPatterns parses the space-separated quoted or backquoted regular
+// expressions of one want comment.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Find the closing quote, honoring escapes, and unquote.
+			end := 1
+			for end < len(s) && s[end] != '"' {
+				if s[end] == '\\' {
+					end++
+				}
+				end++
+			}
+			if end >= len(s) {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, s[:end+1], err)
+			}
+			pats = append(pats, pat)
+			s = s[end+1:]
+		default:
+			t.Fatalf("%s: want pattern must be quoted or backquoted: %s", pos, s)
+		}
+	}
+}
+
+// loadedPkg is one typechecked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader typechecks fixture packages, resolving imports from the same
+// source tree (plus types.Unsafe).
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loadedPkg
+}
+
+func newLoader(root string) *loader {
+	return &loader{root: root, fset: token.NewFileSet(), pkgs: make(map[string]*loadedPkg)}
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.pkg, nil
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no .go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %s: %v", path, err)
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}

@@ -1,0 +1,214 @@
+// Package detsource defines the knnlint analyzer that keeps
+// nondeterminism sources out of the determinism-critical packages: the
+// answer a cluster returns must be a pure function of (dataset, seed,
+// query), so wall-clock reads, the global math/rand source, and
+// map-iteration order must never feed computation there.
+package detsource
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"distknn/internal/analysis/knnlint"
+)
+
+// CriticalPackages lists the import-path suffixes the analyzer applies
+// to. These are the packages whose code runs inside a query epoch, where
+// any nondeterministic input breaks the bit-identical serving contract.
+var CriticalPackages = []string{
+	"internal/kmachine",
+	"internal/core",
+	"internal/metricindex",
+	"internal/transport/tcp",
+}
+
+// timeFuncs are the wall-clock reads that make results time-dependent.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand[/v2] names that merely build a
+// seeded generator or source; seeded generators are how the cluster gets
+// its deterministic randomness, so constructing one is fine — calling
+// the package-level (globally seeded) functions is not. Type names
+// (rand.Rand, rand.Source, ...) are always fine.
+var randConstructors = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true,
+	"NewSource": true, "NewZipf": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &knnlint.Analyzer{
+	Name: "detsource",
+	Doc: "forbid nondeterminism sources (time.Now/Since/Until, global math/rand, " +
+		"map-range iteration) in determinism-critical packages",
+	Run: run,
+}
+
+func critical(path string) bool {
+	for _, s := range CriticalPackages {
+		if knnlint.PkgPathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *knnlint.Pass) error {
+	if !critical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		// Socket deadlines are wall-clock by nature and cannot leak into
+		// a computed answer, so time.Now feeding a Set*Deadline call
+		// directly is exempt.
+		exempt := deadlineExemptNows(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n, exempt)
+			case *ast.SelectorExpr:
+				checkRandUse(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFuncCall resolves call to a (package path, name) pair when its
+// callee is a package-level function selected off an imported package.
+func pkgFuncCall(pass *knnlint.Pass, call *ast.CallExpr) (string, string, *ast.SelectorExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", nil
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.PkgName); !ok {
+		return "", "", nil
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", nil
+	}
+	return obj.Pkg().Path(), obj.Name(), sel
+}
+
+// deadlineExemptNows collects the time.Now calls whose result flows
+// directly into a SetDeadline/SetReadDeadline/SetWriteDeadline argument.
+func deadlineExemptNows(pass *knnlint.Pass, f *ast.File) map[*ast.CallExpr]bool {
+	exempt := make(map[*ast.CallExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if inner, ok := m.(*ast.CallExpr); ok {
+					if path, name, _ := pkgFuncCall(pass, inner); path == "time" && timeFuncs[name] {
+						exempt[inner] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return exempt
+}
+
+func checkCall(pass *knnlint.Pass, call *ast.CallExpr, exempt map[*ast.CallExpr]bool) {
+	path, name, _ := pkgFuncCall(pass, call)
+	if path == "time" && timeFuncs[name] && !exempt[call] {
+		pass.Reportf(call.Pos(),
+			"time.%s in determinism-critical package %s: wall-clock input must not feed epoch computation",
+			name, pass.Pkg.Path())
+	}
+}
+
+func checkRandUse(pass *knnlint.Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	p := pn.Imported().Path()
+	if p != "math/rand" && p != "math/rand/v2" {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	if _, isType := obj.(*types.TypeName); isType {
+		return
+	}
+	if randConstructors[obj.Name()] {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"%s.%s uses the globally seeded source in determinism-critical package %s: derive a seeded *rand.Rand instead",
+		p, obj.Name(), pass.Pkg.Path())
+}
+
+func checkMapRange(pass *knnlint.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if isCollectOnly(rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is nondeterministic in determinism-critical package %s: iterate sorted keys, or audit with //knnlint:allow detsource",
+		pass.Pkg.Path())
+}
+
+// isCollectOnly recognizes the sanctioned collect-then-sort idiom: a map
+// range whose body does nothing but append the iteration variables (or
+// selections/indexings of them) to slices. Such a loop is order-insensitive
+// by construction — the appended slice is a set until sorted — so it is not
+// a determinism hazard, and it is exactly the fix this analyzer recommends.
+func isCollectOnly(rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rng.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+	}
+	return true
+}

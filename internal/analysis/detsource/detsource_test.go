@@ -1,0 +1,15 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"distknn/internal/analysis/analyzertest"
+	"distknn/internal/analysis/detsource"
+)
+
+func TestDetsource(t *testing.T) {
+	analyzertest.Run(t, "../testdata", detsource.Analyzer,
+		"example.com/internal/kmachine", // critical: positives + allow directives
+		"example.com/other",             // non-critical: the analyzer must stay silent
+	)
+}

@@ -1,0 +1,12 @@
+package fpsum_test
+
+import (
+	"testing"
+
+	"distknn/internal/analysis/analyzertest"
+	"distknn/internal/analysis/fpsum"
+)
+
+func TestFpsum(t *testing.T) {
+	analyzertest.Run(t, "../testdata", fpsum.Analyzer, "example.com/internal/points")
+}

@@ -1,0 +1,100 @@
+// Package kindswitch defines the knnlint analyzer that keeps wire.Kind
+// dispatch exhaustive: every switch whose tag is a wire.Kind must either
+// handle all declared kinds or carry an explicit default, so adding a
+// frame kind (as PRs 4–8 each did) turns every dispatch site that needs
+// updating into a build-gate failure instead of a silent drop.
+package kindswitch
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"distknn/internal/analysis/knnlint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &knnlint.Analyzer{
+	Name: "kindswitch",
+	Doc: "a switch on wire.Kind must handle every declared kind or carry an " +
+		"explicit default",
+	Run: run,
+}
+
+func run(pass *knnlint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := kindType(pass.TypesInfo.TypeOf(sw.Tag))
+			if named == nil {
+				return true
+			}
+			checkSwitch(pass, sw, named)
+			return true
+		})
+	}
+	return nil
+}
+
+// kindType unwraps t to the named type wire.Kind, or nil.
+func kindType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kind" || obj.Pkg() == nil ||
+		!knnlint.PkgPathHasSuffix(obj.Pkg().Path(), "internal/wire") {
+		return nil
+	}
+	return named
+}
+
+func checkSwitch(pass *knnlint.Pass, sw *ast.SwitchStmt, named *types.Named) {
+	// All declared kinds: the Kind-typed constants in the wire package.
+	declared := make(map[string]string) // exact constant value -> name
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		declared[c.Val().ExactString()] = name
+	}
+
+	handled := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the site owns its fallthrough story
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				handled[constant.ToInt(tv.Value).ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for val, name := range declared {
+		if !handled[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch on wire.Kind has no default and misses %s: handle them or add an explicit default",
+		fmt.Sprintf("[%s]", strings.Join(missing, " ")))
+}

@@ -1,0 +1,12 @@
+package kindswitch_test
+
+import (
+	"testing"
+
+	"distknn/internal/analysis/analyzertest"
+	"distknn/internal/analysis/kindswitch"
+)
+
+func TestKindswitch(t *testing.T) {
+	analyzertest.Run(t, "../testdata", kindswitch.Analyzer, "example.com/kindsw")
+}

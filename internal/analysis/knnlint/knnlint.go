@@ -1,0 +1,201 @@
+// Package knnlint is the analyzer framework behind cmd/knnlint: a
+// deliberately small, dependency-free re-implementation of the parts of
+// golang.org/x/tools/go/analysis that the project's static invariants
+// need. Each analyzer inspects one type-checked package at a time and
+// reports diagnostics; the driver applies //knnlint:allow escape
+// directives and enforces their hygiene.
+//
+// Directive syntax (line comment, own line or trailing the offending
+// line):
+//
+//	//knnlint:allow name1,name2 -- reason the violation is audited
+//
+// A directive suppresses the named analyzers' diagnostics on its own line
+// and on the line immediately below it. The reason after " -- " is
+// mandatory: a directive without one is itself reported, so every escape
+// in the tree stays explained. Naming an analyzer that does not exist is
+// reported too (it would otherwise suppress nothing, silently).
+package knnlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single
+// type-checked package through the Pass and reports findings with
+// Pass.Reportf.
+type Analyzer struct {
+	Name string // short lowercase identifier, used in //knnlint:allow
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// A Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers that
+// guard production invariants skip test files (benchmarks and stubs
+// deliberately do odd things); the fixtures under testdata are plain .go
+// files, so they stay covered.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// PkgPathHasSuffix reports whether path ends in suffix on an import-path
+// element boundary ("a/internal/core" matches "internal/core";
+// "printernal/core" does not).
+func PkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// directive is one parsed //knnlint:allow comment.
+type directive struct {
+	pos    token.Position
+	names  []string
+	reason string
+}
+
+const directivePrefix = "//knnlint:allow"
+
+// parseDirectives scans every comment of every file for allow directives.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var ds []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				d := directive{pos: fset.Position(c.Pos())}
+				names, reason, hasReason := strings.Cut(text, "--")
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						d.names = append(d.names, n)
+					}
+				}
+				if hasReason {
+					d.reason = strings.TrimSpace(reason)
+				}
+				ds = append(ds, d)
+			}
+		}
+	}
+	return ds
+}
+
+// Run executes analyzers over one type-checked package, filters
+// diagnostics through the package's //knnlint:allow directives, appends
+// directive-hygiene diagnostics (missing reason, unknown analyzer name),
+// and returns the survivors sorted by position. knownNames is the full
+// set of analyzer names valid in directives; nil means the run set.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, analyzers []*Analyzer, knownNames []string) ([]Diagnostic, error) {
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, n := range knownNames {
+		known[n] = true
+	}
+
+	ds := parseDirectives(fset, files)
+
+	// allowed[name][file:line] — a directive covers its own line and the
+	// line immediately below, so it works both trailing the offending
+	// statement and on its own line above it.
+	allowed := make(map[string]map[string]bool)
+	for _, d := range ds {
+		for _, n := range d.names {
+			if d.reason == "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: "knnlint",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("knnlint:allow %s needs a reason (\"//knnlint:allow %s -- why this is safe\")", n, n),
+				})
+				continue
+			}
+			if !known[n] {
+				diags = append(diags, Diagnostic{
+					Analyzer: "knnlint",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("knnlint:allow names unknown analyzer %q", n),
+				})
+				continue
+			}
+			m := allowed[n]
+			if m == nil {
+				m = make(map[string]bool)
+				allowed[n] = m
+			}
+			m[fmt.Sprintf("%s:%d", d.pos.Filename, d.pos.Line)] = true
+			m[fmt.Sprintf("%s:%d", d.pos.Filename, d.pos.Line+1)] = true
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowed[d.Analyzer][fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}

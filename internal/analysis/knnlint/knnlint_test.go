@@ -1,0 +1,35 @@
+package knnlint_test
+
+import (
+	"testing"
+
+	"distknn/internal/analysis/analyzertest"
+	"distknn/internal/analysis/detsource"
+	"distknn/internal/analysis/knnlint"
+)
+
+// TestDirectiveHygiene exercises the driver's own findings: a reason-less
+// //knnlint:allow and one naming an unknown analyzer are both reported.
+// The analyzer run alongside is irrelevant (the fixture trips none); the
+// hygiene diagnostics come from the driver.
+func TestDirectiveHygiene(t *testing.T) {
+	analyzertest.Run(t, "../testdata", detsource.Analyzer, "example.com/hygiene")
+}
+
+func TestPkgPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"distknn/internal/core", "internal/core", true},
+		{"internal/core", "internal/core", true},
+		{"distknn/printernal/core", "internal/core", false},
+		{"distknn/internal/core/sub", "internal/core", false},
+		{"example.com/internal/transport/tcp", "internal/transport/tcp", true},
+	}
+	for _, c := range cases {
+		if got := knnlint.PkgPathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PkgPathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"distknn/internal/analysis/analyzertest"
+	"distknn/internal/analysis/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	analyzertest.Run(t, "../testdata", lockio.Analyzer,
+		"example.com/internal/transport/tcp")
+}

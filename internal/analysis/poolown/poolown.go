@@ -1,0 +1,207 @@
+// Package poolown defines the knnlint analyzer that audits pooled-resource
+// ownership on the data plane. wire.GetWriter and wire.GetFrameBuf check a
+// buffer out of a sync.Pool; losing it costs steady-state allocations, and
+// double-handing it corrupts a concurrently reused frame. The check is
+// function-granular: a function (including its nested function literals —
+// the per-epoch goroutine closures are part of the same ownership story)
+// that checks a resource out must either release it with the matching Put,
+// return it to its caller (a visible handoff, like epochErrorFrame), or
+// document the transfer with //knnlint:allow poolown -- reason.
+//
+// The analyzer also flags a pooled writer escaping into long-lived
+// structure — stored in a field, sent on a channel, or embedded in a
+// composite literal — because pooled memory must never outlive the
+// documented ownership window.
+package poolown
+
+import (
+	"go/ast"
+	"go/types"
+
+	"distknn/internal/analysis/knnlint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &knnlint.Analyzer{
+	Name: "poolown",
+	Doc: "pooled wire buffers (GetWriter/GetFrameBuf) must reach their Put, be " +
+		"returned, or carry a documented handoff; they must not escape into " +
+		"fields, channels, or composite literals",
+	Run: run,
+}
+
+// classes pairs each pool getter with its releaser.
+var classes = map[string]string{
+	"GetWriter":   "PutWriter",
+	"GetFrameBuf": "PutFrameBuf",
+}
+
+func run(pass *knnlint.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *knnlint.Pass, fn *ast.FuncDecl) {
+	gets := map[string][]*ast.CallExpr{} // getter name -> call sites
+	puts := map[string]bool{}            // putter name -> seen
+	returnsWriter := false
+	var writerVars []types.Object
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := wireFunc(pass, n); ok {
+				if _, isGet := classes[name]; isGet {
+					gets[name] = append(gets[name], n)
+				} else if name == "PutWriter" || name == "PutFrameBuf" {
+					puts[name] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isPooledWriter(pass.TypesInfo.TypeOf(res)) {
+					returnsWriter = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Track idents bound directly to wire.GetWriter() so escapes
+			// can be reported by variable.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if name, ok := wireFunc(pass, call); !ok || name != "GetWriter" {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							writerVars = append(writerVars, obj)
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							writerVars = append(writerVars, obj)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for getter, calls := range gets {
+		putter := classes[getter]
+		if puts[putter] {
+			continue
+		}
+		if getter == "GetWriter" && returnsWriter {
+			continue // ownership visibly moves to the caller
+		}
+		for _, call := range calls {
+			pass.Reportf(call.Pos(),
+				"wire.%s result never reaches wire.%s in this function: release it, return it, or document the handoff with //knnlint:allow poolown -- reason",
+				getter, putter)
+		}
+	}
+
+	if len(writerVars) > 0 {
+		checkEscapes(pass, fn, writerVars)
+	}
+}
+
+// checkEscapes reports pooled writers stored into fields or elements,
+// sent on channels, or embedded in composite literals.
+func checkEscapes(pass *knnlint.Pass, fn *ast.FuncDecl, vars []types.Object) {
+	isTracked := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := pass.TypesInfo.Uses[id]
+		for _, v := range vars {
+			if obj == v {
+				return v
+			}
+		}
+		return nil
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				v := isTracked(rhs)
+				if v == nil || i >= len(n.Lhs) {
+					continue
+				}
+				switch n.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					pass.Reportf(rhs.Pos(),
+						"pooled writer %s escapes into a field or element: pooled memory must not outlive its ownership window", v.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if v := isTracked(n.Value); v != nil {
+				pass.Reportf(n.Value.Pos(),
+					"pooled writer %s escapes on a channel send: pooled memory must not outlive its ownership window", v.Name())
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if v := isTracked(e); v != nil {
+					pass.Reportf(e.Pos(),
+						"pooled writer %s escapes into a composite literal: pooled memory must not outlive its ownership window", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// wireFunc resolves call to the name of a package-level function of the
+// wire package, if it is one.
+func wireFunc(pass *knnlint.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	var obj types.Object
+	if ok {
+		obj = pass.TypesInfo.Uses[sel.Sel]
+	} else if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+		obj = pass.TypesInfo.Uses[id] // intra-package call (the wire package itself)
+	}
+	fnObj, ok := obj.(*types.Func)
+	if !ok || fnObj.Pkg() == nil ||
+		!knnlint.PkgPathHasSuffix(fnObj.Pkg().Path(), "internal/wire") {
+		return "", false
+	}
+	if sig, ok := fnObj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	return fnObj.Name(), true
+}
+
+// isPooledWriter reports whether t is *wire.Writer.
+func isPooledWriter(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Writer" && obj.Pkg() != nil &&
+		knnlint.PkgPathHasSuffix(obj.Pkg().Path(), "internal/wire")
+}

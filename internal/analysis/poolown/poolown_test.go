@@ -1,0 +1,12 @@
+package poolown_test
+
+import (
+	"testing"
+
+	"distknn/internal/analysis/analyzertest"
+	"distknn/internal/analysis/poolown"
+)
+
+func TestPoolown(t *testing.T) {
+	analyzertest.Run(t, "../testdata", poolown.Analyzer, "example.com/pool")
+}

@@ -1,0 +1,25 @@
+// Package registry enumerates the knnlint analyzer suite. cmd/knnlint
+// and any in-process driver get the full set from here, so adding an
+// analyzer is one line and every consumer (and every //knnlint:allow
+// name check) picks it up.
+package registry
+
+import (
+	"distknn/internal/analysis/detsource"
+	"distknn/internal/analysis/fpsum"
+	"distknn/internal/analysis/kindswitch"
+	"distknn/internal/analysis/knnlint"
+	"distknn/internal/analysis/lockio"
+	"distknn/internal/analysis/poolown"
+)
+
+// All returns every analyzer in the suite.
+func All() []*knnlint.Analyzer {
+	return []*knnlint.Analyzer{
+		detsource.Analyzer,
+		kindswitch.Analyzer,
+		poolown.Analyzer,
+		lockio.Analyzer,
+		fpsum.Analyzer,
+	}
+}

@@ -1,0 +1,30 @@
+// Package wire is a fixture stub of the real distknn/internal/wire: the
+// Kind type with a small constant set (kindswitch enumerates these), the
+// pooled Writer and frame-buffer getters/putters (poolown pairs them), and
+// the frame I/O functions (lockio classifies them as blocking).
+package wire
+
+type Kind uint8
+
+const (
+	KindRegister Kind = 1
+	KindQuery    Kind = 2
+	KindReply    Kind = 3
+	KindShutdown Kind = 4
+)
+
+type Writer struct{ buf []byte }
+
+func (w *Writer) Kind(k Kind)              {}
+func (w *Writer) U8(v uint8)               {}
+func (w *Writer) BeginFrame()              {}
+func (w *Writer) EndFrame(dst any) error   { return nil }
+func (w *Writer) Bytes() []byte            { return w.buf }
+
+func GetWriter() *Writer   { return &Writer{} }
+func PutWriter(w *Writer)  {}
+func GetFrameBuf() []byte  { return nil }
+func PutFrameBuf(b []byte) {}
+
+func WriteFrame(dst any, frame []byte) error { return nil }
+func ReadFrame(src any) ([]byte, error)      { return nil, nil }

@@ -1,0 +1,13 @@
+// Fixture for the driver's directive hygiene: a //knnlint:allow without a
+// reason is itself a finding, as is one naming an analyzer that does not
+// exist. The want annotations ride in block comments because the directive
+// must own the line comment.
+package hygiene
+
+func placeholder() int {
+	x := 1
+	/* want `knnlint:allow detsource needs a reason` */ //knnlint:allow detsource
+	x++
+	/* want `knnlint:allow names unknown analyzer "nosuch"` */ //knnlint:allow nosuch -- believed safe
+	return x
+}

@@ -1,0 +1,14 @@
+// Fixture: the //knnlint:allow escape hatch, both trailing the offending
+// line and on its own line above it. Neither site may be reported.
+package kmachine
+
+import "time"
+
+func meteredTrailing(start time.Time) time.Duration {
+	return time.Since(start) //knnlint:allow detsource -- compute-time metric only; never feeds the answer
+}
+
+func meteredAbove(start time.Time) time.Duration {
+	//knnlint:allow detsource -- compute-time metric only; never feeds the answer
+	return time.Since(start)
+}

@@ -1,0 +1,55 @@
+// Fixture: determinism-critical package (path suffix internal/kmachine).
+// Positive cases carry want annotations; the unannotated functions are the
+// sanctioned shapes the analyzer must stay silent on.
+package kmachine
+
+import (
+	rand "math/rand/v2"
+	"net"
+	"time"
+)
+
+func epochNow() time.Time {
+	return time.Now() // want `time.Now in determinism-critical package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in determinism-critical package`
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time.Until in determinism-critical package`
+}
+
+func pick(n int) int {
+	return rand.IntN(n) // want `math/rand/v2.IntN uses the globally seeded source`
+}
+
+func seeded(n int) int {
+	r := rand.New(rand.NewPCG(1, 2)) // constructors of seeded generators are fine
+	return r.IntN(n)
+}
+
+func total(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+func collect(m map[int]int) []int {
+	// The sanctioned collect-then-sort idiom: append-only bodies are
+	// order-insensitive and must not be flagged.
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func armDeadline(c *net.TCPConn) {
+	// Socket deadlines are wall-clock by nature: time.Now feeding a
+	// Set*Deadline argument directly is exempt.
+	c.SetDeadline(time.Now().Add(time.Second))
+}

@@ -1,0 +1,61 @@
+// Fixture for fpsum (package path suffix internal/points puts it in
+// scope): float reductions must be single-accumulator and never in map
+// order.
+package points
+
+func mapSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation in map-iteration order`
+	}
+	return sum
+}
+
+func unrolledAccums(xs []float64) float64 {
+	var s0, s1 float64
+	for i := 0; i+1 < len(xs); i += 2 { // want `multi-accumulator float reduction`
+		s0 += xs[i]
+		s1 += xs[i+1]
+	}
+	return s0 + s1
+}
+
+func sequential(xs []float64) float64 {
+	// The sanctioned shape: one accumulator, sequential adds.
+	var s float64
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+func independentAccums(xs []float64) (float64, float64) {
+	// Two accumulators that are never combined are independent
+	// reductions, not a split sum.
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	return sum, sumsq
+}
+
+func intMapSum(m map[int]int) int {
+	// Integer addition is associative; map-order summation of ints is
+	// detsource's concern, not fpsum's.
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func audited(xs []float64) float64 {
+	var s0, s1 float64
+	//knnlint:allow fpsum -- diagnostic-only estimate; reassociation is acceptable here
+	for i := 0; i+1 < len(xs); i += 2 {
+		s0 += xs[i]
+		s1 += xs[i+1]
+	}
+	return s0 + s1
+}

@@ -1,0 +1,52 @@
+// Fixture for kindswitch: the stub wire package declares exactly four
+// kinds (KindRegister, KindQuery, KindReply, KindShutdown).
+package kindsw
+
+import "distknn/internal/wire"
+
+func missing(k wire.Kind) int {
+	switch k { // want `switch on wire.Kind has no default and misses \[KindReply KindShutdown\]`
+	case wire.KindRegister:
+		return 1
+	case wire.KindQuery:
+		return 2
+	}
+	return 0
+}
+
+func exhaustive(k wire.Kind) int {
+	switch k {
+	case wire.KindRegister, wire.KindQuery:
+		return 1
+	case wire.KindReply, wire.KindShutdown:
+		return 2
+	}
+	return 0
+}
+
+func defaulted(k wire.Kind) int {
+	switch k {
+	case wire.KindRegister:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func notAKindSwitch(n int) int {
+	// An int switch is none of this analyzer's business.
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func audited(k wire.Kind) int {
+	//knnlint:allow kindswitch -- probe dispatcher: unlisted kinds intentionally fall through to 0
+	switch k {
+	case wire.KindQuery:
+		return 1
+	}
+	return 0
+}

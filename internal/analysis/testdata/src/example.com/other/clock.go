@@ -1,0 +1,15 @@
+// Fixture: NOT a determinism-critical package — detsource must not fire
+// here at all.
+package other
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Total(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

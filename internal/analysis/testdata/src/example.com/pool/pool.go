@@ -1,0 +1,62 @@
+// Fixture for poolown: pooled buffers must reach their Put, be returned,
+// or carry a documented handoff; and they must not escape into long-lived
+// structure.
+package pool
+
+import "distknn/internal/wire"
+
+func leak() {
+	w := wire.GetWriter() // want `wire.GetWriter result never reaches wire.PutWriter`
+	w.BeginFrame()
+}
+
+func leakBuf() {
+	buf := wire.GetFrameBuf() // want `wire.GetFrameBuf result never reaches wire.PutFrameBuf`
+	_ = buf
+}
+
+func balanced() {
+	w := wire.GetWriter()
+	w.BeginFrame()
+	wire.PutWriter(w)
+}
+
+func balancedBuf() {
+	buf := wire.GetFrameBuf()
+	wire.PutFrameBuf(buf)
+}
+
+func handoffByReturn() *wire.Writer {
+	// Returning the writer is a visible ownership transfer.
+	w := wire.GetWriter()
+	w.BeginFrame()
+	return w
+}
+
+type box struct{ w *wire.Writer }
+
+func storesInField(b *box) {
+	w := wire.GetWriter()
+	b.w = w // want `pooled writer w escapes into a field or element`
+	wire.PutWriter(w)
+}
+
+func sendsOnChannel(ch chan *wire.Writer) {
+	w := wire.GetWriter()
+	ch <- w // want `pooled writer w escapes on a channel send`
+	wire.PutWriter(w)
+}
+
+func inCompositeLit() []*wire.Writer {
+	w := wire.GetWriter()
+	out := []*wire.Writer{w} // want `pooled writer w escapes into a composite literal`
+	wire.PutWriter(w)
+	return out
+}
+
+func documentedHandoff(ch chan *wire.Writer) {
+	//knnlint:allow poolown -- the consumer goroutine owns w after the send and puts it once flushed
+	w := wire.GetWriter()
+	//knnlint:allow poolown -- the consumer goroutine owns w after the send and puts it once flushed
+	ch <- w
+}

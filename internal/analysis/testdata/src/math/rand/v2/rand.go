@@ -1,0 +1,19 @@
+// Package rand is a fixture stub of math/rand/v2: package-level functions
+// draw from the globally seeded source; New/NewPCG construct explicitly
+// seeded generators.
+package rand
+
+func Int() int        { return 0 }
+func IntN(n int) int  { return 0 }
+func Float64() float64 { return 0 }
+
+type PCG struct{}
+
+func NewPCG(seed1, seed2 uint64) *PCG { return &PCG{} }
+
+type Rand struct{}
+
+func New(src *PCG) *Rand { return &Rand{} }
+
+func (r *Rand) Int() int       { return 0 }
+func (r *Rand) IntN(n int) int { return 0 }

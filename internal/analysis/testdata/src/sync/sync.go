@@ -1,0 +1,15 @@
+// Package sync is a fixture stub: Mutex and RWMutex with the method set
+// the lockio analyzer keys on.
+package sync
+
+type Mutex struct{}
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{}
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

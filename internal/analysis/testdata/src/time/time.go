@@ -1,0 +1,15 @@
+// Package time is a fixture stub: just enough surface for the analyzers'
+// testdata to typecheck without export data for the real standard library.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+const Second Duration = 1e9
+
+func Now() Time             { return Time{} }
+func Since(t Time) Duration { return 0 }
+func Until(t Time) Duration { return 0 }
+
+func (t Time) Add(d Duration) Time { return t }

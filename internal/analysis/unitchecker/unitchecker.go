@@ -1,0 +1,239 @@
+// Package unitchecker implements the `go vet -vettool` protocol for the
+// knnlint analyzer suite using only the standard library. The go command
+// drives a vet tool one compilation unit at a time: it writes a JSON
+// config naming the unit's source files and the export-data files of its
+// dependencies, then invokes the tool with that config as its sole
+// argument. The tool type-checks the unit (importing dependencies from
+// the export data, exactly as the compiler saw them), runs its analyzers,
+// prints diagnostics, and writes the facts file the go command expects —
+// empty here, since no knnlint analyzer exchanges cross-package facts.
+//
+// The protocol also includes two handshakes before any checking:
+//
+//	tool -V=full   print an identity line the go command hashes into its
+//	               build cache key (ours embeds a content hash of the
+//	               tool binary, so rebuilding knnlint invalidates stale
+//	               vet results);
+//	tool -flags    print a JSON description of supported analyzer flags
+//	               (none) so `go vet` can validate its command line.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+
+	"distknn/internal/analysis/knnlint"
+)
+
+// Config is the JSON schema of the file the go command passes to a
+// -vettool, mirroring cmd/go/internal/work's vet config. Fields the
+// knnlint suite has no use for are retained so the decoder stays strict
+// about nothing and forward-compatible with the go command.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vet-tool binary built over the given
+// analyzers. It never returns.
+func Main(analyzers ...*knnlint.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			printVersion(progname)
+			os.Exit(0)
+		}
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON for the go command")
+	jsonFlag := fs.Bool("json", false, "emit JSON output")
+	fs.Int("c", -1, "display offending line with this many lines of context (ignored)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s: the knnlint analyzer suite for this repository.\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Usage: go vet -vettool=$(command -v %s) ./...\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	fs.Parse(os.Args[1:])
+
+	if *flagsFlag {
+		// No analyzer flags: every check is always on. The go command
+		// just needs valid JSON here.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	diags, err := runUnit(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if *jsonFlag {
+		printJSON(diags)
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// printVersion emits the identity line of the go command's -V=full
+// protocol: "<name> version devel ... buildID=<content hash>". Hashing
+// the executable means a rebuilt tool gets a fresh vet cache.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", progname, h.Sum(nil))
+}
+
+var goVersionRx = regexp.MustCompile(`^go1\.\d+`)
+
+func runUnit(cfgPath string, analyzers []*knnlint.Analyzer) ([]knnlint.Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+
+	// The go command always expects the facts file; knnlint analyzers
+	// exchange no facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil // dependency unit: facts only, nothing to report
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not a source import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		Error:    func(error) {}, // collect the first error via Check's return
+	}
+	if v := goVersionRx.FindString(cfg.GoVersion); v != "" {
+		tc.GoVersion = v
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return knnlint.Run(fset, files, pkg, info, analyzers, names)
+}
+
+// printJSON emits diagnostics in the x/tools unitchecker JSON shape:
+// {"<analyzer>": [{"posn": ..., "message": ...}]}.
+func printJSON(diags []knnlint.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	out := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		out[d.Analyzer] = append(out[d.Analyzer], jsonDiag{Posn: d.Pos.String(), Message: d.Message})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	enc.Encode(out)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -381,6 +381,7 @@ func (w *world) run(cfg Config, seed uint64, progs []Program) (*Metrics, error) 
 		}
 	}
 
+	//knnlint:allow detsource -- commutative integer count over undelivered inboxes; order cannot affect the sum
 	for _, msgs := range inTransit {
 		metrics.Dangling += len(msgs)
 	}

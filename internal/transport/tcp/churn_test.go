@@ -417,7 +417,7 @@ func readTaggedQuery(t *testing.T, conn net.Conn) (uint64, bool) {
 		return 0, false
 	}
 	r := wire.NewReader(payload)
-	if kind := r.U8(); kind != wire.KindQueryTagged {
+	if kind := r.Kind(); kind != wire.KindQueryTagged {
 		t.Errorf("stub read kind %d, want tagged query", kind)
 		return 0, false
 	}
@@ -442,7 +442,7 @@ func TestClientPoisonsDesyncedConnection(t *testing.T) {
 			// A non-reply frame, with trailing garbage that a desynced
 			// client would misparse as the next reply.
 			var w wire.Writer
-			w.U8(wire.KindDispatch)
+			w.Kind(wire.KindDispatch)
 			w.Raw([]byte{0xde, 0xad, 0xbe, 0xef})
 			_ = wire.WriteFrame(conn, w.Bytes())
 			_ = wire.WriteFrame(conn, []byte{0xff, 0xff})

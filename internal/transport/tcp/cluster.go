@@ -89,7 +89,7 @@ func readRegister(conn net.Conn) (string, error) {
 		return "", fmt.Errorf("tcp: coordinator read register: %w", err)
 	}
 	r := wire.NewReader(payload)
-	if kind := r.U8(); kind != wire.KindRegister {
+	if kind := r.Kind(); kind != wire.KindRegister {
 		return "", fmt.Errorf("tcp: expected register, got kind %d", kind)
 	}
 	addr := r.String()
@@ -103,7 +103,7 @@ func readRegister(conn net.Conn) (string, error) {
 // cluster size, session seed and the full mesh address book.
 func writeAssign(conn net.Conn, mode uint8, id, k int, seed uint64, addrs []string) error {
 	var w wire.Writer
-	w.U8(wire.KindAssign)
+	w.Kind(wire.KindAssign)
 	w.U8(mode)
 	w.Varint(uint64(id))
 	w.Varint(uint64(k))
@@ -139,7 +139,7 @@ func join(coordAddr string, ln net.Listener, advertise string) (net.Conn, assign
 		return nil, assignment{}, fmt.Errorf("tcp: dial coordinator: %w", err)
 	}
 	var reg wire.Writer
-	reg.U8(wire.KindRegister)
+	reg.Kind(wire.KindRegister)
 	reg.String(advertise)
 	if err := wire.WriteFrame(coord, reg.Bytes()); err != nil {
 		coord.Close()
@@ -151,7 +151,7 @@ func join(coordAddr string, ln net.Listener, advertise string) (net.Conn, assign
 		return nil, assignment{}, fmt.Errorf("tcp: read assignment: %w", err)
 	}
 	r := wire.NewReader(payload)
-	if kind := r.U8(); kind != wire.KindAssign {
+	if kind := r.Kind(); kind != wire.KindAssign {
 		coord.Close()
 		return nil, assignment{}, fmt.Errorf("tcp: expected assignment, got kind %d", kind)
 	}

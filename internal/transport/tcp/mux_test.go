@@ -29,7 +29,7 @@ func TestMuxOutOfOrderReplies(t *testing.T) {
 				return
 			}
 			r := wire.NewReader(payload)
-			if kind := r.U8(); kind != wire.KindQueryTagged {
+			if kind := r.Kind(); kind != wire.KindQueryTagged {
 				t.Errorf("stub read kind %d, want tagged query", kind)
 				return
 			}

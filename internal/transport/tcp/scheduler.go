@@ -430,7 +430,7 @@ func (sched *scheduler) deliver(id int, gen uint64, payload []byte) {
 	// Peek the kind and epoch ordinal on a throwaway reader; the decoders
 	// below expect the payload with only the kind byte consumed.
 	peek := wire.NewReader(payload)
-	kind := peek.U8()
+	kind := peek.Kind()
 	epoch := peek.Varint()
 	if peek.Err() != nil || (kind != wire.KindResult && kind != wire.KindError) {
 		cause := fmt.Errorf("node %d sent unexpected control kind %d", id, kind)
@@ -518,6 +518,9 @@ func (sched *scheduler) deliver(id int, gen uint64, payload []byte) {
 				job.fail(lost, cause)
 			}
 		}
+	default:
+		// Unreachable: the peek above evicted anything that is not a
+		// KindResult/KindError control frame before we got here.
 	}
 	if job != nil {
 		sched.maybeFinishLocked(job)
@@ -542,7 +545,17 @@ func (sched *scheduler) seatLost(id int, gen uint64, cause error) {
 }
 
 func (sched *scheduler) seatLostLocked(id int, gen uint64, cause error) {
-	for _, job := range sched.inflight {
+	// Fail the doomed epochs in ordinal order, not map order: each fail
+	// finishes a job and releases its waiter, and releasing them oldest
+	// first keeps the client-observable failure order identical run to
+	// run.
+	epochs := make([]uint64, 0, len(sched.inflight))
+	for epoch := range sched.inflight {
+		epochs = append(epochs, epoch)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	for _, epoch := range epochs {
+		job := sched.inflight[epoch]
 		if job.expectMatch(id, gen) {
 			job.expectClear(id)
 			job.fail(id, fmt.Errorf("lost node %d mid-query: %v", id, cause))
@@ -604,6 +617,7 @@ func (sched *scheduler) shutdown() {
 		return
 	}
 	sched.closed = true
+	//knnlint:allow detsource -- shutdown fanout: every epoch gets the identical closing reply, order unobservable
 	for _, job := range sched.inflight {
 		if !job.finished {
 			job.finished = true
@@ -614,6 +628,7 @@ func (sched *scheduler) shutdown() {
 	sched.inflight = make(map[uint64]*epochJob)
 	sched.count = 0
 	var open []*bucket
+	//knnlint:allow detsource -- shutdown fanout over independent buckets; each gets the same treatment
 	for key, b := range sched.buckets {
 		b.timer.Stop()
 		delete(sched.buckets, key)
@@ -1187,6 +1202,7 @@ func (sched *scheduler) dispatchDirectWave(q wire.Query, subs [][]int) (*epochJo
 	if len(targets) == 1 {
 		s := f.slots[targets[0]]
 		s.conn.SetWriteDeadline(time.Now().Add(dispatchTimeout))
+		//knnlint:allow lockio -- deadline-bounded inline dispatch write; f.mu keeps the seat's conn/gen stable across it
 		_, writeErrs[0] = s.conn.Write(frames[0])
 		if writeErrs[0] == nil {
 			s.conn.SetWriteDeadline(time.Time{})

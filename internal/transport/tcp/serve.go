@@ -215,7 +215,7 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 	}
 
 	var ready wire.Writer
-	ready.U8(wire.KindReady)
+	ready.Kind(wire.KindReady)
 	ready.Varint(uint64(a.id))
 	ready.Varint(uint64(info.Leader))
 	ready.Varint(uint64(info.ShardLen))
@@ -240,13 +240,15 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 	// so a clean shutdown never strands a peer mid-exchange.
 	var ctrlMu sync.Mutex
 	// writeCtrl sends one control frame built in a pooled writer (frame
-	// already begun) and returns the writer to the pool.
+	// already begun). The writer stays the caller's — its bytes are fully
+	// flushed on return, and the caller releases it with wire.PutWriter —
+	// so pooled-buffer ownership is provable function-locally (knnlint
+	// poolown).
 	writeCtrl := func(w *wire.Writer) error {
 		ctrlMu.Lock()
 		defer ctrlMu.Unlock()
-		err := w.EndFrame(coord)
-		wire.PutWriter(w)
-		return err
+		//knnlint:allow lockio -- ctrlMu exists to serialize exactly this control write; no other state hides behind it
+		return w.EndFrame(coord)
 	}
 	var epochs sync.WaitGroup
 	defer epochs.Wait()
@@ -265,7 +267,7 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 			return fmt.Errorf("tcp: node %d read dispatch: %v: %w", a.id, err, ErrSessionLost)
 		}
 		r := wire.NewReader(payload)
-		switch kind := r.U8(); kind {
+		switch kind := r.Kind(); kind {
 		case wire.KindShutdown:
 			return nil
 		case wire.KindDispatch:
@@ -290,7 +292,10 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 				// query either way, but the peer's epoch goroutine must
 				// not leak).
 				node.abortEpoch(epoch)
-				if werr := writeCtrl(epochErrorFrame(epoch, err)); werr != nil {
+				ew := epochErrorFrame(epoch, err)
+				werr := writeCtrl(ew)
+				wire.PutWriter(ew)
+				if werr != nil {
 					return fmt.Errorf("tcp: node %d report error: %v: %w", a.id, werr, ErrSessionLost)
 				}
 				continue
@@ -373,7 +378,10 @@ func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
 		// Program failures are recoverable; mesh failures set the fatal
 		// bit and name the lost peer, and the node keeps its seat — the
 		// frontend gates dispatches until the implicated node re-joins.
-		if werr := writeCtrl(epochErrorFrame(er.epoch, err)); werr != nil {
+		ew := epochErrorFrame(er.epoch, err)
+		werr := writeCtrl(ew)
+		wire.PutWriter(ew)
+		if werr != nil {
 			coord.Close()
 		}
 		return
@@ -406,7 +414,9 @@ func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
 	w := wire.GetWriter()
 	w.BeginFrame()
 	wire.AppendNodeResult(w, nr)
-	if werr := writeCtrl(w); werr != nil {
+	werr := writeCtrl(w)
+	wire.PutWriter(w)
+	if werr != nil {
 		coord.Close()
 	}
 }
@@ -430,7 +440,9 @@ func runDirectEpoch(epoch uint64, q wire.Query, h Handler,
 			wire.AppendNodeError(w, wire.NodeError{
 				Epoch: epoch, Origin: true, LostPeer: -1, Msg: err.Error(),
 			})
-			if werr := writeCtrl(w); werr != nil {
+			werr := writeCtrl(w)
+			wire.PutWriter(w)
+			if werr != nil {
 				coord.Close()
 			}
 			return
@@ -440,7 +452,9 @@ func runDirectEpoch(epoch uint64, q wire.Query, h Handler,
 	w := wire.GetWriter()
 	w.BeginFrame()
 	wire.AppendNodeResult(w, nr)
-	if werr := writeCtrl(w); werr != nil {
+	werr := writeCtrl(w)
+	wire.PutWriter(w)
+	if werr != nil {
 		coord.Close()
 	}
 }
@@ -477,7 +491,7 @@ func joinServe(coordAddr string, ln net.Listener, advertise string, rejoinID int
 		first = wire.EncodeRejoin(rejoinID, advertise)
 	} else {
 		var reg wire.Writer
-		reg.U8(wire.KindRegister)
+		reg.Kind(wire.KindRegister)
 		reg.String(advertise)
 		first = reg.Bytes()
 	}
@@ -489,7 +503,7 @@ func joinServe(coordAddr string, ln net.Listener, advertise string, rejoinID int
 		return fail(fmt.Errorf("tcp: read assignment: %w", err))
 	}
 	r := wire.NewReader(payload)
-	switch kind := r.U8(); kind {
+	switch kind := r.Kind(); kind {
 	case wire.KindAssign:
 		a := serveAssignment{
 			id: -1,

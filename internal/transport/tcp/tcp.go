@@ -236,10 +236,12 @@ func (p *peer) subscribe(epoch uint64) (chan frame, error) {
 	}
 	ch := make(chan frame, subChanCap)
 	for _, f := range p.stash[epoch] {
+		//knnlint:allow lockio -- replays at most subChanCap stashed frames into a fresh cap-subChanCap channel; cannot block
 		ch <- f
 	}
 	p.nstash -= len(p.stash[epoch])
 	delete(p.stash, epoch)
+	//knnlint:allow detsource -- prunes every stale epoch's stash; deletion order is unobservable
 	for e, fs := range p.stash {
 		if e < epoch {
 			p.nstash -= len(fs)
@@ -270,6 +272,7 @@ func (p *peer) fail(err error) {
 		return
 	}
 	p.err = err
+	//knnlint:allow detsource -- poison fanout: every live feed closes; order is unobservable
 	for e, ch := range p.subs {
 		close(ch)
 		delete(p.subs, e)

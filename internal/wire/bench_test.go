@@ -83,7 +83,7 @@ func BenchmarkQueryFramePath(b *testing.B) {
 		}
 		readBuf = payload
 		r := NewReader(payload)
-		if kind := r.U8(); kind != KindQueryTagged {
+		if kind := r.Kind(); kind != KindQueryTagged {
 			b.Fatalf("kind %d", kind)
 		}
 		if tag := r.Varint(); tag != uint64(i) {

@@ -12,53 +12,60 @@ import (
 // frames are the only ones that do not, since the mesh carries exactly one
 // frame shape. The full layouts are specified in docs/PROTOCOL.md and
 // pinned by golden-byte tests in this package.
+
+// Kind identifies a control-plane frame type. It is a named type (rather
+// than a bare byte) so every dispatch site switches on a wire.Kind value,
+// which lets the knnlint kindswitch analyzer prove each switch either
+// handles all declared kinds or carries an explicit default.
+type Kind uint8
+
 const (
 	// KindRegister: node → coordinator. Body: String mesh-listen address.
-	KindRegister = 1
+	KindRegister Kind = 1
 	// KindAssign: coordinator → node. Body: U8 mode, Varint id, Varint k,
 	// U64 seed, then k × String mesh addresses (the address book).
-	KindAssign = 2
+	KindAssign Kind = 2
 	// KindReady: node → frontend, once the setup epoch (leader election)
 	// has completed. Body: Varint id, Varint leader, Varint shard size,
 	// U8 point tag.
-	KindReady = 3
+	KindReady Kind = 3
 	// KindDispatch: frontend → node, one query epoch answering a whole
 	// batch. Body: Varint epoch, then a Query body.
-	KindDispatch = 4
+	KindDispatch Kind = 4
 	// KindResult: node → frontend, one epoch's outcome. Body: NodeResult.
-	KindResult = 5
+	KindResult Kind = 5
 	// KindError: node → frontend, the epoch failed. Body: NodeError —
 	// Varint epoch, U8 origin (1 if the failure originated in this node's
 	// program), U8 fatal (1 if the node's mesh broke, as opposed to a
 	// recoverable program failure), Varint lostPeer+1 (0 when no specific
 	// peer was implicated), String message.
-	KindError = 6
+	KindError Kind = 6
 	// KindShutdown: frontend → node, clean stop. Empty body.
-	KindShutdown = 7
+	KindShutdown Kind = 7
 	// KindQuery: client → frontend. Body: Query.
-	KindQuery = 8
+	KindQuery Kind = 8
 	// KindReply: frontend → client. Body: Reply.
-	KindReply = 9
+	KindReply Kind = 9
 	// KindRejoin: node → frontend, re-register into a running serving
 	// session. Body: Varint id+1 (0 asks the frontend to pick any absent
 	// slot), String mesh address. The frontend answers with KindRejoinAssign
 	// on success or KindError (epoch 0) on rejection.
-	KindRejoin = 10
+	KindRejoin Kind = 10
 	// KindRejoinAssign: frontend → node, the rejoin grant. Body:
 	// RejoinAssign — Varint id, Varint k, U64 seed, Varint leader,
 	// Varint epoch (the session's current epoch ordinal), Varint
 	// presentCount, presentCount × Varint id (the peers currently serving,
 	// which the rejoining node must dial), then k × String mesh addresses.
-	KindRejoinAssign = 11
+	KindRejoinAssign Kind = 11
 	// KindQueryTagged: client → frontend, a multiplexed query. Body:
 	// Varint tag (client-chosen request id, echoed verbatim in the reply),
 	// then a Query body. Tagged queries on one connection may be answered
 	// out of order; the untagged KindQuery keeps its strict in-order
 	// request/reply contract for legacy clients.
-	KindQueryTagged = 12
+	KindQueryTagged Kind = 12
 	// KindReplyTagged: frontend → client, the answer to one tagged query.
 	// Body: Varint tag, then a Reply body.
-	KindReplyTagged = 13
+	KindReplyTagged Kind = 13
 	// KindSummary: node → frontend, the node's metric-index shard summary,
 	// sent immediately after every KindReady (both the setup and the
 	// re-join handshake). Body: Varint node id, U8 has; if has is 1:
@@ -66,14 +73,14 @@ const (
 	// the session's point encoding). has 0 means the shard has no metric
 	// summary (the point type is not a metric, or the shard is empty) and
 	// disables pruned dispatch for the whole session.
-	KindSummary = 14
+	KindSummary Kind = 14
 	// KindDispatchDirect: frontend → node, one pruned (no-mesh) query
 	// epoch: the node answers its local top-ℓ for each query point from
 	// its own shard without starting a BSP epoch — no election-derived
 	// rounds, no mesh traffic — and replies with a winners-only KindResult
 	// (IsLeader 0, Rounds/Messages/Bytes 0). Body: Varint epoch, then a
 	// Query body (identical layout to KindDispatch).
-	KindDispatchDirect = 15
+	KindDispatchDirect Kind = 15
 	// KindDispatchDirectSub: frontend → node, one shard's sub-batch of a
 	// pruned batch epoch. The frontend's per-point admission test sends each
 	// shard only the query points whose ball can intersect it, so different
@@ -84,7 +91,7 @@ const (
 	// with one entry per sub-batch point, in sub-batch order. Body: Varint
 	// epoch, Varint n, n × Varint original batch index, then a Query body
 	// whose batch is the n sub-batch points.
-	KindDispatchDirectSub = 16
+	KindDispatchDirectSub Kind = 16
 )
 
 // Session modes carried in the KindAssign frame.
@@ -156,7 +163,7 @@ func EncodeQuery(q Query) []byte {
 
 // AppendQuery appends a KindQuery frame payload to w (for pooled writers).
 func AppendQuery(w *Writer, q Query) {
-	w.U8(KindQuery)
+	w.Kind(KindQuery)
 	q.append(w)
 }
 
@@ -169,7 +176,7 @@ func EncodeQueryTagged(tag uint64, q Query) []byte {
 
 // AppendQueryTagged appends a KindQueryTagged frame payload to w.
 func AppendQueryTagged(w *Writer, tag uint64, q Query) {
-	w.U8(KindQueryTagged)
+	w.Kind(KindQueryTagged)
 	w.Varint(tag)
 	q.append(w)
 }
@@ -183,7 +190,7 @@ func EncodeDispatch(epoch uint64, q Query) []byte {
 
 // AppendDispatch appends a KindDispatch frame payload to w.
 func AppendDispatch(w *Writer, epoch uint64, q Query) {
-	w.U8(KindDispatch)
+	w.Kind(KindDispatch)
 	w.Varint(epoch)
 	q.append(w)
 }
@@ -198,7 +205,7 @@ func EncodeDispatchDirect(epoch uint64, q Query) []byte {
 
 // AppendDispatchDirect appends a KindDispatchDirect frame payload to w.
 func AppendDispatchDirect(w *Writer, epoch uint64, q Query) {
-	w.U8(KindDispatchDirect)
+	w.Kind(KindDispatchDirect)
 	w.Varint(epoch)
 	q.append(w)
 }
@@ -215,7 +222,7 @@ func EncodeDispatchDirectSub(epoch uint64, index []int, q Query) []byte {
 // w. index carries the original batch index of each point of q, so
 // len(index) must equal len(q.Points).
 func AppendDispatchDirectSub(w *Writer, epoch uint64, index []int, q Query) {
-	w.U8(KindDispatchDirectSub)
+	w.Kind(KindDispatchDirectSub)
 	w.Varint(epoch)
 	w.Varint(uint64(len(index)))
 	for _, qi := range index {
@@ -318,7 +325,7 @@ func EncodeNodeError(ne NodeError) []byte {
 
 // AppendNodeError appends a KindError frame payload to w.
 func AppendNodeError(w *Writer, ne NodeError) {
-	w.U8(KindError)
+	w.Kind(KindError)
 	w.Varint(ne.Epoch)
 	w.U8(b2u(ne.Origin))
 	w.U8(b2u(ne.Fatal))
@@ -351,7 +358,7 @@ func DecodeNodeError(r *Reader) (NodeError, error) {
 // machine index).
 func EncodeRejoin(id int, meshAddr string) []byte {
 	var w Writer
-	w.U8(KindRejoin)
+	w.Kind(KindRejoin)
 	if id < 0 {
 		w.Varint(0)
 	} else {
@@ -391,7 +398,7 @@ type RejoinAssign struct {
 // EncodeRejoinAssign builds a KindRejoinAssign frame payload.
 func EncodeRejoinAssign(ra RejoinAssign) []byte {
 	var w Writer
-	w.U8(KindRejoinAssign)
+	w.Kind(KindRejoinAssign)
 	w.Varint(uint64(ra.ID))
 	w.Varint(uint64(ra.K))
 	w.U64(ra.Seed)
@@ -462,7 +469,7 @@ func EncodeShardSummary(s ShardSummary) []byte {
 
 // AppendShardSummary appends a KindSummary frame payload to w.
 func AppendShardSummary(w *Writer, s ShardSummary) {
-	w.U8(KindSummary)
+	w.Kind(KindSummary)
 	w.Varint(uint64(s.Node))
 	w.U8(b2u(s.Has))
 	if s.Has {
@@ -545,7 +552,7 @@ func EncodeNodeResult(nr NodeResult) []byte {
 // AppendNodeResult appends a KindResult frame payload to w (for pooled
 // writers on the node's per-epoch result path).
 func AppendNodeResult(w *Writer, nr NodeResult) {
-	w.U8(KindResult)
+	w.Kind(KindResult)
 	w.Varint(nr.Epoch)
 	w.Varint(uint64(nr.Node))
 	w.Varint(uint64(nr.Rounds))
@@ -665,7 +672,7 @@ func EncodeReply(rep Reply) []byte {
 
 // AppendReply appends a KindReply frame payload to w (for pooled writers).
 func AppendReply(w *Writer, rep Reply) {
-	w.U8(KindReply)
+	w.Kind(KindReply)
 	rep.append(w)
 }
 
@@ -678,7 +685,7 @@ func EncodeReplyTagged(tag uint64, rep Reply) []byte {
 
 // AppendReplyTagged appends a KindReplyTagged frame payload to w.
 func AppendReplyTagged(w *Writer, tag uint64, rep Reply) {
-	w.U8(KindReplyTagged)
+	w.Kind(KindReplyTagged)
 	w.Varint(tag)
 	rep.append(w)
 }

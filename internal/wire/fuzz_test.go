@@ -143,10 +143,10 @@ func FuzzDecodeTaggedFrame(f *testing.F) {
 		Results: []QueryReply{{Items: []points.Item{{Key: keys.Key{Dist: 1, ID: 2}}}}},
 	}))
 	f.Add(EncodeReplyTagged(5, Reply{Err: "degraded", Degraded: true}))
-	f.Add([]byte{KindQueryTagged, 0x80})
+	f.Add([]byte{byte(KindQueryTagged), 0x80})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(data)
-		switch r.U8() {
+		switch r.Kind() {
 		case KindQueryTagged:
 			tag := r.Varint()
 			q, err := DecodeQuery(r)
@@ -183,6 +183,8 @@ func FuzzDecodeTaggedFrame(f *testing.F) {
 			if !bytes.Equal(EncodeReplyTagged(tag, rep2), enc) {
 				t.Fatalf("tagged reply is not a re-encoding fixed point")
 			}
+		default:
+			// Not a tagged frame: nothing to round-trip.
 		}
 	})
 }
@@ -311,10 +313,10 @@ func FuzzReadFrame(f *testing.F) {
 
 // skipKind wraps an encoded frame in a Reader positioned after its kind
 // byte, asserting the kind on the way.
-func skipKind(t *testing.T, frame []byte, kind uint8) *Reader {
+func skipKind(t *testing.T, frame []byte, kind Kind) *Reader {
 	t.Helper()
 	r := NewReader(frame)
-	if got := r.U8(); got != kind {
+	if got := r.Kind(); got != kind {
 		t.Fatalf("kind %d, want %d", got, kind)
 	}
 	return r

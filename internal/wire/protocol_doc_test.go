@@ -20,11 +20,11 @@ func docExamples() []struct {
 	Bytes []byte
 } {
 	var reg Writer
-	reg.U8(KindRegister)
+	reg.Kind(KindRegister)
 	reg.String("127.0.0.1:9000")
 
 	var asg Writer
-	asg.U8(KindAssign)
+	asg.Kind(KindAssign)
 	asg.U8(ModeServe)
 	asg.Varint(1)
 	asg.Varint(2)
@@ -54,7 +54,7 @@ func docExamples() []struct {
 	}}
 
 	var rdy Writer
-	rdy.U8(KindReady)
+	rdy.Kind(KindReady)
 	rdy.Varint(1)
 	rdy.Varint(0)
 	rdy.Varint(5000)
@@ -96,7 +96,7 @@ func docExamples() []struct {
 		})},
 		{"node error", EncodeNodeError(NodeError{Epoch: 1, Origin: true, LostPeer: -1, Msg: "boom"})},
 		{"fatal node error", EncodeNodeError(NodeError{Epoch: 7, Fatal: true, LostPeer: 2, Msg: "lost peer 2"})},
-		{"shutdown", []byte{KindShutdown}},
+		{"shutdown", []byte{byte(KindShutdown)}},
 		{"rejoin", EncodeRejoin(1, "127.0.0.1:9002")},
 		{"rejoin assign", EncodeRejoinAssign(RejoinAssign{
 			ID: 1, K: 2, Seed: 7, Leader: 0, Epoch: 42,
@@ -164,7 +164,7 @@ func TestFrameRoundTrips(t *testing.T) {
 	}}
 	{
 		r := NewReader(EncodeQuery(q))
-		if kind := r.U8(); kind != KindQuery {
+		if kind := r.Kind(); kind != KindQuery {
 			t.Fatalf("kind %d", kind)
 		}
 		got, err := DecodeQuery(r)
@@ -199,7 +199,7 @@ func TestFrameRoundTrips(t *testing.T) {
 	}
 	{
 		r := NewReader(EncodeDispatch(9, q))
-		if kind := r.U8(); kind != KindDispatch {
+		if kind := r.Kind(); kind != KindDispatch {
 			t.Fatalf("kind %d", kind)
 		}
 		if epoch := r.Varint(); epoch != 9 {
@@ -231,7 +231,7 @@ func TestFrameRoundTrips(t *testing.T) {
 			},
 		}
 		r := NewReader(EncodeNodeResult(nr))
-		if kind := r.U8(); kind != KindResult {
+		if kind := r.Kind(); kind != KindResult {
 			t.Fatalf("kind %d", kind)
 		}
 		got, err := DecodeNodeResult(r)
@@ -288,7 +288,7 @@ func TestFrameRoundTrips(t *testing.T) {
 			},
 		}
 		r := NewReader(EncodeReply(rep))
-		if kind := r.U8(); kind != KindReply {
+		if kind := r.Kind(); kind != KindReply {
 			t.Fatalf("kind %d", kind)
 		}
 		got, err := DecodeReply(r)
@@ -322,7 +322,7 @@ func TestTaggedFrameRoundTrips(t *testing.T) {
 	q := Query{Op: OpKNN, L: 7, Tag: PointScalar, Points: [][]byte{EncodeScalarPoint(42)}}
 	for _, tag := range []uint64{0, 1, 300, math.MaxUint64} {
 		r := NewReader(EncodeQueryTagged(tag, q))
-		if kind := r.U8(); kind != KindQueryTagged {
+		if kind := r.Kind(); kind != KindQueryTagged {
 			t.Fatalf("kind %d", kind)
 		}
 		if got := r.Varint(); got != tag {
@@ -341,7 +341,7 @@ func TestTaggedFrameRoundTrips(t *testing.T) {
 		}},
 	}
 	r := NewReader(EncodeReplyTagged(77, rep))
-	if kind := r.U8(); kind != KindReplyTagged {
+	if kind := r.Kind(); kind != KindReplyTagged {
 		t.Fatalf("kind %d", kind)
 	}
 	if got := r.Varint(); got != 77 {

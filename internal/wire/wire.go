@@ -57,6 +57,9 @@ func (w *Writer) Grow(n int) {
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
 
+// Kind appends a frame-kind byte.
+func (w *Writer) Kind(k Kind) { w.U8(uint8(k)) }
+
 // U64 appends a fixed-width little-endian uint64.
 func (w *Writer) U64(v uint64) {
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
@@ -143,6 +146,9 @@ func (r *Reader) U8() uint8 {
 	r.off++
 	return v
 }
+
+// Kind reads a frame-kind byte.
+func (r *Reader) Kind() Kind { return Kind(r.U8()) }
 
 // U64 reads a fixed-width uint64.
 func (r *Reader) U64() uint64 {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# lint.sh — the repository's static-analysis gate, identical locally and in
+# CI. Always runs knnlint (the in-tree analyzer suite: detsource,
+# kindswitch, poolown, lockio, fpsum) through `go vet -vettool`, which is a
+# hard gate; staticcheck and govulncheck run when installed (CI installs
+# pinned versions — see .github/workflows/ci.yml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== knnlint (go vet -vettool) =="
+mkdir -p bin
+go build -o bin/knnlint ./cmd/knnlint
+go vet -vettool=bin/knnlint ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck =="
+  staticcheck ./...
+else
+  echo "-- staticcheck not installed; skipping (CI runs it pinned)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck =="
+  govulncheck ./...
+else
+  echo "-- govulncheck not installed; skipping (CI runs it pinned)"
+fi
+
+echo "lint: OK"
