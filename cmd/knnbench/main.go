@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -88,6 +90,7 @@ func main() {
 	var doc jsonDoc
 	doc.Seed = params.Seed
 	doc.Quick = params.Quick
+	doc.Meta = runMeta()
 	for _, e := range todo {
 		start := time.Now()
 		tables, err := e.Run(params)
@@ -132,7 +135,52 @@ func main() {
 type jsonDoc struct {
 	Seed        uint64           `json:"seed"`
 	Quick       bool             `json:"quick"`
+	Meta        jsonMeta         `json:"meta"`
 	Experiments []jsonExperiment `json:"experiments"`
+}
+
+// jsonMeta records the environment a -json run was measured in, so perf
+// trajectories diffed across BENCH_*.json files compare like with like.
+type jsonMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// runMeta gathers the run environment. The commit comes from the build's
+// embedded VCS stamp when the binary was built inside a checkout, falling
+// back to the CI-provided GITHUB_SHA.
+func runMeta() jsonMeta {
+	m := jsonMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			m.Commit = rev + dirty
+		}
+	}
+	if m.Commit == "" {
+		m.Commit = os.Getenv("GITHUB_SHA")
+	}
+	return m
 }
 
 type jsonExperiment struct {

@@ -115,6 +115,7 @@ func main() {
 		probes      = flag.Int("probes", 0, "with -serve -coordinator -prune: nearest shards each point probes for its bound (0 = default 1; more tightens the bound on overlapping clusters)")
 		anchor      = flag.Bool("anchor", false, "with -serve -join or -serve -local: anchor-clustered shards (deterministic k-center partition of the same global dataset) instead of uniform ID blocks")
 		vmetric     = flag.String("vmetric", "l2", "vector metric served when -dim > 0: l2|l1|linf|cosine")
+		admin       = flag.String("admin", "", "with -serve: HTTP admin address — the frontend serves /metrics, /healthz, /trace/recent and /debug/pprof; a node serves its own /metrics")
 	)
 	flag.Parse()
 
@@ -146,6 +147,10 @@ func main() {
 			ServerBatch: *serverBatch,
 			Linger:      *linger,
 		}
+		if *admin != "" {
+			fopts.Metrics = distknn.NewMetrics()
+			fopts.Trace = distknn.NewTracer(0)
+		}
 		if *prune {
 			// The pruner must match the point type the nodes will declare;
 			// a mismatched one fails its distance computations and the
@@ -163,11 +168,32 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		if *admin != "" {
+			adm, err := distknn.ServeAdmin(*admin, distknn.AdminOptions{
+				Metrics: fopts.Metrics,
+				Trace:   fopts.Trace,
+				Health:  fe.Health,
+			})
+			if err != nil {
+				fatalf("admin endpoint: %v", err)
+			}
+			defer adm.Close()
+			fmt.Printf("admin endpoint on http://%s/metrics\n", adm.Addr())
+		}
 		fmt.Printf("serving frontend on %s waiting for %d nodes (seed=%d)\n", fe.Addr(), *k, *seed)
 		if err := fe.Serve(); err != nil {
 			fatalf("%v", err)
 		}
 	case *serve && *join != "":
+		if *admin != "" {
+			opts.Metrics = distknn.NewMetrics()
+			adm, err := distknn.ServeAdmin(*admin, distknn.AdminOptions{Metrics: opts.Metrics})
+			if err != nil {
+				fatalf("admin endpoint: %v", err)
+			}
+			defer adm.Close()
+			fmt.Printf("admin endpoint on http://%s/metrics\n", adm.Addr())
+		}
 		serveSession := func() error {
 			if *dim > 0 {
 				shards := distknn.UniformVectorShards(*seed, *perNode, *dim)

@@ -72,6 +72,7 @@ func main() {
 		batchSize = flag.Int("batch", 1, "queries per KNNBatch dispatch (>1 switches to serial batched mode)")
 		connect   = flag.String("connect", "", "frontend address of a remote TCP serving cluster (see knnnode -serve); query it instead of building a local one")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline against a remote cluster (0 = none); churn-degraded queries are retried for up to 500ms either way")
+		admin     = flag.String("admin", "", "with -connect: serve the client's runtime metrics on this HTTP address (/metrics, /debug/pprof)")
 	)
 	flag.Parse()
 
@@ -106,6 +107,16 @@ func main() {
 			fatalf("-compare needs a local cluster; it cannot be combined with -connect")
 		}
 		copts := distknn.ClientOptions{QueryTimeout: *timeout}
+		if *admin != "" {
+			reg := distknn.NewMetrics()
+			copts.Metrics = reg
+			adm, err := distknn.ServeAdmin(*admin, distknn.AdminOptions{Metrics: reg})
+			if err != nil {
+				fatalf("admin endpoint: %v", err)
+			}
+			defer adm.Close()
+			fmt.Printf("client admin endpoint on http://%s/metrics\n", adm.Addr())
+		}
 		switch *metric {
 		case "scalar":
 			rc, err := distknn.DialTypedClusterOptions(distknn.ScalarPoints(), *connect, copts)
@@ -287,6 +298,9 @@ func runServe[P any](c queryCluster[P], gen func(*rand.Rand) P, l, total, worker
 		fmt.Printf("  per query   rounds=%.1f  messages=%.1f  traffic=%.0fB (election: 0, paid once at startup)\n",
 			float64(res.Rounds)/float64(ok), float64(res.Messages)/float64(ok),
 			float64(res.Bytes)/float64(ok))
+		if res.Contacts > 0 {
+			fmt.Printf("  pruned      contacted-nodes/query=%.2f\n", float64(res.Contacts)/float64(ok))
+		}
 	}
 	if res.Failed > 0 {
 		fmt.Printf("  FAILED      %d queries (excluded from the numbers above; first error: %v)\n",

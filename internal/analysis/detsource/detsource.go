@@ -63,8 +63,10 @@ func run(pass *knnlint.Pass) error {
 		}
 		// Socket deadlines are wall-clock by nature and cannot leak into
 		// a computed answer, so time.Now feeding a Set*Deadline call
-		// directly is exempt.
+		// directly is exempt. Likewise, readings that flow only into
+		// internal/obs telemetry recorders never reach an answer.
 		exempt := deadlineExemptNows(pass, f)
+		obsExemptCalls(pass, f, exempt)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
@@ -132,6 +134,132 @@ func deadlineExemptNows(pass *knnlint.Pass, f *ast.File) map[*ast.CallExpr]bool 
 		return true
 	})
 	return exempt
+}
+
+// obsExemptCalls adds to exempt the time.Now/Since/Until calls whose
+// results flow only into internal/obs telemetry recorders. Telemetry is
+// an observation channel, not an input: a duration handed to a histogram
+// can never come back to perturb an epoch's answer, so such readings do
+// not need per-line audit directives.
+//
+// Two shapes are exempt. A time call nested directly in the argument
+// list of an obs call (`h.Observe(int64(time.Since(start)))`) is exempt
+// outright. A local defined once from a time call (`start :=
+// time.Now()`) is exempt when every use of that local sits inside an
+// already-clean region — an obs argument list or another exempt time
+// call — so chains like start → Since(start) → Observe resolve by
+// fixpoint. Any use that escapes those regions, or a second assignment
+// to the local, keeps the reading flagged.
+func obsExemptCalls(pass *knnlint.Pass, f *ast.File, exempt map[*ast.CallExpr]bool) {
+	type span struct{ lo, hi token.Pos }
+	var clean []span
+	within := func(p token.Pos) bool {
+		for _, s := range clean {
+			if p >= s.lo && p <= s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Obs-call argument lists are clean regions, and time calls nested
+	// directly inside them are exempt.
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !knnlint.PkgPathHasSuffix(fn.Pkg().Path(), "internal/obs") {
+			return true
+		}
+		clean = append(clean, span{call.Lparen, call.Rparen})
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if inner, ok := m.(*ast.CallExpr); ok {
+					if path, name, _ := pkgFuncCall(pass, inner); path == "time" && timeFuncs[name] {
+						exempt[inner] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Locals defined exactly once from a bare time call are candidates;
+	// collect them alongside every use position of each local.
+	type candidate struct {
+		obj  types.Object
+		call *ast.CallExpr
+	}
+	var cands []candidate
+	assigns := make(map[types.Object]int)
+	uses := make(map[types.Object][]token.Pos)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				assigns[obj]++
+				if len(n.Lhs) != 1 || len(n.Rhs) != 1 || i != 0 {
+					continue
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if path, name, _ := pkgFuncCall(pass, call); path == "time" && timeFuncs[name] {
+					cands = append(cands, candidate{obj: obj, call: call})
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				uses[obj] = append(uses[obj], n.Pos())
+			}
+		}
+		return true
+	})
+
+	// Fixpoint: exempting one candidate widens the clean regions, which
+	// can make the candidate it was derived from clean in turn.
+	for {
+		progressed := false
+		for _, c := range cands {
+			if exempt[c.call] || assigns[c.obj] != 1 || len(uses[c.obj]) == 0 {
+				continue
+			}
+			all := true
+			for _, p := range uses[c.obj] {
+				if !within(p) {
+					all = false
+					break
+				}
+			}
+			if all {
+				exempt[c.call] = true
+				clean = append(clean, span{c.call.Pos(), c.call.End()})
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
 }
 
 func checkCall(pass *knnlint.Pass, call *ast.CallExpr, exempt map[*ast.CallExpr]bool) {

@@ -1,0 +1,43 @@
+package kmachine
+
+import (
+	"time"
+
+	"example.com/internal/obs"
+)
+
+// Telemetry-only wall-clock readings are exempt: a duration that flows
+// only into an internal/obs recorder cannot perturb an epoch's answer.
+
+func telemetryDirect(h *obs.Histogram, t0 time.Time) {
+	h.ObserveDuration(time.Since(t0)) // nested directly in an obs argument
+}
+
+func telemetryIdentFlow(h *obs.Histogram) {
+	start := time.Now() // every use flows into the obs call below
+	h.Observe(int64(time.Since(start)))
+}
+
+func telemetryChain(h *obs.Histogram) {
+	start := time.Now() // resolves by fixpoint through the Since local
+	d := time.Since(start)
+	h.Observe(int64(d))
+}
+
+func telemetryLeak(h *obs.Histogram) time.Time {
+	leak := time.Now() // want `time.Now in determinism-critical package`
+	h.Observe(int64(time.Since(leak)))
+	return leak // the reading escapes the telemetry sink
+}
+
+func telemetryReassigned(h *obs.Histogram, t1 time.Time) {
+	t := time.Now() // want `time.Now in determinism-critical package`
+	t = t1
+	h.Observe(int64(time.Since(t)))
+}
+
+func telemetryUnrelated(h *obs.Histogram) time.Duration {
+	d := time.Since(time.Time{}) // want `time.Since in determinism-critical package`
+	h.Observe(int64(d))
+	return d
+}

@@ -1,0 +1,15 @@
+// Package obs is a fixture stub mirroring the shape of
+// distknn/internal/obs: the detsource testdata exercises the telemetry
+// exemption against it, keyed on the import-path suffix "internal/obs".
+package obs
+
+import "time"
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v int64)                 {}
+func (h *Histogram) ObserveDuration(d time.Duration) {}
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}

@@ -18,6 +18,7 @@ type ServeResult struct {
 	Rounds    int64
 	Messages  int64
 	Bytes     int64
+	Contacts  int64 // pruned-dispatch node contacts (0 on full scatter)
 	Failed    int
 	FirstErr  error
 }
@@ -72,7 +73,7 @@ func Serve[P any](cluster Queryable[P], query func(i int) P, l, total, workers i
 	}
 	latencies := make([]time.Duration, total) // slot i written by one worker only
 	succeeded := make([]bool, total)
-	var next, rounds, msgs, bytes atomic.Int64
+	var next, rounds, msgs, bytes, contacts atomic.Int64
 	var mu sync.Mutex
 	var firstErr error
 	failed := 0
@@ -104,6 +105,7 @@ func Serve[P any](cluster Queryable[P], query func(i int) P, l, total, workers i
 				rounds.Add(int64(qs.Rounds))
 				msgs.Add(qs.Messages)
 				bytes.Add(qs.Bytes)
+				contacts.Add(qs.Contacts)
 			}
 		}()
 	}
@@ -113,6 +115,7 @@ func Serve[P any](cluster Queryable[P], query func(i int) P, l, total, workers i
 		Rounds:   rounds.Load(),
 		Messages: msgs.Load(),
 		Bytes:    bytes.Load(),
+		Contacts: contacts.Load(),
 		Failed:   failed,
 		FirstErr: firstErr,
 	}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// SeatHealth reports one frontend seat for /healthz.
+type SeatHealth struct {
+	ID      int    `json:"id"`
+	Present bool   `json:"present"`
+	Gen     uint64 `json:"gen"`
+	Cause   string `json:"cause,omitempty"`
+}
+
+// Health is the /healthz payload. OK is false while any seat is absent
+// (a degraded window) or the cluster has not finished rendezvous;
+// Detail says why, and Seats carries the per-seat breakdown.
+type Health struct {
+	OK     bool         `json:"ok"`
+	Detail string       `json:"detail,omitempty"`
+	Seats  []SeatHealth `json:"seats,omitempty"`
+}
+
+// AdminOptions configures the admin plane. Any field may be nil:
+// a nil Metrics serves an empty snapshot, a nil Trace serves an empty
+// span list, and a nil Health reports always-OK.
+type AdminOptions struct {
+	Metrics *Registry
+	Trace   *Tracer
+	Health  func() Health
+}
+
+// Admin is a running admin HTTP server.
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler builds the admin mux: /metrics (registry snapshot JSON),
+// /healthz (200/503 with seat detail), /trace/recent (retained epoch
+// spans), and /debug/pprof/*.
+func Handler(o AdminOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var snap Snapshot
+		if o.Metrics != nil {
+			snap = o.Metrics.Snapshot()
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{OK: true}
+		if o.Health != nil {
+			h = o.Health()
+		}
+		code := http.StatusOK
+		if !h.OK {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+	mux.HandleFunc("/trace/recent", func(w http.ResponseWriter, r *http.Request) {
+		spans := o.Trace.Recent()
+		if spans == nil {
+			spans = []SpanSnapshot{}
+		}
+		writeJSON(w, http.StatusOK, spans)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ServeAdmin starts the admin HTTP server on addr and serves until
+// Close. The admin plane runs beside the query listener — it shares
+// nothing with the wire protocol, so it cannot perturb epochs.
+func ServeAdmin(addr string, o AdminOptions) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &Admin{ln: ln, srv: &http.Server{Handler: Handler(o)}}
+	go func() { _ = a.srv.Serve(ln) }()
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the admin server down.
+func (a *Admin) Close() error { return a.srv.Close() }

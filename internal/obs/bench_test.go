@@ -1,0 +1,50 @@
+package obs
+
+import "testing"
+
+// The query path records through these exact calls; all of them must
+// stay 0 allocs/op (see TestHotPathAllocations for the hard gate).
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) * 1024)
+	}
+}
+
+func BenchmarkHistogramObserveSince(b *testing.B) {
+	h := NewRegistry().Histogram("h", LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(StartTimer())
+	}
+}
+
+func BenchmarkSpanLifecycle(b *testing.B) {
+	tr := NewTracer(8)
+	for i := 0; i < 16; i++ { // warm every ring slot's seat slice
+		sp := tr.Begin(uint64(i), 0, 1, false)
+		sp.MarkSeat(0)
+		sp.MarkSeat(1)
+		sp.Finish()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(uint64(i), 1, 1, false)
+		sp.MarkDispatched()
+		sp.MarkSeat(0)
+		sp.MarkSeat(1)
+		sp.MarkCollated("", false)
+		sp.Finish()
+	}
+}

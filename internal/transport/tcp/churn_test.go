@@ -78,7 +78,7 @@ func (c *churnCluster) startNode(h Handler, rejoinID int) {
 			c.mu.Lock()
 			c.sessions[s.node.id] = s
 			c.mu.Unlock()
-		})
+		}, nil)
 		c.mu.Lock()
 		c.exitErrs = append(c.exitErrs, err)
 		c.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"distknn/internal/obs"
 	"distknn/internal/wire"
 )
 
@@ -49,6 +50,10 @@ type ClientOptions struct {
 	// NoRetry disables the automatic retry entirely: the first failure of
 	// any kind is returned to the caller.
 	NoRetry bool
+	// Metrics receives the client's runtime counters (queries, retries,
+	// degraded replies, reconnects, timeouts, outstanding tags — see
+	// metrics.go). Nil binds the instrumentation to a private registry.
+	Metrics *obs.Registry
 }
 
 // Client is a remote handle on a serving cluster: it speaks the
@@ -73,11 +78,13 @@ type ClientOptions struct {
 type Client struct {
 	addr string
 	opts ClientOptions
+	cm   *clientMetrics
 
 	closedCh chan struct{} // closed by Close; wakes calls and retry sleeps
 
 	mu     sync.Mutex
 	mc     *muxConn // live connection incarnation; nil until (re)dialed
+	dialed bool     // a connection has succeeded before (reconnect accounting)
 	closed bool
 }
 
@@ -113,7 +120,7 @@ func DialFrontend(addr string) (*Client, error) {
 
 // DialFrontendOptions connects to a serving frontend.
 func DialFrontendOptions(addr string, opts ClientOptions) (*Client, error) {
-	c := &Client{addr: addr, opts: opts, closedCh: make(chan struct{})}
+	c := &Client{addr: addr, opts: opts, cm: newClientMetrics(opts.Metrics), closedCh: make(chan struct{})}
 	if _, err := c.conn(); err != nil {
 		return nil, err
 	}
@@ -136,6 +143,10 @@ func (c *Client) conn() (*muxConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcp: dial frontend: %w", err)
 	}
+	if c.dialed {
+		c.cm.reconnects.Inc()
+	}
+	c.dialed = true
 	m := &muxConn{
 		c:       c,
 		conn:    conn,
@@ -175,6 +186,7 @@ func (m *muxConn) poison(cause error) {
 			ch <- muxResult{err: cause}
 			delete(m.waiters, tag)
 		}
+		m.noteOutstandingLocked()
 	}
 	m.mu.Unlock()
 	m.c.drop(m)
@@ -186,7 +198,14 @@ func (m *muxConn) poison(cause error) {
 func (m *muxConn) forget(tag uint64) {
 	m.mu.Lock()
 	delete(m.waiters, tag)
+	m.noteOutstandingLocked()
 	m.mu.Unlock()
+}
+
+// noteOutstandingLocked mirrors the waiter-table size into the
+// outstanding-tags gauge. Caller holds m.mu.
+func (m *muxConn) noteOutstandingLocked() {
+	m.c.cm.outstanding.Set(int64(len(m.waiters)))
 }
 
 // writeLoop is the connection's single writer: it drains encoded frames
@@ -253,6 +272,7 @@ func (m *muxConn) readLoop() {
 		ch, ok := m.waiters[tag]
 		if ok {
 			delete(m.waiters, tag)
+			m.noteOutstandingLocked()
 		}
 		m.mu.Unlock()
 		if ok {
@@ -277,6 +297,7 @@ func (m *muxConn) call(ctx context.Context, q wire.Query) (rep wire.Reply, trans
 	m.nextTag++
 	ch := make(chan muxResult, 1)
 	m.waiters[tag] = ch
+	m.noteOutstandingLocked()
 	m.mu.Unlock()
 
 	w := wire.GetWriter()
@@ -300,6 +321,7 @@ func (m *muxConn) call(ctx context.Context, q wire.Query) (rep wire.Reply, trans
 	case <-timeoutCh:
 		m.forget(tag)
 		wire.PutWriter(w)
+		m.c.cm.timeouts.Inc()
 		return wire.Reply{}, false, &timeoutError{after: m.c.opts.Timeout}
 	case <-ctx.Done():
 		m.forget(tag)
@@ -319,6 +341,7 @@ func (m *muxConn) call(ctx context.Context, q wire.Query) (rep wire.Reply, trans
 		return res.rep, false, nil
 	case <-timeoutCh:
 		m.forget(tag)
+		m.c.cm.timeouts.Inc()
 		return wire.Reply{}, false, &timeoutError{after: m.c.opts.Timeout}
 	case <-ctx.Done():
 		m.forget(tag)
@@ -340,6 +363,7 @@ func (c *Client) Do(q wire.Query) (wire.Reply, error) {
 // (the reply, if it arrives, is discarded) without disturbing the other
 // queries multiplexed on the connection.
 func (c *Client) DoContext(ctx context.Context, q wire.Query) (wire.Reply, error) {
+	c.cm.queries.Inc()
 	rep, transport, err := c.attempt(ctx, q)
 	if err == nil || c.opts.NoRetry || ctx.Err() != nil {
 		return rep, err
@@ -354,6 +378,7 @@ func (c *Client) DoContext(ctx context.Context, q wire.Query) (wire.Reply, error
 		// degraded reply on the fresh connection still gets the full
 		// RetryWait ride-out below — a frontend restart surfaces as a
 		// transport failure followed by a degraded window.
+		c.cm.retries.Inc()
 		if rep, _, err = c.attempt(ctx, q); err == nil || !errors.Is(err, ErrDegraded) {
 			return rep, err
 		}
@@ -363,6 +388,7 @@ func (c *Client) DoContext(ctx context.Context, q wire.Query) (wire.Reply, error
 		budget = defaultRetryWait
 	}
 	if budget < 0 {
+		c.cm.retries.Inc()
 		rep, _, err = c.attempt(ctx, q)
 		return rep, err
 	}
@@ -392,6 +418,7 @@ func (c *Client) DoContext(ctx context.Context, q wire.Query) (wire.Reply, error
 		case <-ctx.Done():
 			return wire.Reply{}, ctx.Err()
 		}
+		c.cm.retries.Inc()
 		rep, _, rerr := c.attempt(ctx, q)
 		if rerr == nil {
 			return rep, nil
@@ -418,6 +445,7 @@ func (c *Client) attempt(ctx context.Context, q wire.Query) (wire.Reply, bool, e
 	}
 	if rep.Err != "" {
 		if rep.Degraded {
+			c.cm.degraded.Inc()
 			return wire.Reply{}, false, fmt.Errorf("tcp: remote: %s: %w", rep.Err, ErrDegraded)
 		}
 		return wire.Reply{}, false, fmt.Errorf("tcp: remote: %s", rep.Err)

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distknn/internal/obs"
 	"distknn/internal/wire"
 )
 
@@ -149,6 +150,36 @@ func (f *Frontend) untrackClient(conn net.Conn) {
 
 // Addr returns the frontend's dialable address (nodes and clients share it).
 func (f *Frontend) Addr() string { return f.ln.Addr().String() }
+
+// Health reports the cluster's serving state for the admin plane's
+// /healthz: OK only when the session finished rendezvous, the frontend
+// is open, and every seat is present. Absent seats carry their last
+// loss cause.
+func (f *Frontend) Health() obs.Health {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed.Load() {
+		return obs.Health{Detail: "frontend closed"}
+	}
+	if f.slots == nil {
+		return obs.Health{Detail: "waiting for node rendezvous"}
+	}
+	h := obs.Health{OK: true, Seats: make([]obs.SeatHealth, 0, len(f.slots))}
+	for _, s := range f.slots {
+		sh := obs.SeatHealth{ID: s.id, Present: s.present, Gen: s.gen}
+		if !s.present {
+			h.OK = false
+			if s.lastLoss != nil {
+				sh.Cause = s.lastLoss.Error()
+			}
+		}
+		h.Seats = append(h.Seats, sh)
+	}
+	if !h.OK {
+		h.Detail = "cluster degraded: seat(s) absent"
+	}
+	return h
+}
 
 // Serve runs the session: it accepts the k node registrations, configures
 // the mesh, waits for every node's ready report, and then answers client

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"distknn/internal/metricindex"
+	"distknn/internal/obs"
 	"distknn/internal/points"
 	"distknn/internal/wire"
 )
@@ -109,6 +110,16 @@ type FrontendOptions struct {
 	// contacts; answers are bit-identical for any value. Only meaningful
 	// with Pruner.
 	Probes int
+	// Metrics receives the frontend's runtime counters, gauges and
+	// histograms (see metrics.go for the instrument names). Nil binds the
+	// instrumentation to a private registry: the recording path is
+	// identical either way, so exposing metrics cannot perturb serving.
+	Metrics *obs.Registry
+	// Trace collects per-epoch spans (admission → dispatch → collation →
+	// reply, with seat-level arrival offsets) into the tracer's ring for
+	// /trace/recent and its optional JSONL sink. Nil disables span
+	// collection entirely.
+	Trace *obs.Tracer
 }
 
 func (o FrontendOptions) withDefaults() FrontendOptions {
@@ -146,6 +157,9 @@ type scheduler struct {
 	batching bool
 	probes   int // pruned path: nearest shards per point in wave 1
 
+	fm *feMetrics  // always non-nil (private registry when unconfigured)
+	tr *obs.Tracer // nil disables spans; all span methods are nil-safe
+
 	mu       sync.Mutex
 	cond     *sync.Cond // admission waits here for a free window slot
 	closed   bool
@@ -163,6 +177,8 @@ func newScheduler(f *Frontend, opts FrontendOptions) *scheduler {
 		maxBatch: opts.MaxServerBatch,
 		batching: opts.ServerBatch,
 		probes:   opts.Probes,
+		fm:       newFeMetrics(opts.Metrics),
+		tr:       opts.Trace,
 		inflight: make(map[uint64]*epochJob),
 		buckets:  make(map[bucketKey]*bucket),
 	}
@@ -201,6 +217,7 @@ type epochJob struct {
 	rep       wire.Reply
 	finished  bool
 	done      chan struct{}
+	span      *obs.Span // epoch trace span; nil when tracing is off
 }
 
 // expectSet records that connection incarnation gen of seat id owes this
@@ -268,10 +285,31 @@ func closingReply() wire.Reply {
 // (like any client batch) then routes through the pruned path, so server-side
 // batching and pruning compose instead of excluding each other.
 func (sched *scheduler) submit(q wire.Query) wire.Reply {
+	// start feeds only the latency histogram below — an obs sink — which
+	// is what keeps detsource satisfied without an allow directive.
+	start := time.Now()
+	sched.fm.queries.Inc()
+	var rep wire.Reply
 	if sched.batching && len(q.Points) == 1 {
-		return sched.coalesce(q)
+		rep = sched.coalesce(q)
+	} else {
+		rep = sched.execute(q)
 	}
-	return sched.execute(q)
+	sched.fm.latency.Observe(int64(time.Since(start)))
+	switch {
+	case rep.Err == "":
+	case rep.Degraded:
+		sched.fm.repliesDegr.Inc()
+	default:
+		sched.fm.repliesFail.Inc()
+	}
+	return rep
+}
+
+// noteCountLocked mirrors the in-flight window depth into its gauge.
+// Caller holds sched.mu.
+func (sched *scheduler) noteCountLocked() {
+	sched.fm.inflight.Set(int64(sched.count))
 }
 
 // execute runs one (possibly batched) query: through the metric-index pruned
@@ -306,6 +344,8 @@ func (sched *scheduler) run(q wire.Query) wire.Reply {
 		return closingReply()
 	}
 	sched.count++
+	sched.fm.occupancy.Observe(int64(sched.count))
+	sched.noteCountLocked()
 	sched.mu.Unlock()
 
 	job, rep := sched.dispatch(q)
@@ -315,12 +355,14 @@ func (sched *scheduler) run(q wire.Query) wire.Reply {
 		// gates all admission), so only a live scheduler's slot returns.
 		if !sched.closed {
 			sched.count--
+			sched.noteCountLocked()
 			sched.cond.Broadcast()
 		}
 		sched.mu.Unlock()
 		return rep
 	}
 	<-job.done
+	job.span.Finish()
 	return job.rep
 }
 
@@ -356,12 +398,14 @@ func (sched *scheduler) dispatch(q wire.Query) (*epochJob, wire.Reply) {
 		return nil, wire.Reply{Err: fmt.Sprintf("dispatch too large: %v", ferr)}
 	}
 	defer wire.PutWriter(dw)
+	sched.fm.epochsAdmitted.Inc()
 	job := &epochJob{
 		epoch:  epoch,
 		q:      q,
 		expect: make([]uint64, f.k),
 		rep:    wire.Reply{Results: make([]wire.QueryReply, len(q.Points))},
 		done:   make(chan struct{}),
+		span:   sched.tr.Begin(epoch, q.Op, len(q.Points), false),
 	}
 	// Register the job with its full expectation set before any write, so
 	// a node answering instantly finds its job — then release sched.mu for
@@ -400,6 +444,7 @@ func (sched *scheduler) dispatch(q wire.Query) (*epochJob, wire.Reply) {
 		}(i, s)
 	}
 	writes.Wait()
+	job.span.MarkDispatched()
 	sched.mu.Lock()
 	for i, s := range f.slots {
 		if err := writeErrs[i]; err != nil {
@@ -470,6 +515,7 @@ func (sched *scheduler) deliver(id int, gen uint64, payload []byte) {
 		} else {
 			job.expectClear(id)
 			job.merge(nr)
+			job.span.MarkSeat(id)
 		}
 	case wire.KindError:
 		ne, derr := wire.DecodeNodeError(r)
@@ -588,8 +634,10 @@ func (sched *scheduler) maybeFinishLocked(job *epochJob) {
 			msg += fmt.Sprintf(" (%v)", job.lostCause)
 		}
 		job.rep = wire.Reply{Err: msg, Degraded: true}
+		sched.fm.epochsLost.Inc()
 	case job.errMsg != "":
 		job.rep = wire.Reply{Err: fmt.Sprintf("query failed: %s", job.errMsg)}
+		sched.fm.epochsFailed.Inc()
 	default:
 		job.rep.Leader = sched.f.leader
 		for qi := range job.rep.Results {
@@ -598,10 +646,15 @@ func (sched *scheduler) maybeFinishLocked(job *epochJob) {
 				job.rep.Results[qi].Items = nil
 			}
 		}
+		sched.fm.meshRounds.Add(int64(job.rep.Rounds))
+		sched.fm.meshMessages.Add(job.rep.Messages)
+		sched.fm.meshBytes.Add(job.rep.Bytes)
 	}
+	job.span.MarkCollated(job.rep.Err, job.rep.Degraded)
 	delete(sched.inflight, job.epoch)
 	if !job.direct {
 		sched.count--
+		sched.noteCountLocked()
 		sched.cond.Broadcast()
 	}
 	close(job.done)
@@ -622,11 +675,13 @@ func (sched *scheduler) shutdown() {
 		if !job.finished {
 			job.finished = true
 			job.rep = closingReply()
+			job.span.MarkCollated(job.rep.Err, true)
 			close(job.done)
 		}
 	}
 	sched.inflight = make(map[uint64]*epochJob)
 	sched.count = 0
+	sched.noteCountLocked()
 	var open []*bucket
 	//knnlint:allow detsource -- shutdown fanout over independent buckets; each gets the same treatment
 	for key, b := range sched.buckets {
@@ -659,11 +714,12 @@ type bucketKey struct {
 // The points slice is guarded by scheduler.mu until the bucket leaves the
 // map; rep and solo are written exactly once, before done closes.
 type bucket struct {
-	q     wire.Query
-	timer *time.Timer
-	done  chan struct{}
-	rep   wire.Reply
-	solo  []wire.Reply // per-query fallback replies; see runBucket
+	q      wire.Query
+	timer  *time.Timer
+	done   chan struct{}
+	rep    wire.Reply
+	solo   []wire.Reply  // per-query fallback replies; see runBucket
+	opened obs.Stopwatch // bucket open instant, for the linger histogram
 }
 
 // coalesce joins (or opens) the bucket for q's key and waits for the shared
@@ -692,12 +748,14 @@ func (sched *scheduler) coalesce(q wire.Query) wire.Reply {
 	b := sched.buckets[key]
 	if b == nil {
 		b = &bucket{
-			q:    wire.Query{Op: q.Op, L: q.L, Tag: q.Tag},
-			done: make(chan struct{}),
+			q:      wire.Query{Op: q.Op, L: q.L, Tag: q.Tag},
+			done:   make(chan struct{}),
+			opened: obs.StartTimer(),
 		}
 		sched.buckets[key] = b
 		b.timer = time.AfterFunc(sched.linger, func() { sched.flush(key, b) })
 	}
+	sched.fm.coalesced.Inc()
 	idx := len(b.q.Points)
 	b.q.Points = append(b.q.Points, q.Points[0])
 	full := len(b.q.Points) >= sched.maxBatch
@@ -735,6 +793,8 @@ func (sched *scheduler) flush(key bucketKey, b *bucket) {
 // retryable for everyone) falls back to re-running each participant's
 // query as its own solo epoch, isolating the error to the offender.
 func (sched *scheduler) runBucket(b *bucket) {
+	sched.fm.batchSize.Observe(int64(len(b.q.Points)))
+	sched.fm.linger.ObserveSince(b.opened)
 	rep := sched.execute(b.q)
 	if rep.Err != "" && !rep.Degraded && len(b.q.Points) > 1 {
 		b.solo = make([]wire.Reply, len(b.q.Points))
@@ -832,11 +892,14 @@ func (sched *scheduler) runPruned(q wire.Query) (wire.Reply, bool) {
 		return closingReply(), true
 	}
 	sched.count++
+	sched.fm.occupancy.Observe(int64(sched.count))
+	sched.noteCountLocked()
 	sched.mu.Unlock()
 	rep := sched.prunedBatch(q, dist, radius)
 	sched.mu.Lock()
 	if !sched.closed {
 		sched.count--
+		sched.noteCountLocked()
 		sched.cond.Broadcast()
 	}
 	sched.mu.Unlock()
@@ -937,6 +1000,7 @@ func (sched *scheduler) prunedBatch(q wire.Query, dist [][]float64, radius []flo
 		return rep
 	}
 	<-job.done
+	job.span.Finish()
 	if job.rep.Err != "" {
 		return job.rep
 	}
@@ -972,6 +1036,7 @@ func (sched *scheduler) prunedBatch(q wire.Query, dist [][]float64, radius []flo
 			return rep2
 		}
 		<-job2.done
+		job2.span.Finish()
 		if job2.rep.Err != "" {
 			return job2.rep
 		}
@@ -1002,6 +1067,17 @@ func (sched *scheduler) prunedBatch(q wire.Query, dist [][]float64, radius []flo
 			qr.Value = regressItems(items, f.k, f.leader)
 		}
 	}
+	// Contacts and skips are recorded only for a query that answers: the
+	// counter then matches the Σ of client-observed QueryStats.Contacts.
+	sched.fm.pruneWaves.Add(int64(rounds))
+	sched.fm.pruneContacts.Add(contacts)
+	var skipped int64
+	for id := 0; id < f.k; id++ {
+		if len(wave1[id]) == 0 && len(wave2[id]) == 0 {
+			skipped++
+		}
+	}
+	sched.fm.pruneSkipped.Add(skipped)
 	return wire.Reply{
 		Rounds:   rounds,
 		Messages: contacts,
@@ -1172,6 +1248,7 @@ func (sched *scheduler) dispatchDirectWave(q wire.Query, subs [][]int) (*epochJo
 			frames[i] = frame
 		}
 	}
+	sched.fm.epochsAdmitted.Inc()
 	job := &epochJob{
 		epoch:  epoch,
 		q:      q,
@@ -1179,6 +1256,7 @@ func (sched *scheduler) dispatchDirectWave(q wire.Query, subs [][]int) (*epochJo
 		sub:    make(map[int][]int, len(targets)),
 		expect: make([]uint64, f.k),
 		done:   make(chan struct{}),
+		span:   sched.tr.Begin(epoch, q.Op, len(q.Points), true),
 	}
 	for _, id := range targets {
 		job.sub[id] = subs[id]
@@ -1222,6 +1300,7 @@ func (sched *scheduler) dispatchDirectWave(q wire.Query, subs [][]int) (*epochJo
 		}
 		writes.Wait()
 	}
+	job.span.MarkDispatched()
 	sched.mu.Lock()
 	for i, id := range targets {
 		if err := writeErrs[i]; err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"distknn/internal/keys"
 	"distknn/internal/kmachine"
+	"distknn/internal/obs"
 	"distknn/internal/points"
 	"distknn/internal/wire"
 	"distknn/internal/xrand"
@@ -128,7 +129,15 @@ type Handler interface {
 // connection itself ends the session, with an error matching ErrSessionLost
 // so callers can re-join (see cmd/knnnode -rejoin).
 func ServeNode(coordAddr, meshAddr, advertise string, h Handler) error {
-	return serveNode(coordAddr, meshAddr, advertise, -1, h, nil)
+	return serveNode(coordAddr, meshAddr, advertise, -1, h, nil, nil)
+}
+
+// ServeNodeObserved is ServeNode with the node's serve-loop telemetry
+// (epochs served, mesh round/message/byte totals, control-plane frame
+// bytes, pool traffic) bound to reg — see metrics.go for the
+// instrument names. A nil registry behaves exactly like ServeNode.
+func ServeNodeObserved(coordAddr, meshAddr, advertise string, reg *obs.Registry, h Handler) error {
+	return serveNode(coordAddr, meshAddr, advertise, -1, h, nil, reg)
 }
 
 // RejoinNode re-joins a running serving session claiming a specific machine
@@ -140,7 +149,7 @@ func RejoinNode(coordAddr, meshAddr, advertise string, id int, h Handler) error 
 	if id < 0 {
 		return fmt.Errorf("tcp: rejoin needs a machine index, got %d", id)
 	}
-	return serveNode(coordAddr, meshAddr, advertise, id, h, nil)
+	return serveNode(coordAddr, meshAddr, advertise, id, h, nil, nil)
 }
 
 // nodeSession aggregates one resident node's sockets so in-package tests
@@ -158,7 +167,8 @@ func (s *nodeSession) kill() {
 	s.node.closePeers()
 }
 
-func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, hook func(*nodeSession)) error {
+func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, hook func(*nodeSession), reg *obs.Registry) error {
+	nm := newNodeMetrics(reg)
 	ln, err := net.Listen("tcp", meshAddr)
 	if err != nil {
 		return fmt.Errorf("tcp: node mesh listen: %w", err)
@@ -248,7 +258,12 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 		ctrlMu.Lock()
 		defer ctrlMu.Unlock()
 		//knnlint:allow lockio -- ctrlMu exists to serialize exactly this control write; no other state hides behind it
-		return w.EndFrame(coord)
+		err := w.EndFrame(coord)
+		if err == nil {
+			// The writer still holds the whole frame after EndFrame.
+			nm.ctrlOut.Add(int64(len(w.Bytes())))
+		}
+		return err
 	}
 	var epochs sync.WaitGroup
 	defer epochs.Wait()
@@ -266,6 +281,7 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 			}
 			return fmt.Errorf("tcp: node %d read dispatch: %v: %w", a.id, err, ErrSessionLost)
 		}
+		nm.ctrlIn.Add(int64(len(payload)) + 4) // payload + length header
 		r := wire.NewReader(payload)
 		switch kind := r.Kind(); kind {
 		case wire.KindShutdown:
@@ -303,7 +319,7 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 			epochs.Add(1)
 			go func() {
 				defer epochs.Done()
-				runDispatchedEpoch(er, epochSeed, q, h, a.id, info.Leader, writeCtrl, coord)
+				runDispatchedEpoch(er, epochSeed, q, h, a.id, info.Leader, writeCtrl, coord, nm)
 				wire.PutFrameBuf(payload)
 			}()
 		case wire.KindDispatchDirect:
@@ -319,7 +335,7 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 			epochs.Add(1)
 			go func() {
 				defer epochs.Done()
-				runDirectEpoch(epoch, q, h, a.id, writeCtrl, coord)
+				runDirectEpoch(epoch, q, h, a.id, writeCtrl, coord, nm)
 				wire.PutFrameBuf(payload)
 			}()
 		case wire.KindDispatchDirectSub:
@@ -336,7 +352,7 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 			epochs.Add(1)
 			go func() {
 				defer epochs.Done()
-				runDirectEpoch(epoch, q, h, a.id, writeCtrl, coord)
+				runDirectEpoch(epoch, q, h, a.id, writeCtrl, coord, nm)
 				wire.PutFrameBuf(payload)
 			}()
 		default:
@@ -350,7 +366,7 @@ func serveNode(coordAddr, meshAddr, advertise string, rejoinID int, h Handler, h
 // goroutine; a failed control write closes the connection so the dispatch
 // read loop observes the session loss.
 func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
-	id, leader int, writeCtrl func(*wire.Writer) error, coord net.Conn) {
+	id, leader int, writeCtrl func(*wire.Writer) error, coord net.Conn, nm *nodeMetrics) {
 	res := make([]QueryResult, len(q.Points))
 	var err error
 	if len(q.Points) == 1 {
@@ -378,6 +394,7 @@ func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
 		// Program failures are recoverable; mesh failures set the fatal
 		// bit and name the lost peer, and the node keeps its seat — the
 		// frontend gates dispatches until the implicated node re-joins.
+		nm.epochErrors.Inc()
 		ew := epochErrorFrame(er.epoch, err)
 		werr := writeCtrl(ew)
 		wire.PutWriter(ew)
@@ -387,6 +404,10 @@ func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
 		return
 	}
 	met := er.metrics
+	nm.epochsServed.Inc()
+	nm.meshRounds.Add(int64(met.Rounds))
+	nm.meshMessages.Add(met.Messages)
+	nm.meshBytes.Add(met.Bytes)
 	nr := wire.NodeResult{
 		Epoch:    er.epoch,
 		Node:     id,
@@ -426,7 +447,7 @@ func runDispatchedEpoch(er *epochRun, epochSeed uint64, q wire.Query, h Handler,
 // (IsLeader false; zero mesh cost — the frontend accounts a pruned query's
 // cost itself). A failed query reports a recoverable (non-fatal) error.
 func runDirectEpoch(epoch uint64, q wire.Query, h Handler,
-	id int, writeCtrl func(*wire.Writer) error, coord net.Conn) {
+	id int, writeCtrl func(*wire.Writer) error, coord net.Conn, nm *nodeMetrics) {
 	nr := wire.NodeResult{
 		Epoch:   epoch,
 		Node:    id,
@@ -435,6 +456,7 @@ func runDirectEpoch(epoch uint64, q wire.Query, h Handler,
 	for qi := range q.Points {
 		res, err := h.Direct(q, qi)
 		if err != nil {
+			nm.epochErrors.Inc()
 			w := wire.GetWriter()
 			w.BeginFrame()
 			wire.AppendNodeError(w, wire.NodeError{
@@ -449,6 +471,7 @@ func runDirectEpoch(epoch uint64, q wire.Query, h Handler,
 		}
 		nr.Queries[qi].Winners = res.Winners
 	}
+	nm.directServed.Inc()
 	w := wire.GetWriter()
 	w.BeginFrame()
 	wire.AppendNodeResult(w, nr)

@@ -21,6 +21,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"distknn/internal/keys"
 	"distknn/internal/points"
@@ -265,15 +266,38 @@ const MaxFrame = 64 << 20
 // instead of pinning megabytes inside a pool forever.
 const maxPooledCap = 1 << 20
 
+// Pool traffic counters. wire stays telemetry-agnostic (it must not
+// import the obs package it serves), so these are plain atomics read
+// through PoolStats and re-exported by the serving layers as callback
+// gauges. gets - news = pool hits.
+var (
+	writerPoolGets atomic.Int64
+	writerPoolNews atomic.Int64
+	framePoolGets  atomic.Int64
+	framePoolNews  atomic.Int64
+)
+
+// PoolStats reports cumulative pool traffic: checkout counts and the
+// subset that had to allocate (pool misses) for the writer and frame
+// buffer pools.
+func PoolStats() (writerGets, writerNews, frameGets, frameNews int64) {
+	return writerPoolGets.Load(), writerPoolNews.Load(),
+		framePoolGets.Load(), framePoolNews.Load()
+}
+
 // writerPool recycles Writers across frames. Encoding a message into a
 // pooled writer and flushing it with EndFrame is the zero-allocation
 // counterpart of Encode* + WriteFrame.
-var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+var writerPool = sync.Pool{New: func() any {
+	writerPoolNews.Add(1)
+	return new(Writer)
+}}
 
 // GetWriter returns an empty Writer from the pool. Release it with
 // PutWriter once the encoded bytes are no longer referenced; the caller
 // must not retain w.Bytes() past that point.
 func GetWriter() *Writer {
+	writerPoolGets.Add(1)
 	return writerPool.Get().(*Writer)
 }
 
@@ -391,13 +415,17 @@ func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 // frame to another goroutine (the decoded view aliases the payload, so a
 // simple per-connection buffer cannot be reused until that work finishes).
 // The reader checks a buffer out, the consumer returns it when done.
-var framePool = sync.Pool{New: func() any { return new([]byte) }}
+var framePool = sync.Pool{New: func() any {
+	framePoolNews.Add(1)
+	return new([]byte)
+}}
 
 // GetFrameBuf checks a reusable frame buffer out of the pool. Pass it to
 // ReadFrameInto, hand the payload (which aliases it) to the consumer, and
 // have the consumer release it with PutFrameBuf when the decoded frame is
 // dead.
 func GetFrameBuf() []byte {
+	framePoolGets.Add(1)
 	return *framePool.Get().(*[]byte)
 }
 

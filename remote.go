@@ -12,6 +12,7 @@ import (
 	"distknn/internal/keys"
 	"distknn/internal/kmachine"
 	"distknn/internal/metricindex"
+	"distknn/internal/obs"
 	"distknn/internal/points"
 	"distknn/internal/transport/tcp"
 	"distknn/internal/wire"
@@ -50,6 +51,50 @@ var ErrSessionLost = tcp.ErrSessionLost
 // transparently; match with errors.Is to keep retrying on top of that.
 var ErrClusterDegraded = tcp.ErrDegraded
 
+// Metrics is a runtime-metrics registry for the serving stack: pass one
+// in FrontendOptions, NodeOptions or ClientOptions and the instrumented
+// component records its counters, gauges and latency histograms there.
+// Recording is lock-free atomics on the hot path and never perturbs
+// served answers; read a consistent view with Snapshot, or expose the
+// registry over HTTP with ServeAdmin. One registry may be shared by any
+// number of components (metric names do not collide across roles).
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Tracer records per-epoch trace spans — admission → dispatch →
+// per-seat arrival → collation → reply, with nanosecond stage offsets —
+// into a fixed ring of the given depth. Pass one in
+// FrontendOptions.Trace; read recent spans with Recent, stream finished
+// spans as JSONL with SetSink, or expose the ring over HTTP with
+// ServeAdmin. A nil Tracer (the default) records nothing.
+type Tracer = obs.Tracer
+
+// NewTracer returns a tracer holding the last depth spans (depth <= 0
+// selects the default of 256).
+func NewTracer(depth int) *Tracer { return obs.NewTracer(depth) }
+
+// Health is a point-in-time cluster health report, as served by the
+// admin plane's /healthz endpoint (see Frontend.Health).
+type Health = obs.Health
+
+// AdminOptions selects what an admin endpoint exposes: a Metrics
+// registry (/metrics), a Tracer (/trace/recent), and a health callback
+// (/healthz). Every field is optional.
+type AdminOptions = obs.AdminOptions
+
+// AdminServer is a running admin HTTP endpoint; Close releases its
+// listener.
+type AdminServer = obs.Admin
+
+// ServeAdmin starts an admin HTTP endpoint on addr serving /metrics,
+// /healthz, /trace/recent and /debug/pprof/*. It binds immediately and
+// serves in the background until Close. The admin plane is strictly
+// read-only observation: it shares no locks with the query path, so a
+// slow scrape cannot stall serving.
+func ServeAdmin(addr string, o AdminOptions) (*AdminServer, error) { return obs.ServeAdmin(addr, o) }
+
 // NodeOptions configures a resident serving node. Except for Advertise,
 // all nodes of a cluster must be configured identically (the protocols
 // assume symmetric machines).
@@ -68,6 +113,10 @@ type NodeOptions struct {
 	// the bind address itself. This field is per-node; every other option
 	// must match across the cluster.
 	Advertise string
+	// Metrics optionally receives the node's runtime metrics (epochs
+	// served, mesh traffic, control-plane bytes). Nil records nothing.
+	// Per-node, like Advertise: each node process passes its own registry.
+	Metrics *Metrics
 }
 
 // Shard is the slice of the global dataset one serving node holds.
@@ -562,7 +611,7 @@ func (h *typedHandler[P]) Direct(q wire.Query, qi int) (tcp.QueryResult, error) 
 // ("127.0.0.1:0" picks a free loopback port); opts.Advertise overrides the
 // address peers dial when the bind address is not reachable across hosts.
 func ServeTypedNode[P any](pt PointType[P], coordAddr, meshAddr string, shards ShardProvider[P], opts NodeOptions) error {
-	return tcp.ServeNode(coordAddr, meshAddr, opts.Advertise, &typedHandler[P]{pt: pt, shards: shards, opts: opts})
+	return tcp.ServeNodeObserved(coordAddr, meshAddr, opts.Advertise, opts.Metrics, &typedHandler[P]{pt: pt, shards: shards, opts: opts})
 }
 
 // ServeScalarNode runs one resident scalar serving node.
@@ -631,6 +680,14 @@ type FrontendOptions struct {
 	// answers are bit-identical for any value. Only meaningful with
 	// Pruner.
 	Probes int
+	// Metrics optionally receives the frontend's runtime metrics: query
+	// and epoch counters, window occupancy, coalesced batch sizes, query
+	// latency and pruning histograms. Nil records nothing.
+	Metrics *Metrics
+	// Trace optionally records one span per query epoch (admission →
+	// dispatch → per-seat arrival → collation → reply). Nil traces
+	// nothing.
+	Trace *Tracer
 }
 
 func (o FrontendOptions) lower() tcp.FrontendOptions {
@@ -641,6 +698,8 @@ func (o FrontendOptions) lower() tcp.FrontendOptions {
 		MaxServerBatch: o.MaxServerBatch,
 		Pruner:         o.Pruner,
 		Probes:         o.Probes,
+		Metrics:        o.Metrics,
+		Trace:          o.Trace,
 	}
 }
 
@@ -679,6 +738,11 @@ func (f *Frontend) Leader() int { return f.fe.Leader() }
 // re-registering) takes the seat back. Use it to kick a wedged or
 // partitioned node so it re-joins with fresh mesh links.
 func (f *Frontend) EvictNode(id int) error { return f.fe.EvictNode(id) }
+
+// Health reports the session's seat-level health: whether every node
+// seat is present, and for absent seats the cause of the last loss. Wire
+// it into an admin endpoint as AdminOptions.Health to serve /healthz.
+func (f *Frontend) Health() Health { return f.fe.Health() }
 
 // Close shuts the session down; resident nodes exit cleanly.
 func (f *Frontend) Close() error { return f.fe.Close() }
@@ -722,6 +786,10 @@ type ClientOptions struct {
 	// NoRetry disables the transparent retry: the first failure of any
 	// kind is returned to the caller.
 	NoRetry bool
+	// Metrics optionally receives the client's runtime metrics (queries,
+	// retries, degraded replies, reconnects, outstanding tags). Nil
+	// records nothing.
+	Metrics *Metrics
 }
 
 // DialTypedCluster connects to a serving cluster's frontend that serves
@@ -737,6 +805,7 @@ func DialTypedClusterOptions[P any](pt PointType[P], addr string, opts ClientOpt
 		Timeout:   opts.QueryTimeout,
 		RetryWait: opts.RetryWait,
 		NoRetry:   opts.NoRetry,
+		Metrics:   opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
